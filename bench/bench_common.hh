@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction bench binaries.
+ *
+ * Every bench:
+ *   - exposes the machine's structural knobs (cell::CellConfig flags)
+ *     plus --runs/--seed/--csv/--quick/--bytes-per-spe;
+ *   - prints a header identifying the paper figure it regenerates;
+ *   - prints the same rows/series the figure reports, as a table, an
+ *     ASCII chart of the shape, and optionally CSV.
+ */
+
+#ifndef CELLBW_BENCH_BENCH_COMMON_HH
+#define CELLBW_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cell/config.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "stats/ascii_chart.hh"
+#include "stats/table.hh"
+#include "util/options.hh"
+#include "util/strings.hh"
+
+namespace cellbw::bench
+{
+
+struct BenchSetup
+{
+    util::Options opts;
+    cell::CellConfig cfg;
+    core::RepeatSpec repeat;
+    std::uint64_t bytesPerSpe = 0;
+    bool csv = false;
+
+    BenchSetup(std::string prog, std::string description)
+        : opts(std::move(prog), std::move(description))
+    {
+        cell::CellConfig::registerOptions(opts);
+        opts.addUint("runs", 10,
+                     "placement-randomized repetitions per point");
+        opts.addUint("seed", 42, "base placement seed");
+        opts.addBool("csv", false, "also emit CSV after the table");
+        opts.addBool("quick", false, "fewer runs and bytes (CI mode)");
+        opts.addBytes("bytes-per-spe", 4 * util::MiB,
+                      "bytes each SPE/thread/stream moves (weak scaling; "
+                      "the paper uses 32 MiB)");
+    }
+
+    /** @return false when the program should exit (help/error). */
+    bool
+    parse(int argc, const char *const *argv)
+    {
+        if (!opts.parse(argc, argv))
+            return false;
+        cfg = cell::CellConfig::fromOptions(opts);
+        repeat.runs = static_cast<unsigned>(opts.getUint("runs"));
+        repeat.seed = opts.getUint("seed");
+        bytesPerSpe = opts.getBytes("bytes-per-spe");
+        csv = opts.getBool("csv");
+        if (opts.getBool("quick")) {
+            repeat.runs = std::min(repeat.runs, 3u);
+            bytesPerSpe = std::min<std::uint64_t>(bytesPerSpe,
+                                                  util::MiB);
+        }
+        return true;
+    }
+
+    void
+    header(const char *figure, const char *what) const
+    {
+        std::printf("== %s: %s ==\n", figure, what);
+        std::printf("   machine: %.1f GHz Cell blade, %u EIB rings, "
+                    "ramp peak %.1f GB/s, %u runs/point, %s per "
+                    "SPE/stream\n\n",
+                    cfg.clock.cpuHz / 1e9, cfg.eib.numRings,
+                    cfg.rampPeakGBps(), repeat.runs,
+                    util::bytesToString(bytesPerSpe).c_str());
+    }
+
+    void
+    emit(const stats::Table &table) const
+    {
+        std::fputs(table.render().c_str(), stdout);
+        if (csv) {
+            std::printf("\n-- CSV --\n%s", table.renderCsv().c_str());
+        }
+        std::printf("\n");
+    }
+};
+
+} // namespace cellbw::bench
+
+#endif // CELLBW_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 4: PPE to the 512 KB L2 cache — load/store/copy for 1 and 2
+ * threads, 1-16 byte elements.
+ *
+ * Paper shapes: much lower than L1; stores beat loads roughly 2x for a
+ * single thread (the refill-request rate, "possibly the number of
+ * pending L1 cache misses", limits loads); a second thread increases
+ * bandwidth significantly; element-size proportionality persists.
+ */
+
+#include "ppe_figure.hh"
+
+using namespace cellbw;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchSetup b("fig04_ppe_l2",
+                        "PPE to L2 load/store/copy (paper Fig. 4)");
+    if (!b.parse(argc, argv))
+        return 1;
+    return bench::runPpeFigure(b, "Figure 4", "PPE -> L2 (512 KB)",
+                               core::ppeL2Config);
+}

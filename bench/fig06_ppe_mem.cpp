@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 6: PPE to main memory — load/store/copy for 1 and 2 threads,
+ * 1-16 byte elements.
+ *
+ * Paper shapes: reads match L2 reads (both throttled by the same refill
+ * request path); writes are far slower than L2 writes (the L2-to-memory
+ * store queue saturates); everything stays under ~6 GB/s, far below
+ * what the SPE DMA engines reach on the same memory.
+ */
+
+#include "ppe_figure.hh"
+
+using namespace cellbw;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchSetup b("fig06_ppe_mem",
+                        "PPE to main memory load/store/copy "
+                        "(paper Fig. 6)");
+    if (!b.parse(argc, argv))
+        return 1;
+    return bench::runPpeFigure(b, "Figure 6", "PPE -> main memory",
+                               core::ppeMemConfig);
+}

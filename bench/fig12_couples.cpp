@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 12: couples of SPEs (half initiate GET+PUT with a passive
+ * logical neighbor) — DMA-elem and DMA-list, 2/4/8 SPEs.
+ *
+ * Paper shapes: 2 and 4 SPEs run near their 33.6 / 67.2 GB/s peaks;
+ * 8 SPEs average only ~70% (DMA-elem) / ~60% (DMA-list) of 134.4 GB/s
+ * because the four pairs' ring paths conflict depending on physical
+ * placement; DMA-list bandwidth is flat across element sizes while
+ * DMA-elem collapses below 1 KB.
+ */
+
+#include "spespe_figure.hh"
+
+using namespace cellbw;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchSetup b("fig12_couples",
+                        "SPE couples GET+PUT bandwidth (paper Fig. 12)");
+    if (!b.parse(argc, argv))
+        return 1;
+    b.header("Figure 12", "couples of SPEs (active + passive pairs)");
+    return bench::runSpeSpeSweep(b, "Fig 12", core::SpeSpeMode::Couples);
+}

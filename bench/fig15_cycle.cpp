@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 15: cycle of SPEs (every SPE initiates GET+PUT with its
+ * logical neighbor) — DMA-elem and DMA-list, 2/4/8 SPEs.
+ *
+ * Paper shapes: 2 SPEs reach the 33.6 GB/s peak; with 4 SPEs (8 active
+ * DMA directions) the four rings saturate and only ~50 of 67.2 GB/s
+ * survive; 8 SPEs get ~70 of 134.4 GB/s — *less* than the couples
+ * experiment with half the active transfers, showing that saturating
+ * the EIB is counterproductive.
+ */
+
+#include "spespe_figure.hh"
+
+using namespace cellbw;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchSetup b("fig15_cycle",
+                        "cycle-of-SPEs GET+PUT bandwidth "
+                        "(paper Fig. 15)");
+    if (!b.parse(argc, argv))
+        return 1;
+    b.header("Figure 15", "cycle of SPEs (all active)");
+    return bench::runSpeSpeSweep(b, "Fig 15", core::SpeSpeMode::Cycle);
+}

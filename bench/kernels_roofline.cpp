@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The paper's stated future work, executed: "evaluate small kernels
+ * (scalar product, matrix by vector, matrix product, streaming
+ * benchmarks...)".
+ *
+ * Each kernel runs on the simulated SPEs with the paper's rules
+ * (16 KiB chunks, double buffering, delayed sync) and is verified
+ * against a host reference.  Sorted by arithmetic intensity they trace
+ * the machine's roofline: below ~0.5 flops/byte the sustained memory
+ * bandwidth of Figure 8 — not the 134 GFLOPS headline — decides the
+ * outcome, exactly the Williams et al. argument the paper cites.
+ */
+
+#include "bench_common.hh"
+#include "core/kernels.hh"
+
+using namespace cellbw;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchSetup b("kernels_roofline",
+                        "small-kernel roofline (the paper's future "
+                        "work)");
+    if (!b.parse(argc, argv))
+        return 1;
+    b.header("Future work", "STREAM kernels, dot, matvec, matmul on "
+                            "1-8 SPEs");
+
+    struct Row
+    {
+        core::KernelKind kind;
+        std::uint64_t n;
+    } kernels[] = {
+        {core::KernelKind::Copy, 1 << 20},
+        {core::KernelKind::Scale, 1 << 20},
+        {core::KernelKind::Add, 1 << 20},
+        {core::KernelKind::Triad, 1 << 20},
+        {core::KernelKind::Dot, 1 << 20},
+        {core::KernelKind::MatVec, 2048},
+        {core::KernelKind::MatMul, 256},
+    };
+
+    for (unsigned spes : {1u, 4u, 8u}) {
+        stats::Table table({"kernel", "n", "AI(fl/B)", "GB/s", "GFLOPS",
+                            "%mem-roof", "%compute-roof", "ok"});
+        for (const auto &k : kernels) {
+            cell::CellSystem sys(b.cfg, b.repeat.seed);
+            core::KernelSpec spec;
+            spec.kind = k.kind;
+            spec.n = k.n;
+            spec.spes = spes;
+            auto r = core::runKernel(sys, spec);
+            double mem_roof = 21.0;     // measured aggregate (Fig. 8)
+            double compute_roof = core::computePeakGflops(sys, spec);
+            table.addRow({
+                core::toString(k.kind), std::to_string(k.n),
+                stats::Table::num(r.intensity, 2),
+                stats::Table::num(r.gbps),
+                stats::Table::num(r.gflops),
+                util::format("%.0f%%", 100.0 * r.gbps / mem_roof),
+                util::format("%.0f%%", 100.0 * r.gflops / compute_roof),
+                r.verified ? "yes" : "NO",
+            });
+        }
+        std::printf("-- %u SPE%s (compute roof %.1f GFLOPS) --\n", spes,
+                    spes > 1 ? "s" : "",
+                    spes * 8.0 * b.cfg.clock.cpuHz / 1e9);
+        b.emit(table);
+    }
+    // Single vs double precision on the streaming kernels: the
+    // paper's DP discussion (one 2-way DP FMA every 7 cycles) plus
+    // twice the bytes per element.
+    {
+        stats::Table table({"kernel", "precision", "GB/s", "GFLOPS",
+                            "ok"});
+        for (auto prec : {core::Precision::Single,
+                          core::Precision::Double}) {
+            for (auto kind : {core::KernelKind::Triad,
+                              core::KernelKind::Dot}) {
+                cell::CellSystem sys(b.cfg, b.repeat.seed);
+                core::KernelSpec spec;
+                spec.kind = kind;
+                spec.n = 1 << 19;
+                spec.spes = 4;
+                spec.precision = prec;
+                auto r = core::runKernel(sys, spec);
+                table.addRow({core::toString(kind),
+                              prec == core::Precision::Double
+                                  ? "double" : "single",
+                              stats::Table::num(r.gbps),
+                              stats::Table::num(r.gflops),
+                              r.verified ? "yes" : "NO"});
+            }
+        }
+        std::printf("-- precision (4 SPEs): same GB/s, half the "
+                    "GFLOPS in DP -- Dongarra's single-precision "
+                    "argument --\n");
+        b.emit(table);
+    }
+
+    std::printf("low-intensity kernels pin the memory roof; the blocked "
+                "matmul escapes it and approaches the compute roof.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself (host-side
+ * performance, not modeled bandwidth): event-queue throughput and
+ * end-to-end simulated-DMA cost, so regressions in the kernel show up.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cell/cell_system.hh"
+#include "core/experiments.hh"
+#include "sim/event_queue.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        long sum = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&sum, i] { sum += i; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_SingleSpeGet(benchmark::State &state)
+{
+    const std::uint64_t bytes = 1ull << state.range(0);
+    for (auto _ : state) {
+        cell::CellConfig cfg;
+        cell::CellSystem sys(cfg, 1);
+        core::SpeMemConfig mc;
+        mc.numSpes = 1;
+        mc.bytesPerSpe = bytes;
+        double bw = core::runSpeMem(sys, mc);
+        benchmark::DoNotOptimize(bw);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SingleSpeGet)->Arg(18)->Arg(20);
+
+void
+BM_SpePairTransfer(benchmark::State &state)
+{
+    for (auto _ : state) {
+        cell::CellConfig cfg;
+        cell::CellSystem sys(cfg, 1);
+        core::SpeSpeConfig sc;
+        sc.numSpes = 2;
+        sc.elemBytes = 4096;
+        sc.bytesPerStream = 1 * util::MiB;
+        double bw = core::runSpeSpe(sys, sc);
+        benchmark::DoNotOptimize(bw);
+    }
+}
+BENCHMARK(BM_SpePairTransfer);
+
+void
+BM_PpeL1Stream(benchmark::State &state)
+{
+    for (auto _ : state) {
+        cell::CellConfig cfg;
+        cell::CellSystem sys(cfg, 1);
+        auto pc = core::ppeL1Config(1, 16, ppe::MemOp::Load);
+        pc.totalBytes = 1 * util::MiB;
+        double bw = core::runPpeStream(sys, pc);
+        benchmark::DoNotOptimize(bw);
+    }
+}
+BENCHMARK(BM_PpeL1Stream);
+
+} // namespace
+
+BENCHMARK_MAIN();

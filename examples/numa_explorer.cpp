@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Explore the dual-blade NUMA layout the paper runs on: one XDR bank
+ * behind the local MIC, one behind the 7 GB/s IOIF to the second Cell.
+ *
+ * The paper's observation: two SPEs together measure ~20 GB/s from
+ * "memory", which exceeds one bank's ramp — proof that Linux spread the
+ * pages over both banks.  This example makes that visible by pinning
+ * allocations to each bank explicitly and comparing.
+ */
+
+#include <cstdio>
+
+#include "cell/cell_system.hh"
+#include "core/dma_workloads.hh"
+#include "util/strings.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+double
+measureGet(const mem::NumaPolicy &policy, unsigned spes,
+           std::uint64_t bytesPerSpe, std::uint64_t seed)
+{
+    cell::CellConfig cfg;
+    cfg.numa = policy;
+    cell::CellSystem sys(cfg, seed);
+    Tick t0 = sys.now();
+    for (unsigned i = 0; i < spes; ++i) {
+        core::StreamSpec spec;
+        spec.speIndex = i;
+        spec.dir = spe::DmaDir::Get;
+        spec.base = sys.malloc(bytesPerSpe);
+        spec.totalBytes = bytesPerSpe;
+        spec.elemBytes = 16 * 1024;
+        spec.lsBase = sys.spe(i).lsAlloc(64 * util::KiB);
+        sys.launch(core::dmaStream(sys, spec));
+    }
+    sys.run();
+    return sys.clock().bandwidthGBps(bytesPerSpe * spes,
+                                     sys.now() - t0);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t bytes = 8 * util::MiB;
+
+    std::printf("NUMA on the dual-Cell blade: where your pages land "
+                "decides your bandwidth\n");
+    std::printf("(GET streams of 16 KiB DMA-elem, %s per SPE)\n\n",
+                util::bytesToString(bytes).c_str());
+
+    struct Row
+    {
+        const char *name;
+        mem::NumaPolicy policy;
+    } rows[] = {
+        {"local bank only (MIC)", mem::NumaPolicy::local()},
+        {"remote bank only (IOIF)", mem::NumaPolicy::remote()},
+        {"interleaved 65/35 (Linux NUMA)",
+         mem::NumaPolicy::interleave(0.65)},
+    };
+
+    std::printf("%-32s %10s %10s %10s\n", "placement", "1 SPE", "2 SPEs",
+                "4 SPEs");
+    for (const auto &row : rows) {
+        double b1 = measureGet(row.policy, 1, bytes, 1);
+        double b2 = measureGet(row.policy, 2, bytes, 2);
+        double b4 = measureGet(row.policy, 4, bytes, 3);
+        std::printf("%-32s %8.2f %10.2f %10.2f   GB/s\n", row.name, b1,
+                    b2, b4);
+    }
+
+    std::printf("\nreading the table:\n");
+    std::printf("  - remote-only is capped by the 7 GB/s IOIF link no "
+                "matter how many SPEs pull;\n");
+    std::printf("  - local-only saturates one bank (~15.5 GB/s "
+                "sustained of the 16.8 ramp);\n");
+    std::printf("  - the interleaved default exceeds one bank with two "
+                "SPEs, the paper's 20 GB/s observation: both banks "
+                "stream concurrently.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The CellSs-style offload runtime in action: the PPE submits a batch
+ * of transform tasks; SPE workers stream them through their local
+ * stores.  We sweep the worker count and toggle double buffering to
+ * show (a) parallel-SPE memory bandwidth scaling and (b) why
+ * overlapping communication with computation is non-negotiable on this
+ * machine.
+ */
+
+#include <cstdio>
+
+#include "runtime/offload.hh"
+#include "util/strings.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+struct Result
+{
+    double gbps;
+    double busyFraction;
+};
+
+Result
+runBatch(unsigned workers, bool doubleBuffer, Tick cyclesPerKiB,
+         std::uint64_t seed)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, seed);
+
+    runtime::OffloadParams params;
+    params.workers = workers;
+    params.doubleBuffer = doubleBuffer;
+    runtime::OffloadRuntime rt(sys, params);
+
+    const unsigned tasks = 32;
+    const std::uint32_t bytes = 256 * 1024;
+    std::vector<EffAddr> outs;
+    for (unsigned t = 0; t < tasks; ++t) {
+        EffAddr in = sys.malloc(bytes);
+        EffAddr out = sys.malloc(bytes);
+        sys.memory().store().fill(in, static_cast<std::uint8_t>(t), bytes);
+        outs.push_back(out);
+        rt.submit({in, out, bytes, cyclesPerKiB,
+                   [](std::uint8_t *d, std::uint32_t n) {
+                       for (std::uint32_t i = 0; i < n; ++i)
+                           d[i] ^= 0x5A;
+                   }});
+    }
+    rt.start();
+    sys.run();
+
+    // Verify one output end-to-end.
+    std::uint8_t expect = static_cast<std::uint8_t>(7) ^ 0x5A;
+    if (sys.memory().store().byteAt(outs[7]) != expect ||
+        sys.memory().store().byteAt(outs[7] + bytes - 1) != expect) {
+        std::fprintf(stderr, "data verification FAILED\n");
+        std::exit(1);
+    }
+
+    Tick busy = 0;
+    for (const auto &w : rt.stats().worker)
+        busy += w.busyTicks;
+    double busy_frac =
+        static_cast<double>(busy) /
+        (static_cast<double>(rt.stats().makespan()) * workers);
+    return {rt.throughputGBps(), busy_frac};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CellSs-style task offload: 32 tasks x 256 KiB xor "
+                "transform\n\n");
+
+    std::printf("-- memory-bound kernel (64 cycles/KiB) --\n");
+    std::printf("%8s %18s %18s\n", "workers", "double-buffered",
+                "single-buffered");
+    for (unsigned w : {1u, 2u, 4u, 8u}) {
+        Result db = runBatch(w, true, 64, 10 + w);
+        Result sb = runBatch(w, false, 64, 10 + w);
+        std::printf("%8u %12.2f GB/s %12.2f GB/s\n", w, db.gbps,
+                    sb.gbps);
+    }
+
+    std::printf("\n-- compute-bound kernel (2048 cycles/KiB) --\n");
+    std::printf("%8s %18s %18s\n", "workers", "double-buffered",
+                "single-buffered");
+    for (unsigned w : {1u, 2u, 4u, 8u}) {
+        Result db = runBatch(w, true, 2048, 20 + w);
+        Result sb = runBatch(w, false, 2048, 20 + w);
+        std::printf("%8u %12.2f GB/s %12.2f GB/s\n", w, db.gbps,
+                    sb.gbps);
+    }
+
+    std::printf("\nDouble buffering hides the DMA behind the compute; "
+                "without it every chunk pays transfer + compute "
+                "serially (the paper: \"double buffering ... will "
+                "always help performance\").\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Visualize *why* delayed synchronization wins (Figure 10's mechanism):
+ * trace the MFC commands of an SPE pair transfer twice — waiting after
+ * every DMA request, then delaying the tag wait — and print the
+ * per-command timelines side by side.
+ */
+
+#include <cstdio>
+
+#include "cell/cell_system.hh"
+#include "core/dma_workloads.hh"
+#include "trace/recorder.hh"
+#include "util/strings.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+void
+runTraced(unsigned syncEvery, const char *label)
+{
+    cell::CellConfig cfg;
+    cfg.affinity = cell::AffinityPolicy::Linear;
+    cell::CellSystem sys(cfg, 1);
+    auto &rec = sys.enableTracing();
+
+    constexpr std::uint32_t region = 64 * 1024;
+    LsAddr src_base = 0, rx_base = 0, land_base = 0;
+    for (unsigned i = 0; i < 2; ++i) {
+        src_base = sys.spe(i).lsAlloc(region);
+        rx_base = sys.spe(i).lsAlloc(region);
+        land_base = sys.spe(i).lsAlloc(region);
+    }
+
+    core::DuplexSpec d;
+    d.speIndex = 0;
+    d.getBase = sys.lsEa(1, src_base);
+    d.putBase = sys.lsEa(1, rx_base);
+    d.bytesPerDir = 128 * 1024;     // short run: keep the chart readable
+    d.elemBytes = 16 * 1024;
+    d.syncEvery = syncEvery;
+    d.getLsBase = land_base;
+    d.putLsBase = src_base;
+    d.lsBytes = region;
+    d.eaWindow = region;
+
+    Tick t0 = sys.now();
+    sys.launch(core::dmaDuplexStream(sys, d));
+    sys.run();
+    double bw = sys.clock().bandwidthGBps(2 * d.bytesPerDir,
+                                          sys.now() - t0);
+
+    std::printf("--- %s: %.2f GB/s, %zu commands, %zu EIB packets ---\n",
+                label, bw, rec.dmaRecords().size(),
+                rec.eibRecords().size());
+    std::fputs(rec.renderDmaTimeline(68).c_str(), stdout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MFC command timelines for a 128 KiB SPE-pair transfer "
+                "(16 KiB DMA-elem):\n\n");
+    runTraced(1, "sync after every request (the naive loop)");
+    runTraced(0, "sync once at the end (the paper's rule)");
+    std::printf("With eager sync each command runs alone: the queue "
+                "drains, gaps appear, bandwidth dies.  With delayed "
+                "sync the commands overlap into one solid block.\n");
+    return 0;
+}

@@ -1,0 +1,422 @@
+#include "cell/cell_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace cellbw::cell
+{
+
+CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
+    : cfg_(cfg)
+{
+    unsigned slots = cfg_.numChips * eib::numPhysicalSpes;
+    if (cfg_.numChips < 1 || cfg_.numChips > 2)
+        sim::fatal("numChips must be 1 or 2");
+    if (cfg_.numSpes == 0 || cfg_.numSpes > slots)
+        sim::fatal("numSpes must be 1..%u with %u chip(s)", slots,
+                   cfg_.numChips);
+
+    eq_ = std::make_unique<sim::EventQueue>();
+    memory_ = std::make_unique<mem::MemorySystem>("mem", *eq_, cfg_.memory);
+    for (unsigned c = 0; c < cfg_.numChips; ++c) {
+        eibs_.push_back(std::make_unique<eib::Eib>(
+            util::format("eib%u", c), *eq_, cfg_.clock, cfg_.eib));
+    }
+    ppu_ = std::make_unique<ppe::Ppu>("ppe", *eq_, cfg_.clock, cfg_.ppu,
+                                      &memory_->store());
+
+    buildPlacement(placementSeed);
+    for (unsigned i = 0; i < cfg_.numSpes; ++i) {
+        auto s = std::make_unique<spe::Spe>(
+            util::format("spe%u", i), *eq_, cfg_.clock, cfg_.spe, i);
+        s->setPhysicalSpe(placement_[i],
+                          eib::speRamp(placement_[i] %
+                                       eib::numPhysicalSpes));
+        s->mfc().setLineHandler([this](spe::LineRequest &&req) {
+            routeLine(std::move(req));
+        });
+        spes_.push_back(std::move(s));
+    }
+}
+
+CellSystem::~CellSystem() = default;
+
+void
+CellSystem::buildPlacement(std::uint64_t seed)
+{
+    unsigned slots = cfg_.numChips * eib::numPhysicalSpes;
+    switch (cfg_.affinity) {
+      case AffinityPolicy::Random: {
+        sim::Rng rng(seed);
+        placement_ = rng.permutation(slots);
+        break;
+      }
+      case AffinityPolicy::Linear:
+        placement_.resize(slots);
+        for (unsigned i = 0; i < slots; ++i)
+            placement_[i] = i;
+        break;
+      case AffinityPolicy::Paired: {
+        // Physical SPE indices in ring-adjacent pairs: positions
+        // 1,2 / 3,4 / 7,8 / 9,10 on each die.
+        static const std::uint32_t chip_pairs[] = {1, 3, 5, 7, 6, 4, 2, 0};
+        placement_.clear();
+        for (unsigned c = 0; c < cfg_.numChips; ++c)
+            for (auto p : chip_pairs)
+                placement_.push_back(p + c * eib::numPhysicalSpes);
+        break;
+      }
+    }
+}
+
+spe::Spe &
+CellSystem::spe(unsigned logical)
+{
+    if (logical >= spes_.size())
+        sim::fatal("logical SPE %u out of range (%zu present)", logical,
+                   spes_.size());
+    return *spes_[logical];
+}
+
+eib::Eib &
+CellSystem::eib(unsigned chip)
+{
+    if (chip >= eibs_.size())
+        sim::fatal("chip %u out of range (%zu present)", chip,
+                   eibs_.size());
+    return *eibs_[chip];
+}
+
+unsigned
+CellSystem::physicalOf(unsigned logical) const
+{
+    if (logical >= cfg_.numSpes)
+        sim::fatal("logical SPE %u out of range", logical);
+    return placement_[logical];
+}
+
+unsigned
+CellSystem::chipOf(unsigned logical) const
+{
+    return physicalOf(logical) / eib::numPhysicalSpes;
+}
+
+unsigned
+CellSystem::rampOf(unsigned logical) const
+{
+    return eib::speRamp(physicalOf(logical) % eib::numPhysicalSpes);
+}
+
+std::string
+CellSystem::placementString() const
+{
+    std::string out;
+    for (unsigned i = 0; i < cfg_.numSpes; ++i) {
+        if (i)
+            out += " ";
+        out += util::format("%u->%u", i, placement_[i]);
+    }
+    return out;
+}
+
+EffAddr
+CellSystem::malloc(std::uint64_t bytes)
+{
+    return malloc(bytes, cfg_.numa);
+}
+
+EffAddr
+CellSystem::malloc(std::uint64_t bytes, const mem::NumaPolicy &policy)
+{
+    EffAddr ea = memory_->alloc(bytes, policy);
+    if (ea + bytes >= lsEaBase)
+        sim::fatal("main memory exhausted");
+    return ea;
+}
+
+EffAddr
+CellSystem::lsEa(unsigned logical, LsAddr lsa) const
+{
+    if (logical >= cfg_.numSpes)
+        sim::fatal("lsEa: logical SPE %u out of range", logical);
+    return lsEaBase + static_cast<EffAddr>(logical) * lsEaStride + lsa;
+}
+
+trace::Recorder &
+CellSystem::enableTracing()
+{
+    if (!recorder_) {
+        recorder_ = std::make_unique<trace::Recorder>();
+        for (auto &s : spes_)
+            s->mfc().setRecorder(recorder_.get());
+        for (unsigned c = 0; c < eibs_.size(); ++c)
+            eibs_[c]->setRecorder(recorder_.get(), c);
+    }
+    return *recorder_;
+}
+
+void
+CellSystem::launch(sim::Task task)
+{
+    programs_.push_back(std::move(task));
+    programs_.back().start();
+}
+
+void
+CellSystem::run()
+{
+    eq_->run();
+    for (auto &p : programs_) {
+        p.rethrow();
+        if (!p.done()) {
+            sim::fatal("deadlock: a launched program never finished "
+                       "(waiting on a DMA tag or mailbox that no one "
+                       "completes?)");
+        }
+    }
+}
+
+void
+CellSystem::routeLine(spe::LineRequest &&req)
+{
+    if (req.speIndex >= spes_.size())
+        sim::panic("DMA line from unknown SPE %u", req.speIndex);
+    if (isLsEa(req.ea))
+        routeLocalStore(std::move(req));
+    else
+        routeMemory(std::move(req));
+}
+
+/**
+ * Memory routing.  The line rides the issuing SPE's EIB between its
+ * ramp and either the local MIC (bank on the same chip) or the IOIF
+ * ramp (bank on the other chip).  Crossing the blade costs the IOIF
+ * serialization; when the far chip's EIB is simulated (numChips == 2),
+ * the line also rides it between the far IOIF and the far MIC.
+ */
+void
+CellSystem::routeMemory(spe::LineRequest &&req)
+{
+    unsigned bank = memory_->bankOf(req.ea);
+    unsigned spe_chip = chipOf(req.speIndex);
+    bool crossing = (bank != spe_chip);
+    eib::RampPos local_ramp =
+        crossing ? eib::ioif0Ramp : eib::micRamp;
+    eib::RampPos spe_ramp = rampOf(req.speIndex);
+    eib::Eib *near_eib = eibs_[spe_chip].get();
+    eib::Eib *far_eib =
+        (crossing && bank < eibs_.size()) ? eibs_[bank].get() : nullptr;
+    spe::Spe *s = spes_[req.speIndex].get();
+    mem::DramBank *dram = &memory_->bank(bank);
+    mem::IoLink *link = &memory_->ioLink();
+
+    if (req.dir == spe::DmaDir::Get) {
+        // Command phase to the controller, bank read, (far EIB,
+        // IOIF crossing,) data ride home, LS write.
+        Tick cmd = cfg_.clock.busCycles(cfg_.eib.cmdLatencyBus);
+        if (crossing)
+            cmd += link->crossingLatency();
+        auto deliver = [this, near_eib, local_ramp, spe_ramp,
+                        s](spe::LineRequest &&r) {
+            near_eib->transfer(local_ramp, spe_ramp, r.bytes,
+                               [this, r = std::move(r), s]() mutable {
+                Tick done_at = s->ls().reservePort(r.bytes);
+                std::uint8_t buf[spe::lineBytes];
+                memory_->store().read(r.ea, buf, r.bytes);
+                s->ls().write(r.lsa, buf, r.bytes);
+                eq_->scheduleAt(done_at, std::move(r.done));
+            });
+        };
+        eq_->schedule(cmd, [this, req = std::move(req), far_eib, dram,
+                            link, crossing, spe_chip,
+                            deliver = std::move(deliver)]() mutable {
+            dram->access(req.bytes, false,
+                        [this, req = std::move(req), far_eib, link,
+                         crossing, spe_chip,
+                         deliver = std::move(deliver)]() mutable {
+                if (!crossing) {
+                    deliver(std::move(req));
+                    return;
+                }
+                // The data lane is named from chip 0's viewpoint:
+                // Inbound carries payloads toward chip 0.
+                auto lane = (spe_chip == 0) ? mem::IoLink::Dir::Inbound
+                                            : mem::IoLink::Dir::Outbound;
+                auto hop_home = [link, lane,
+                                 deliver = std::move(deliver)](
+                                    spe::LineRequest &&r) mutable {
+                    std::uint32_t bytes = r.bytes;
+                    link->send(lane, bytes,
+                              [r = std::move(r),
+                               deliver =
+                                   std::move(deliver)]() mutable {
+                        deliver(std::move(r));
+                    });
+                };
+                if (far_eib) {
+                    std::uint32_t bytes = req.bytes;
+                    far_eib->transfer(
+                        eib::micRamp, eib::ioif0Ramp, bytes,
+                        [req = std::move(req),
+                         hop_home = std::move(hop_home)]() mutable {
+                            hop_home(std::move(req));
+                        });
+                } else {
+                    hop_home(std::move(req));
+                }
+            });
+        });
+    } else {
+        // LS read, data ride out, (IOIF crossing, far EIB,) bank write.
+        Tick ls_done = s->ls().reservePort(req.bytes);
+        eq_->scheduleAt(ls_done, [this, req = std::move(req), near_eib,
+                                  local_ramp, spe_ramp, s, far_eib,
+                                  dram, link, crossing, bank]() mutable {
+            near_eib->transfer(spe_ramp, local_ramp, req.bytes,
+                               [this, req = std::move(req), s, far_eib,
+                                dram, link, crossing, bank]() mutable {
+                std::uint8_t buf[spe::lineBytes];
+                s->ls().read(req.lsa, buf, req.bytes);
+                memory_->store().write(req.ea, buf, req.bytes);
+                auto write_bank = [dram](spe::LineRequest &&r) {
+                    std::uint32_t bytes = r.bytes;
+                    dram->access(bytes, true, std::move(r.done));
+                };
+                if (!crossing) {
+                    write_bank(std::move(req));
+                    return;
+                }
+                std::uint32_t bytes = req.bytes;
+                auto lane = (bank == 0) ? mem::IoLink::Dir::Inbound
+                                        : mem::IoLink::Dir::Outbound;
+                link->send(lane, bytes,
+                          [req = std::move(req), far_eib,
+                           write_bank = std::move(write_bank)]() mutable {
+                    if (far_eib) {
+                        std::uint32_t b = req.bytes;
+                        far_eib->transfer(
+                            eib::ioif0Ramp, eib::micRamp, b,
+                            [req = std::move(req),
+                             write_bank =
+                                 std::move(write_bank)]() mutable {
+                                write_bank(std::move(req));
+                            });
+                    } else {
+                        write_bank(std::move(req));
+                    }
+                });
+            });
+        });
+    }
+}
+
+/**
+ * LS-to-LS routing.  Same-chip transfers ride one EIB; cross-chip
+ * transfers ride the source chip's EIB to its IOIF, cross the blade at
+ * 7 GB/s, and ride the target chip's EIB from its IOIF — the paper's
+ * warning about SPEs allocated on different chips.
+ */
+void
+CellSystem::routeLocalStore(spe::LineRequest &&req)
+{
+    EffAddr rel = req.ea - lsEaBase;
+    auto target_idx = static_cast<unsigned>(rel / lsEaStride);
+    auto off = static_cast<LsAddr>(rel % lsEaStride);
+    if (target_idx >= spes_.size()) {
+        sim::fatal("DMA to LS aperture of SPE %u, which does not exist",
+                   target_idx);
+    }
+    if (target_idx == req.speIndex)
+        sim::fatal("DMA to the issuing SPE's own LS aperture");
+
+    spe::Spe *self = spes_[req.speIndex].get();
+    spe::Spe *peer = spes_[target_idx].get();
+    unsigned self_chip = chipOf(req.speIndex);
+    unsigned peer_chip = chipOf(target_idx);
+    eib::RampPos self_ramp = rampOf(req.speIndex);
+    eib::RampPos peer_ramp = rampOf(target_idx);
+    mem::IoLink *link = &memory_->ioLink();
+
+    // The transfer from the data-holding LS to the receiving LS:
+    // remote reader for GET, local reader for PUT.
+    spe::Spe *src_spe = (req.dir == spe::DmaDir::Get) ? peer : self;
+    spe::Spe *dst_spe = (req.dir == spe::DmaDir::Get) ? self : peer;
+    eib::Eib *src_eib = eibs_[(req.dir == spe::DmaDir::Get) ? peer_chip
+                                                            : self_chip]
+                            .get();
+    eib::Eib *dst_eib = eibs_[(req.dir == spe::DmaDir::Get) ? self_chip
+                                                            : peer_chip]
+                            .get();
+    eib::RampPos src_ramp =
+        (req.dir == spe::DmaDir::Get) ? peer_ramp : self_ramp;
+    eib::RampPos dst_ramp =
+        (req.dir == spe::DmaDir::Get) ? self_ramp : peer_ramp;
+    LsAddr src_lsa = (req.dir == spe::DmaDir::Get) ? off : req.lsa;
+    LsAddr dst_lsa = (req.dir == spe::DmaDir::Get) ? req.lsa : off;
+    bool crossing = (self_chip != peer_chip);
+
+    // Command latency to reach a remote MFC (GET only; PUT data
+    // originates locally).
+    Tick cmd = (req.dir == spe::DmaDir::Get)
+                   ? cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) +
+                         (crossing ? link->crossingLatency() : 0)
+                   : 0;
+
+    eq_->schedule(cmd, [this, req = std::move(req), src_spe, dst_spe,
+                        src_eib, dst_eib, src_ramp, dst_ramp, src_lsa,
+                        dst_lsa, crossing, link]() mutable {
+        Tick read_done = src_spe->ls().reservePort(req.bytes);
+        eq_->scheduleAt(read_done, [this, req = std::move(req), src_spe,
+                                    dst_spe, src_eib, dst_eib, src_ramp,
+                                    dst_ramp, src_lsa, dst_lsa, crossing,
+                                    link]() mutable {
+            auto land = [this, src_spe, dst_spe, src_lsa,
+                         dst_lsa](spe::LineRequest &&r) {
+                Tick done_at = dst_spe->ls().reservePort(r.bytes);
+                std::uint8_t buf[spe::lineBytes];
+                src_spe->ls().read(src_lsa, buf, r.bytes);
+                dst_spe->ls().write(dst_lsa, buf, r.bytes);
+                eq_->scheduleAt(done_at, std::move(r.done));
+            };
+            if (!crossing) {
+                src_eib->transfer(src_ramp, dst_ramp, req.bytes,
+                                  [req = std::move(req),
+                                   land = std::move(land)]() mutable {
+                    land(std::move(req));
+                });
+                return;
+            }
+            std::uint32_t bytes = req.bytes;
+            // The lane is named from chip 0's viewpoint: Inbound
+            // carries payloads toward chip 0.
+            unsigned dst_chip =
+                (req.dir == spe::DmaDir::Get)
+                    ? chipOf(req.speIndex)
+                    : chipOf(static_cast<unsigned>(
+                          (req.ea - lsEaBase) / lsEaStride));
+            auto lane = (dst_chip == 0) ? mem::IoLink::Dir::Inbound
+                                        : mem::IoLink::Dir::Outbound;
+            src_eib->transfer(src_ramp, eib::ioif0Ramp, bytes,
+                              [req = std::move(req), dst_eib, dst_ramp,
+                               link, lane,
+                               land = std::move(land)]() mutable {
+                std::uint32_t b = req.bytes;
+                link->send(lane, b,
+                          [req = std::move(req), dst_eib, dst_ramp,
+                           land = std::move(land)]() mutable {
+                    std::uint32_t b2 = req.bytes;
+                    dst_eib->transfer(eib::ioif0Ramp, dst_ramp, b2,
+                                      [req = std::move(req),
+                                       land =
+                                           std::move(land)]() mutable {
+                        land(std::move(req));
+                    });
+                });
+            });
+        });
+    });
+}
+
+} // namespace cellbw::cell

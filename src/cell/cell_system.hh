@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The assembled machine: one PPE, up to eight SPEs, the EIB, the MIC
+ * and IOIF, and two XDR banks — plus the DMA router that moves lines
+ * between them.
+ *
+ * A CellSystem is built per experiment run: construction draws the
+ * logical-to-physical SPE placement from the given seed (libspe 1.1
+ * gives the programmer no control over placement, so the paper runs
+ * everything 10 times over different mappings; our affinity policies
+ * beyond Random are the extension the paper asks libspe for).
+ *
+ * @code
+ *   cell::CellConfig cfg;
+ *   cell::CellSystem sys(cfg, seed);
+ *   EffAddr buf = sys.malloc(32 * MiB);
+ *   sys.launch(myProgram(sys, sys.spe(0), buf));
+ *   sys.run();
+ * @endcode
+ */
+
+#ifndef CELLBW_CELL_CELL_SYSTEM_HH
+#define CELLBW_CELL_CELL_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cell/config.hh"
+#include "eib/topology.hh"
+#include "sim/rng.hh"
+#include "sim/task.hh"
+#include "trace/recorder.hh"
+
+namespace cellbw::cell
+{
+
+/** Base effective address of the memory-mapped local stores (the MFC
+ *  uses the same constant to classify lines for its token windows). */
+constexpr EffAddr lsEaBase = spe::lsApertureBase;
+
+/** EA stride between consecutive SPEs' LS apertures. */
+constexpr EffAddr lsEaStride = 1ull << 24;
+
+class CellSystem
+{
+  public:
+    CellSystem(const CellConfig &cfg, std::uint64_t placementSeed);
+    ~CellSystem();
+
+    CellSystem(const CellSystem &) = delete;
+    CellSystem &operator=(const CellSystem &) = delete;
+
+    /** @name Component access. */
+    /** @{ */
+    sim::EventQueue &eventQueue() { return *eq_; }
+    const sim::ClockSpec &clock() const { return cfg_.clock; }
+    const CellConfig &config() const { return cfg_; }
+    unsigned numSpes() const { return cfg_.numSpes; }
+    unsigned numChips() const { return cfg_.numChips; }
+    spe::Spe &spe(unsigned logical);
+    ppe::Ppu &ppu() { return *ppu_; }
+    mem::MemorySystem &memory() { return *memory_; }
+    eib::Eib &eib(unsigned chip = 0);
+    /** @} */
+
+    /** Allocate main memory with the config's NUMA policy. */
+    EffAddr malloc(std::uint64_t bytes);
+    EffAddr malloc(std::uint64_t bytes, const mem::NumaPolicy &policy);
+
+    /**
+     * Effective address of @p lsa inside logical SPE @p logical's
+     * memory-mapped local store (for SPE-to-SPE DMA).
+     */
+    EffAddr lsEa(unsigned logical, LsAddr lsa = 0) const;
+
+    /** True iff @p ea falls in some SPE's LS aperture. */
+    bool isLsEa(EffAddr ea) const { return ea >= lsEaBase; }
+
+    /** Launch a coroutine program; it is kept alive until reset. */
+    void launch(sim::Task task);
+
+    /**
+     * Run the simulation until no events remain.  fatal()s if a
+     * launched program has not finished (deadlock); rethrows the first
+     * program exception.
+     */
+    void run();
+
+    /**
+     * Turn on event tracing: every MFC command and EIB packet from now
+     * on is recorded.  @return the recorder for CSV dumps / timelines.
+     */
+    trace::Recorder &enableTracing();
+
+    /** The recorder, or nullptr when tracing is off. */
+    trace::Recorder *recorder() { return recorder_.get(); }
+
+    Tick now() const { return eq_->now(); }
+
+    /** Seconds of simulated time elapsed since construction. */
+    double seconds() const { return cfg_.clock.seconds(now()); }
+
+    /** @name Placement introspection.  With two chips, physical SPE
+     *        slots 0-7 live on chip 0 and 8-15 on chip 1. */
+    /** @{ */
+    unsigned physicalOf(unsigned logical) const;
+    unsigned chipOf(unsigned logical) const;
+    unsigned rampOf(unsigned logical) const;
+    const std::vector<std::uint32_t> &placement() const
+    {
+        return placement_;
+    }
+    std::string placementString() const;
+    /** @} */
+
+  private:
+    void buildPlacement(std::uint64_t seed);
+    void routeLine(spe::LineRequest &&req);
+    void routeMemory(spe::LineRequest &&req);
+    void routeLocalStore(spe::LineRequest &&req);
+
+    CellConfig cfg_;
+    std::unique_ptr<sim::EventQueue> eq_;
+    std::unique_ptr<mem::MemorySystem> memory_;
+    std::vector<std::unique_ptr<eib::Eib>> eibs_;
+    std::unique_ptr<ppe::Ppu> ppu_;
+    std::vector<std::unique_ptr<spe::Spe>> spes_;
+    std::vector<std::uint32_t> placement_;   // logical -> physical SPE
+    std::vector<sim::Task> programs_;
+    std::unique_ptr<trace::Recorder> recorder_;
+};
+
+} // namespace cellbw::cell
+
+#endif // CELLBW_CELL_CELL_SYSTEM_HH

@@ -1,0 +1,165 @@
+#include "cell/config.hh"
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace cellbw::cell
+{
+
+namespace
+{
+
+double
+bytesPerTick(double gbps, double cpuHz)
+{
+    return gbps * 1e9 / cpuHz;
+}
+
+} // namespace
+
+CellConfig::CellConfig()
+{
+    // Paper machine: 2.1 GHz, XDR banks.  A bank sustains ~14 GB/s of
+    // its 16.8 GB/s ramp peak (refresh & co); its access latency is set
+    // so that one MFC's 16-line window sustains ~10 GB/s, the paper's
+    // single-SPE measurement.
+    memory.bank0.bytesPerTick = bytesPerTick(15.5, clock.cpuHz);
+    memory.bank1.bytesPerTick = bytesPerTick(15.5, clock.cpuHz);
+    memory.bank0.accessLatency = clock.fromNs(110.0);
+    memory.bank1.accessLatency = clock.fromNs(110.0);
+    memory.ioLink.bytesPerTick = bytesPerTick(7.0, clock.cpuHz);
+    memory.ioLink.crossingLatency = clock.fromNs(40.0);
+}
+
+double
+CellConfig::rampPeakGBps() const
+{
+    double bus_hz = clock.cpuHz / clock.busPeriodTicks;
+    return eib.bytesPerBusCycle * bus_hz / 1e9;
+}
+
+double
+CellConfig::lsPeakGBps() const
+{
+    return spe.ls.bytesPerCycle * clock.cpuHz / 1e9;
+}
+
+double
+CellConfig::pairPeakGBps() const
+{
+    return 2.0 * rampPeakGBps();
+}
+
+AffinityPolicy
+affinityFromString(const std::string &s)
+{
+    std::string v = util::toLower(s);
+    if (v == "random")
+        return AffinityPolicy::Random;
+    if (v == "linear")
+        return AffinityPolicy::Linear;
+    if (v == "paired")
+        return AffinityPolicy::Paired;
+    sim::fatal("unknown affinity policy '%s' "
+               "(expected random|linear|paired)", s.c_str());
+}
+
+const char *
+toString(AffinityPolicy a)
+{
+    switch (a) {
+      case AffinityPolicy::Random:
+        return "random";
+      case AffinityPolicy::Linear:
+        return "linear";
+      case AffinityPolicy::Paired:
+        return "paired";
+    }
+    return "?";
+}
+
+void
+CellConfig::registerOptions(util::Options &opts)
+{
+    opts.addDouble("cpu-ghz", 2.1, "CPU clock in GHz");
+    opts.addUint("chips", 1, "Cell chips with active SPEs (1 or 2)");
+    opts.addUint("spes", 8, "number of SPEs");
+    opts.addUint("rings", 4, "EIB data rings");
+    opts.addUint("eib-cmd-latency", 20, "EIB command phase, bus cycles");
+    opts.addUint("mfc-queue-depth", 16, "MFC command queue entries");
+    opts.addUint("mfc-mem-tokens", 18,
+                 "MFC outstanding 128B lines to main memory");
+    opts.addUint("mfc-ls-lines", 64,
+                 "MFC outstanding 128B lines to LS apertures");
+    opts.addUint("dma-elem-overhead", 24,
+                 "MFC issue occupancy per DMA command, bus cycles");
+    opts.addUint("dma-list-elem-overhead", 2,
+                 "extra issue occupancy per DMA-list element, bus cycles");
+    opts.addDouble("bank0-gbps", 15.5, "local XDR bank sustained GB/s");
+    opts.addDouble("bank1-gbps", 15.5, "remote XDR bank sustained GB/s");
+    opts.addDouble("io-gbps", 7.0, "IOIF link GB/s per direction");
+    opts.addDouble("mem-latency-ns", 110.0, "bank access latency, ns");
+    opts.addDouble("bank0-share", 0.65,
+                   "fraction of interleaved pages on the local bank");
+    opts.addString("numa", "interleave",
+                   "page placement: interleave|local|remote");
+    opts.addBool("flow-pinning", true,
+                 "pin each flow to one EIB ring (vs per-packet choice)");
+    opts.addString("affinity", "random",
+                   "SPE placement policy: random|linear|paired");
+}
+
+CellConfig
+CellConfig::fromOptions(const util::Options &opts)
+{
+    CellConfig cfg;
+    cfg.clock.cpuHz = opts.getDouble("cpu-ghz") * 1e9;
+    cfg.numChips = static_cast<unsigned>(opts.getUint("chips"));
+    if (cfg.numChips < 1 || cfg.numChips > 2)
+        sim::fatal("--chips must be 1 or 2");
+    cfg.numSpes = static_cast<unsigned>(opts.getUint("spes"));
+    if (cfg.numSpes == 0 ||
+        cfg.numSpes > cfg.numChips * eib::numPhysicalSpes) {
+        sim::fatal("--spes must be 1..%u with %u chip(s)",
+                   cfg.numChips * eib::numPhysicalSpes, cfg.numChips);
+    }
+    cfg.eib.numRings = static_cast<unsigned>(opts.getUint("rings"));
+    cfg.eib.cmdLatencyBus = opts.getUint("eib-cmd-latency");
+    cfg.spe.mfc.queueDepth =
+        static_cast<unsigned>(opts.getUint("mfc-queue-depth"));
+    cfg.spe.mfc.memoryTokens =
+        static_cast<unsigned>(opts.getUint("mfc-mem-tokens"));
+    cfg.spe.mfc.lsLines =
+        static_cast<unsigned>(opts.getUint("mfc-ls-lines"));
+    cfg.spe.mfc.elemOverheadBus = opts.getUint("dma-elem-overhead");
+    cfg.spe.mfc.listElemOverheadBus =
+        opts.getUint("dma-list-elem-overhead");
+
+    cfg.memory.bank0.bytesPerTick =
+        bytesPerTick(opts.getDouble("bank0-gbps"), cfg.clock.cpuHz);
+    cfg.memory.bank1.bytesPerTick =
+        bytesPerTick(opts.getDouble("bank1-gbps"), cfg.clock.cpuHz);
+    cfg.memory.ioLink.bytesPerTick =
+        bytesPerTick(opts.getDouble("io-gbps"), cfg.clock.cpuHz);
+    cfg.memory.bank0.accessLatency =
+        cfg.clock.fromNs(opts.getDouble("mem-latency-ns"));
+    cfg.memory.bank1.accessLatency = cfg.memory.bank0.accessLatency;
+
+    const std::string &numa = opts.getString("numa");
+    if (numa == "interleave") {
+        cfg.numa = mem::NumaPolicy::interleave(
+            opts.getDouble("bank0-share"));
+    } else if (numa == "local") {
+        cfg.numa = mem::NumaPolicy::local();
+    } else if (numa == "remote") {
+        cfg.numa = mem::NumaPolicy::remote();
+    } else {
+        sim::fatal("unknown numa policy '%s'", numa.c_str());
+    }
+
+    cfg.eib.flowPinning = opts.getBool("flow-pinning");
+    cfg.affinity = affinityFromString(opts.getString("affinity"));
+    return cfg;
+}
+
+} // namespace cellbw::cell

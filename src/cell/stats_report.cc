@@ -1,0 +1,100 @@
+#include "cell/stats_report.hh"
+
+#include "stats/table.hh"
+#include "util/strings.hh"
+
+namespace cellbw::cell
+{
+
+std::string
+statsReport(CellSystem &sys)
+{
+    std::string out;
+    double secs = sys.seconds();
+    out += util::format("=== machine report @ %.3f us simulated ===\n",
+                        secs * 1e6);
+
+    // Per-SPE MFC activity.
+    {
+        stats::Table t({"spe", "phys", "ramp", "cmds", "lines", "bytes",
+                        "DMA GB/s", "LS bytes"});
+        for (unsigned i = 0; i < sys.numSpes(); ++i) {
+            auto &s = sys.spe(i);
+            double gbps = secs > 0.0
+                              ? s.mfc().bytesTransferred() / secs / 1e9
+                              : 0.0;
+            t.addRow({util::format("spe%u", i),
+                      std::to_string(s.physicalSpe()),
+                      eib::rampName(s.rampPos()),
+                      std::to_string(s.mfc().commandsCompleted()),
+                      std::to_string(s.mfc().linesSent()),
+                      util::bytesToString(s.mfc().bytesTransferred()),
+                      stats::Table::num(gbps),
+                      util::bytesToString(s.ls().bytesAccessed())});
+        }
+        out += t.render();
+    }
+
+    // EIB rings, per chip.
+    for (unsigned c = 0; c < sys.numChips(); ++c) {
+        auto &eib = sys.eib(c);
+        stats::Table t({"chip", "ring", "dir", "grants", "busy%"});
+        for (unsigned r = 0; r < eib.numRings(); ++r) {
+            const auto &ring = eib.ring(r);
+            double busy = sys.now()
+                              ? 100.0 * ring.busyTicks() / sys.now()
+                              : 0.0;
+            t.addRow({std::to_string(c), std::to_string(r),
+                      ring.direction() == eib::RingDir::Clockwise
+                          ? "cw" : "ccw",
+                      std::to_string(ring.grants()),
+                      stats::Table::num(busy, 1)});
+        }
+        out += "\n";
+        out += t.render();
+        out += util::format("eib%u: %llu packets, %s moved, "
+                            "%llu contention ticks\n", c,
+                            (unsigned long long)eib.packets(),
+                            util::bytesToString(eib.bytesMoved()).c_str(),
+                            (unsigned long long)eib.contentionTicks());
+    }
+
+    // Memory system.
+    {
+        auto &m = sys.memory();
+        stats::Table t({"component", "bytes", "GB/s", "refresh stalls"});
+        for (unsigned b = 0; b < 2; ++b) {
+            double gbps = secs > 0.0
+                              ? m.bank(b).bytesServiced() / secs / 1e9
+                              : 0.0;
+            t.addRow({util::format("bank%u", b),
+                      util::bytesToString(m.bank(b).bytesServiced()),
+                      stats::Table::num(gbps),
+                      std::to_string(m.bank(b).refreshStalls())});
+        }
+        std::uint64_t io =
+            m.ioLink().bytesSent(mem::IoLink::Dir::Outbound) +
+            m.ioLink().bytesSent(mem::IoLink::Dir::Inbound);
+        t.addRow({"ioif (both dirs)", util::bytesToString(io),
+                  stats::Table::num(secs > 0.0 ? io / secs / 1e9 : 0.0),
+                  "-"});
+        out += "\n";
+        out += t.render();
+    }
+
+    // PPE caches.
+    {
+        auto &p = sys.ppu();
+        out += util::format(
+            "\nppe: L1 %llu hits / %llu misses, L2 %llu hits / %llu "
+            "misses, %llu evictions\n",
+            (unsigned long long)p.l1().hits(),
+            (unsigned long long)p.l1().misses(),
+            (unsigned long long)p.l2().hits(),
+            (unsigned long long)p.l2().misses(),
+            (unsigned long long)p.l2().evictions());
+    }
+    return out;
+}
+
+} // namespace cellbw::cell

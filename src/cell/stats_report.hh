@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A machine-wide counter report: what every component did during a run.
+ *
+ * The paper's authors read their numbers off hand-instrumented codes;
+ * the simulator can simply show its books.  statsReport() renders the
+ * per-SPE MFC activity, the EIB ring utilization, and the memory-system
+ * counters as one table block — handy at the end of an example or with
+ * a bench's --stats flag.
+ */
+
+#ifndef CELLBW_CELL_STATS_REPORT_HH
+#define CELLBW_CELL_STATS_REPORT_HH
+
+#include <string>
+
+#include "cell/cell_system.hh"
+
+namespace cellbw::cell
+{
+
+/** Render all component counters of @p sys at the current tick. */
+std::string statsReport(CellSystem &sys);
+
+} // namespace cellbw::cell
+
+#endif // CELLBW_CELL_STATS_REPORT_HH

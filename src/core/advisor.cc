@@ -1,0 +1,93 @@
+#include "core/advisor.hh"
+
+#include "util/strings.hh"
+
+namespace cellbw::core
+{
+
+std::vector<Advice>
+advise(const DmaPlan &plan)
+{
+    std::vector<Advice> out;
+    auto hint = [&](const char *rule, std::string msg) {
+        out.push_back({Advice::Severity::Hint, rule, std::move(msg)});
+    };
+    auto warning = [&](const char *rule, std::string msg) {
+        out.push_back({Advice::Severity::Warning, rule, std::move(msg)});
+    };
+
+    if (plan.elemBytes < 128) {
+        warning("tiny-dma-elements",
+                util::format("DMA elements of %u bytes suffer severe "
+                             "degradation; use at least 128 bytes",
+                             plan.elemBytes));
+    }
+    if (plan.elemBytes < 1024 && !plan.useList) {
+        warning("dma-list-small-elems",
+                util::format("DMA-elem transfers lose bandwidth below "
+                             "1024 bytes (%u requested); DMA lists keep "
+                             "peak bandwidth at any element size",
+                             plan.elemBytes));
+    }
+    if (plan.syncEvery == 1) {
+        warning("delayed-sync",
+                "waiting after every DMA request drains the MFC queue; "
+                "delay tag synchronization as long as possible");
+    } else if (plan.syncEvery > 1 && plan.syncEvery < 8) {
+        hint("delayed-sync",
+             util::format("synchronizing every %u requests still leaves "
+                          "bandwidth on the table for 1-8 KB elements; "
+                          "saturate the 16-entry MFC queue first",
+                          plan.syncEvery));
+    }
+    if (!plan.speToSpe && plan.spesPerStream == 1 && plan.streams == 1) {
+        hint("parallel-memory-access",
+             "a single SPE sustains only ~60% of one bank's bandwidth "
+             "to main memory; two SPEs reading in parallel nearly "
+             "double it");
+    }
+    if (!plan.speToSpe && plan.spesPerStream >= 8) {
+        warning("two-streams-beat-one",
+                "8 SPEs on one memory stream saturate the EIB rings; "
+                "two independent streams of 4 SPEs each can be more "
+                "efficient");
+    }
+    if (plan.speToSpe && plan.spesPerStream * plan.streams > 4) {
+        hint("eib-saturation",
+             "more than 4 concurrent SPE-to-SPE transfers exceed the "
+             "4 EIB rings; schedule communications to avoid path "
+             "conflicts (physical placement is not controllable "
+             "through libspe 1.1)");
+    }
+    if (plan.ppeElemBytes != 0 && plan.ppeElemBytes < 8) {
+        warning("ppe-pack-elements",
+                util::format("PPE bandwidth scales with element size "
+                             "(%u bytes requested); pack data into 8-16 "
+                             "byte (VMX) accesses", plan.ppeElemBytes));
+    }
+    if (plan.ppeBulkTransfers) {
+        warning("ppe-bulk-transfers",
+                "PPE load/store bandwidth to main memory is under "
+                "6 GB/s; use SPE DMA (up to ~20 GB/s aggregate) for "
+                "bulk data movement");
+    }
+    return out;
+}
+
+std::string
+renderAdvice(const std::vector<Advice> &advice)
+{
+    if (advice.empty())
+        return "  (no rule violations: the plan follows the paper's "
+               "guidelines)\n";
+    std::string out;
+    for (const auto &a : advice) {
+        out += util::format(
+            "  [%s] %s: %s\n",
+            a.severity == Advice::Severity::Warning ? "warn" : "hint",
+            a.rule.c_str(), a.message.c_str());
+    }
+    return out;
+}
+
+} // namespace cellbw::core

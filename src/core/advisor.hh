@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's programming rules as an executable checklist.
+ *
+ * Section 5 distils the measurements into "strict programming rules".
+ * Advisor::advise() inspects a planned communication pattern and
+ * returns the rules it violates, so runtimes (the paper names CellSs)
+ * or users can sanity-check a design before committing to it.
+ */
+
+#ifndef CELLBW_CORE_ADVISOR_HH
+#define CELLBW_CORE_ADVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellbw::core
+{
+
+/** A planned bulk-communication pattern. */
+struct DmaPlan
+{
+    /** DMA element size in bytes. */
+    std::uint32_t elemBytes = 16 * 1024;
+
+    /** Whether DMA lists are used. */
+    bool useList = false;
+
+    /** Commands between tag waits; 0 = single wait at the end. */
+    unsigned syncEvery = 0;
+
+    /** SPEs reading/writing main memory concurrently per stream. */
+    unsigned spesPerStream = 1;
+
+    /** Number of independent data streams. */
+    unsigned streams = 1;
+
+    /** True if the pattern is SPE-to-SPE (vs SPE-to-memory). */
+    bool speToSpe = false;
+
+    /** PPE-side element size for any PPE load/store loops (0 = none). */
+    unsigned ppeElemBytes = 0;
+
+    /** True if the PPE is used to move bulk data to/from memory. */
+    bool ppeBulkTransfers = false;
+};
+
+struct Advice
+{
+    enum class Severity { Hint, Warning };
+
+    Severity severity;
+    std::string rule;       ///< short rule id, e.g. "dma-list-small-elems"
+    std::string message;    ///< human-readable explanation
+};
+
+/** Evaluate @p plan against the paper's rules. */
+std::vector<Advice> advise(const DmaPlan &plan);
+
+/** Render advice as a printable block. */
+std::string renderAdvice(const std::vector<Advice> &advice);
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_ADVISOR_HH

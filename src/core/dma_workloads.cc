@@ -1,0 +1,261 @@
+#include "core/dma_workloads.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cellbw::core
+{
+
+namespace
+{
+
+/** Tag mask covering @p count tags starting at @p first. */
+std::uint32_t
+maskOf(unsigned first, unsigned count)
+{
+    std::uint32_t m = 0;
+    for (unsigned i = 0; i < count; ++i)
+        m |= 1u << (first + i);
+    return m;
+}
+
+} // namespace
+
+sim::Task
+dmaStream(cell::CellSystem &sys, StreamSpec spec)
+{
+    auto &mfc = sys.spe(spec.speIndex).mfc();
+    const std::uint32_t elem = spec.elemBytes;
+    if (elem == 0 || spec.totalBytes % elem != 0)
+        sim::fatal("dmaStream: totalBytes must be a multiple of elemBytes");
+    const std::uint64_t window =
+        spec.eaWindow ? spec.eaWindow : spec.totalBytes;
+
+    unsigned since_sync = 0;
+
+    if (!spec.useList) {
+        unsigned slots = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(mfc.queueDepth() + 1,
+                                       spec.lsBytes / elem));
+        const std::uint32_t mask = 1u << spec.tag;
+        const std::uint64_t n = spec.totalBytes / elem;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            co_await mfc.queueSpace();
+            LsAddr lsa = spec.lsBase +
+                         static_cast<LsAddr>((i % slots) * elem);
+            EffAddr ea = spec.base + (i * elem) % window;
+            if (spec.dir == spe::DmaDir::Get)
+                mfc.get(lsa, ea, elem, spec.tag);
+            else
+                mfc.put(lsa, ea, elem, spec.tag);
+            if (spec.sync.every && ++since_sync >= spec.sync.every) {
+                co_await mfc.tagWait(mask);
+                since_sync = 0;
+            }
+        }
+        co_await mfc.tagWait(mask);
+        co_return;
+    }
+
+    // DMA-list mode: each command scatters/gathers a fixed byte count
+    // as a list of elemBytes-sized elements.
+    const std::uint32_t per_list = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(spe::maxListElements,
+                                   listCommandBytes / elem));
+    const std::uint32_t list_bytes = per_list * elem;
+    const unsigned slots =
+        std::max<std::uint32_t>(1, spec.lsBytes / list_bytes);
+    const std::uint32_t mask = maskOf(spec.tag, slots);
+
+    std::uint64_t issued = 0;
+    std::uint64_t cmd = 0;
+    while (issued < spec.totalBytes) {
+        std::uint32_t this_cmd = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(list_bytes,
+                                    spec.totalBytes - issued));
+        std::vector<spe::ListElement> list;
+        list.reserve(per_list);
+        for (std::uint32_t off = 0; off < this_cmd; off += elem) {
+            EffAddr ea = spec.base + (issued + off) % window;
+            list.push_back({ea, elem});
+        }
+        co_await mfc.queueSpace();
+        LsAddr lsa = spec.lsBase +
+                     static_cast<LsAddr>((cmd % slots) * list_bytes);
+        unsigned tag = spec.tag + static_cast<unsigned>(cmd % slots);
+        if (spec.dir == spe::DmaDir::Get)
+            mfc.getList(lsa, std::move(list), tag);
+        else
+            mfc.putList(lsa, std::move(list), tag);
+        if (spec.sync.every && ++since_sync >= spec.sync.every) {
+            co_await mfc.tagWait(mask);
+            since_sync = 0;
+        }
+        issued += this_cmd;
+        ++cmd;
+    }
+    co_await mfc.tagWait(mask);
+}
+
+sim::Task
+dmaDuplexStream(cell::CellSystem &sys, DuplexSpec spec)
+{
+    auto &mfc = sys.spe(spec.speIndex).mfc();
+    const std::uint32_t elem = spec.elemBytes;
+    if (elem == 0 || spec.bytesPerDir % elem != 0)
+        sim::fatal("dmaDuplexStream: bytesPerDir must be a multiple of "
+                   "elemBytes");
+    const std::uint64_t window =
+        spec.eaWindow ? spec.eaWindow : spec.bytesPerDir;
+    constexpr unsigned get_tag = 0;
+    constexpr unsigned put_tag = 4;
+
+    unsigned since_sync = 0;
+    std::uint32_t all_mask = 0;
+
+    if (!spec.useList) {
+        unsigned slots = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(mfc.queueDepth() + 1,
+                                       spec.lsBytes / elem));
+        all_mask = (1u << get_tag) | (1u << put_tag);
+        const std::uint64_t n = spec.bytesPerDir / elem;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            LsAddr slot = static_cast<LsAddr>((i % slots) * elem);
+            EffAddr off = (i * elem) % window;
+
+            co_await mfc.queueSpace();
+            mfc.get(spec.getLsBase + slot, spec.getBase + off, elem,
+                    get_tag);
+            if (spec.syncEvery && ++since_sync >= spec.syncEvery) {
+                co_await mfc.tagWait(all_mask);
+                since_sync = 0;
+            }
+            co_await mfc.queueSpace();
+            mfc.put(spec.putLsBase + slot, spec.putBase + off, elem,
+                    put_tag);
+            if (spec.syncEvery && ++since_sync >= spec.syncEvery) {
+                co_await mfc.tagWait(all_mask);
+                since_sync = 0;
+            }
+        }
+        co_await mfc.tagWait(all_mask);
+        co_return;
+    }
+
+    // DMA-list mode: alternate getList / putList commands.
+    const std::uint32_t per_list = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(spe::maxListElements,
+                                   listCommandBytes / elem));
+    const std::uint32_t list_bytes = per_list * elem;
+    const unsigned slots =
+        std::max<std::uint32_t>(1, spec.lsBytes / list_bytes);
+    for (unsigned s = 0; s < slots; ++s)
+        all_mask |= (1u << (get_tag + s)) | (1u << (put_tag + s));
+
+    std::uint64_t issued = 0;
+    std::uint64_t cmd = 0;
+    while (issued < spec.bytesPerDir) {
+        std::uint32_t this_cmd = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(list_bytes,
+                                    spec.bytesPerDir - issued));
+        LsAddr slot = static_cast<LsAddr>((cmd % slots) * list_bytes);
+        auto tag_off = static_cast<unsigned>(cmd % slots);
+
+        auto make_list = [&](EffAddr base) {
+            std::vector<spe::ListElement> list;
+            list.reserve(per_list);
+            for (std::uint32_t o = 0; o < this_cmd; o += elem)
+                list.push_back({base + (issued + o) % window, elem});
+            return list;
+        };
+
+        co_await mfc.queueSpace();
+        mfc.getList(spec.getLsBase + slot, make_list(spec.getBase),
+                    get_tag + tag_off);
+        if (spec.syncEvery && ++since_sync >= spec.syncEvery) {
+            co_await mfc.tagWait(all_mask);
+            since_sync = 0;
+        }
+        co_await mfc.queueSpace();
+        mfc.putList(spec.putLsBase + slot, make_list(spec.putBase),
+                    put_tag + tag_off);
+        if (spec.syncEvery && ++since_sync >= spec.syncEvery) {
+            co_await mfc.tagWait(all_mask);
+            since_sync = 0;
+        }
+        issued += this_cmd;
+        ++cmd;
+    }
+    co_await mfc.tagWait(all_mask);
+}
+
+namespace
+{
+
+/**
+ * One software-pipeline stage of the memory copy: GETs a chunk into its
+ * LS slot, waits, PUTs it out, waits, then moves to its next chunk.
+ */
+sim::Task
+copySlot(cell::CellSystem &sys, unsigned speIndex, EffAddr src, EffAddr dst,
+         std::uint64_t nChunks, std::uint32_t chunkBytes,
+         std::uint32_t elemBytes, bool useList, LsAddr lsa, unsigned slot,
+         unsigned slots)
+{
+    auto &mfc = sys.spe(speIndex).mfc();
+    const std::uint32_t mask = 1u << slot;
+    for (std::uint64_t c = slot; c < nChunks; c += slots) {
+        EffAddr off = c * chunkBytes;
+        if (useList) {
+            std::vector<spe::ListElement> list;
+            for (std::uint32_t o = 0; o < chunkBytes; o += elemBytes)
+                list.push_back({src + off + o, elemBytes});
+            co_await mfc.queueSpace();
+            mfc.getList(lsa, std::move(list), slot);
+            co_await mfc.tagWait(mask);
+            std::vector<spe::ListElement> out;
+            for (std::uint32_t o = 0; o < chunkBytes; o += elemBytes)
+                out.push_back({dst + off + o, elemBytes});
+            co_await mfc.queueSpace();
+            mfc.putList(lsa, std::move(out), slot);
+            co_await mfc.tagWait(mask);
+        } else {
+            co_await mfc.queueSpace();
+            mfc.get(lsa, src + off, chunkBytes, slot);
+            co_await mfc.tagWait(mask);
+            co_await mfc.queueSpace();
+            mfc.put(lsa, dst + off, chunkBytes, slot);
+            co_await mfc.tagWait(mask);
+        }
+    }
+}
+
+} // namespace
+
+sim::Task
+dmaCopyStream(cell::CellSystem &sys, unsigned speIndex, EffAddr src,
+              EffAddr dst, std::uint64_t totalBytes,
+              std::uint32_t elemBytes, bool useList, LsAddr lsBase,
+              unsigned slots)
+{
+    const std::uint32_t chunk =
+        useList ? std::min<std::uint64_t>(listCommandBytes, totalBytes)
+                : elemBytes;
+    if (totalBytes % chunk != 0)
+        sim::fatal("dmaCopyStream: totalBytes must be chunk-aligned");
+    const std::uint64_t n_chunks = totalBytes / chunk;
+
+    std::vector<sim::Task> stages;
+    for (unsigned s = 0; s < slots; ++s) {
+        LsAddr lsa = lsBase + s * chunk;
+        stages.push_back(copySlot(sys, speIndex, src, dst, n_chunks, chunk,
+                                  elemBytes, useList, lsa, s, slots));
+        stages.back().start();
+    }
+    for (auto &st : stages)
+        co_await st;
+}
+
+} // namespace cellbw::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SPU programs used by the bandwidth experiments.
+ *
+ * These are the simulator equivalents of the paper's hand-optimized C
+ * microbenchmark kernels: streams of DMA-elem or DMA-list commands with
+ * configurable synchronization delay, the manually unrolled "postpone
+ * waiting for DMA transfers until the end" style the authors found
+ * imperative for performance.
+ */
+
+#ifndef CELLBW_CORE_DMA_WORKLOADS_HH
+#define CELLBW_CORE_DMA_WORKLOADS_HH
+
+#include "cell/cell_system.hh"
+#include "sim/task.hh"
+#include "spe/dma_types.hh"
+
+namespace cellbw::core
+{
+
+/** How a stream synchronizes with its DMA tags. */
+struct SyncPolicy
+{
+    /**
+     * Wait for the stream's tag after every @c every commands;
+     * 0 means only once, after the last command (maximum delay, the
+     * paper's recommendation).
+     */
+    unsigned every = 0;
+};
+
+/** Common description of one DMA stream run by one SPE. */
+struct StreamSpec
+{
+    unsigned speIndex;          ///< logical SPE running the stream
+    spe::DmaDir dir;            ///< Get or Put
+    EffAddr base;               ///< EA the stream reads/writes
+    std::uint64_t totalBytes;   ///< bytes to move
+    std::uint32_t elemBytes;    ///< DMA element size
+    bool useList = false;       ///< DMA-list instead of DMA-elem
+    unsigned tag = 0;           ///< MFC tag group for this stream
+    LsAddr lsBase = 0;          ///< local slot region base
+    std::uint32_t lsBytes = 64 * 1024;  ///< local slot region size
+    SyncPolicy sync;
+    /** Stride the EA cyclically inside [base, base+eaWindow) instead of
+     *  linearly; 0 = linear over totalBytes. */
+    std::uint64_t eaWindow = 0;
+};
+
+/**
+ * Stream of DMA commands from/to an effective-address range (main
+ * memory or a peer's memory-mapped local store).
+ */
+sim::Task dmaStream(cell::CellSystem &sys, StreamSpec spec);
+
+/**
+ * The paper's SPE-to-SPE kernel: one SPE issuing GETs and PUTs
+ * *alternately* against a peer ("we perform both read and write at the
+ * same time"), so neither direction monopolizes the shared 16-entry
+ * command queue.  GETs use tag group 0 (0-1 in list mode), PUTs tag
+ * group 4 (4-5); syncEvery counts individual commands.
+ */
+struct DuplexSpec
+{
+    unsigned speIndex;
+    EffAddr getBase;            ///< EA region GETs read
+    EffAddr putBase;            ///< EA region PUTs write
+    std::uint64_t bytesPerDir;  ///< bytes moved in each direction
+    std::uint32_t elemBytes;
+    bool useList = false;
+    unsigned syncEvery = 0;
+    LsAddr getLsBase = 0;       ///< landing slots for GET data
+    LsAddr putLsBase = 0;       ///< source slots PUTs read
+    std::uint32_t lsBytes = 64 * 1024;  ///< size of each slot region
+    std::uint64_t eaWindow = 0; ///< cyclic EA window (0 = linear)
+};
+
+sim::Task dmaDuplexStream(cell::CellSystem &sys, DuplexSpec spec);
+
+/**
+ * The paper's memory copy: GET chunks into the LS, then PUT them back
+ * to a different memory region, software-pipelined over @p slots LS
+ * buffers.  Data really moves (src contents end up at dst).
+ */
+sim::Task dmaCopyStream(cell::CellSystem &sys, unsigned speIndex,
+                        EffAddr src, EffAddr dst, std::uint64_t totalBytes,
+                        std::uint32_t elemBytes, bool useList,
+                        LsAddr lsBase, unsigned slots = 4);
+
+/** Bytes one DMA-list command covers in list-mode streams (two such
+ *  commands double-buffer inside the default 64 KB slot region). */
+constexpr std::uint32_t listCommandBytes = 32 * 1024;
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_DMA_WORKLOADS_HH

@@ -1,0 +1,274 @@
+#include "core/experiments.hh"
+
+#include <vector>
+
+#include "core/dma_workloads.hh"
+#include "sim/logging.hh"
+
+namespace cellbw::core
+{
+
+const char *
+toString(DmaOp op)
+{
+    switch (op) {
+      case DmaOp::Get:
+        return "GET";
+      case DmaOp::Put:
+        return "PUT";
+      case DmaOp::Copy:
+        return "GET+PUT";
+    }
+    return "?";
+}
+
+const char *
+toString(ppe::MemOp op)
+{
+    switch (op) {
+      case ppe::MemOp::Load:
+        return "load";
+      case ppe::MemOp::Store:
+        return "store";
+      case ppe::MemOp::Copy:
+        return "copy";
+    }
+    return "?";
+}
+
+/* ------------------------------------------------------------------ */
+/*  PPE experiments                                                     */
+/* ------------------------------------------------------------------ */
+
+PpeStreamConfig
+ppeL1Config(unsigned threads, unsigned elem, ppe::MemOp op)
+{
+    PpeStreamConfig cfg;
+    cfg.threads = threads;
+    cfg.elemSize = elem;
+    cfg.op = op;
+    // Two threads and (for copy) two buffers must all fit the 32 KB L1.
+    cfg.bufferBytes = (op == ppe::MemOp::Copy) ? 6 * util::KiB
+                                               : 12 * util::KiB;
+    cfg.totalBytes = 4 * util::MiB;
+    return cfg;
+}
+
+PpeStreamConfig
+ppeL2Config(unsigned threads, unsigned elem, ppe::MemOp op)
+{
+    PpeStreamConfig cfg;
+    cfg.threads = threads;
+    cfg.elemSize = elem;
+    cfg.op = op;
+    cfg.bufferBytes = (op == ppe::MemOp::Copy) ? 80 * util::KiB
+                                               : 160 * util::KiB;
+    cfg.totalBytes = 4 * util::MiB;
+    return cfg;
+}
+
+PpeStreamConfig
+ppeMemConfig(unsigned threads, unsigned elem, ppe::MemOp op)
+{
+    PpeStreamConfig cfg;
+    cfg.threads = threads;
+    cfg.elemSize = elem;
+    cfg.op = op;
+    cfg.bufferBytes = 8 * util::MiB;
+    cfg.totalBytes = 8 * util::MiB;
+    return cfg;
+}
+
+namespace
+{
+
+sim::Task
+ppeDriver(ppe::Ppu &ppu, unsigned tid, EffAddr src, EffAddr dst,
+          std::uint64_t bytes, unsigned elem, ppe::MemOp op,
+          std::uint64_t reps, std::uint64_t *counted)
+{
+    for (std::uint64_t r = 0; r < reps; ++r)
+        co_await ppu.streamAccess(tid, src, dst, bytes, elem, op, counted);
+}
+
+} // namespace
+
+double
+runPpeStream(cell::CellSystem &sys, const PpeStreamConfig &cfg)
+{
+    if (cfg.threads < 1 || cfg.threads > ppe::Ppu::numThreads)
+        sim::fatal("PPE experiment needs 1 or 2 threads");
+
+    auto &ppu = sys.ppu();
+    std::uint64_t reps =
+        std::max<std::uint64_t>(1, cfg.totalBytes / cfg.bufferBytes);
+    std::uint64_t counted = 0;
+
+    Tick t0 = sys.now();
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+        EffAddr src = sys.malloc(cfg.bufferBytes);
+        EffAddr dst = src;
+        if (cfg.op == ppe::MemOp::Copy)
+            dst = sys.malloc(cfg.bufferBytes);
+        // Warm-up lap, as the paper always performs.
+        ppu.warm(src, cfg.bufferBytes);
+        if (dst != src)
+            ppu.warm(dst, cfg.bufferBytes);
+        sys.launch(ppeDriver(ppu, tid, src, dst, cfg.bufferBytes,
+                             cfg.elemSize, cfg.op, reps, &counted));
+    }
+    sys.run();
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
+/* ------------------------------------------------------------------ */
+/*  SPU <-> LS                                                          */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+sim::Task
+spuLsDriver(spe::Spu &spu, LsAddr src, LsAddr dst, std::uint32_t bytes,
+            unsigned elem, ppe::MemOp op, std::uint64_t reps)
+{
+    for (std::uint64_t r = 0; r < reps; ++r) {
+        switch (op) {
+          case ppe::MemOp::Load:
+            co_await spu.streamLoad(src, bytes, elem);
+            break;
+          case ppe::MemOp::Store:
+            co_await spu.streamStore(src, bytes, elem);
+            break;
+          case ppe::MemOp::Copy:
+            co_await spu.streamCopy(src, dst, bytes, elem);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+double
+runSpuLs(cell::CellSystem &sys, const SpuLsConfig &cfg)
+{
+    auto &s = sys.spe(0);
+    const std::uint32_t buf = 96 * util::KiB;
+    LsAddr src = s.lsAlloc(buf);
+    LsAddr dst = (cfg.op == ppe::MemOp::Copy) ? s.lsAlloc(buf) : src;
+    std::uint64_t reps = std::max<std::uint64_t>(1, cfg.totalBytes / buf);
+
+    Tick t0 = sys.now();
+    sys.launch(spuLsDriver(s.spu(), src, dst, buf, cfg.elemSize, cfg.op,
+                           reps));
+    sys.run();
+    std::uint64_t counted = reps * buf;
+    if (cfg.op == ppe::MemOp::Copy)
+        counted *= 2;
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
+/* ------------------------------------------------------------------ */
+/*  SPE <-> main memory                                                 */
+/* ------------------------------------------------------------------ */
+
+double
+runSpeMem(cell::CellSystem &sys, const SpeMemConfig &cfg)
+{
+    if (cfg.numSpes == 0 || cfg.numSpes > sys.numSpes())
+        sim::fatal("SPE-to-memory experiment: bad SPE count %u",
+                   cfg.numSpes);
+
+    Tick t0 = sys.now();
+    for (unsigned i = 0; i < cfg.numSpes; ++i) {
+        auto &s = sys.spe(i);
+        EffAddr src = sys.malloc(cfg.bytesPerSpe);
+        if (cfg.op == DmaOp::Copy) {
+            EffAddr dst = sys.malloc(cfg.bytesPerSpe);
+            LsAddr ls = s.lsAlloc(128 * util::KiB);
+            sys.launch(dmaCopyStream(sys, i, src, dst, cfg.bytesPerSpe,
+                                     cfg.elemBytes, cfg.useList, ls, 4));
+        } else {
+            StreamSpec spec;
+            spec.speIndex = i;
+            spec.dir = (cfg.op == DmaOp::Get) ? spe::DmaDir::Get
+                                              : spe::DmaDir::Put;
+            spec.base = src;
+            spec.totalBytes = cfg.bytesPerSpe;
+            spec.elemBytes = cfg.elemBytes;
+            spec.useList = cfg.useList;
+            spec.tag = 0;
+            spec.lsBase = s.lsAlloc(64 * util::KiB);
+            spec.lsBytes = 64 * util::KiB;
+            spec.sync.every = cfg.syncEvery;
+            sys.launch(dmaStream(sys, spec));
+        }
+    }
+    sys.run();
+
+    std::uint64_t counted = cfg.bytesPerSpe * cfg.numSpes;
+    if (cfg.op == DmaOp::Copy)
+        counted *= 2;
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
+/* ------------------------------------------------------------------ */
+/*  SPE <-> SPE                                                         */
+/* ------------------------------------------------------------------ */
+
+double
+runSpeSpe(cell::CellSystem &sys, const SpeSpeConfig &cfg)
+{
+    if (cfg.numSpes < 2 || cfg.numSpes > sys.numSpes() ||
+        cfg.numSpes % 2 != 0) {
+        sim::fatal("SPE-to-SPE experiment: SPE count must be even and "
+                   "2..%u, got %u", sys.numSpes(), cfg.numSpes);
+    }
+
+    constexpr std::uint32_t region = 64 * util::KiB;
+    // Identical LS layout on every SPE: a region peers GET from (and
+    // our PUT stream reads), a region peers PUT into, and a landing
+    // region for our own GETs.
+    LsAddr src_base = 0, rx_base = 0, land_base = 0;
+    for (unsigned i = 0; i < cfg.numSpes; ++i) {
+        auto &s = sys.spe(i);
+        src_base = s.lsAlloc(region);
+        rx_base = s.lsAlloc(region);
+        land_base = s.lsAlloc(region);
+    }
+
+    unsigned n_active = 0;
+    Tick t0 = sys.now();
+    for (unsigned i = 0; i < cfg.numSpes; ++i) {
+        bool active = (cfg.mode == SpeSpeMode::Cycle) || (i % 2 == 0);
+        if (!active)
+            continue;
+        unsigned peer = (cfg.mode == SpeSpeMode::Cycle)
+                            ? (i + 1) % cfg.numSpes
+                            : i + 1;
+        ++n_active;
+
+        // One program issuing GETs and PUTs alternately, as the paper's
+        // kernels do ("we perform both read and write at the same
+        // time") — neither direction may monopolize the command queue.
+        DuplexSpec d;
+        d.speIndex = i;
+        d.getBase = sys.lsEa(peer, src_base);
+        d.putBase = sys.lsEa(peer, rx_base);
+        d.bytesPerDir = cfg.bytesPerStream;
+        d.elemBytes = cfg.elemBytes;
+        d.useList = cfg.useList;
+        d.syncEvery = cfg.syncEvery;
+        d.getLsBase = land_base;
+        d.putLsBase = src_base;
+        d.lsBytes = region;
+        d.eaWindow = region;
+        sys.launch(dmaDuplexStream(sys, d));
+    }
+    sys.run();
+
+    std::uint64_t counted = 2ull * cfg.bytesPerStream * n_active;
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
+} // namespace cellbw::core

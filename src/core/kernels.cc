@@ -1,0 +1,662 @@
+#include "core/kernels.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::core
+{
+
+namespace
+{
+
+/** Deterministic pseudo-random input data (cheap, no libm). */
+float
+valA(std::uint64_t i)
+{
+    return static_cast<float>((i * 2654435761ull >> 8) & 0xFFFF) /
+               65536.0f - 0.5f;
+}
+
+float
+valB(std::uint64_t i)
+{
+    return static_cast<float>((i * 0x9E3779B97F4A7C15ull >> 16) &
+                              0xFFFF) / 65536.0f - 0.5f;
+}
+
+constexpr float scaleS = 3.0f;
+
+/** Store a float array into simulated memory. */
+void
+writeFloats(mem::BackingStore &store, EffAddr ea,
+            const std::vector<float> &v)
+{
+    store.write(ea, v.data(), v.size() * sizeof(float));
+}
+
+std::vector<float>
+readFloats(const mem::BackingStore &store, EffAddr ea, std::uint64_t n)
+{
+    std::vector<float> v(n);
+    store.read(ea, v.data(), n * sizeof(float));
+    return v;
+}
+
+/** Per-element description of a streaming kernel. */
+struct StreamOp
+{
+    bool usesB;
+    bool writesC;
+    bool reduces;
+    double flopsPerElem;
+};
+
+StreamOp
+streamOp(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Copy:
+        return {false, true, false, 0.0};
+      case KernelKind::Scale:
+        return {false, true, false, 1.0};
+      case KernelKind::Add:
+        return {true, true, false, 1.0};
+      case KernelKind::Triad:
+        return {true, true, false, 2.0};
+      case KernelKind::Dot:
+        return {true, false, true, 2.0};
+      default:
+        sim::panic("not a streaming kernel");
+    }
+}
+
+float
+applyOp(KernelKind k, float a, float b)
+{
+    switch (k) {
+      case KernelKind::Copy:
+        return a;
+      case KernelKind::Scale:
+        return scaleS * a;
+      case KernelKind::Add:
+        return a + b;
+      case KernelKind::Triad:
+        return a + scaleS * b;
+      default:
+        return 0.0f;
+    }
+}
+
+/**
+ * One SPE's share of a streaming kernel: double-buffered GETs of the
+ * input chunk(s), compute at flopsPerCycle, PUT of the output chunk
+ * (or a final 16-byte partial-sum PUT for reductions).
+ */
+sim::Task
+streamWorker(cell::CellSystem &sys, KernelSpec spec, unsigned w,
+             std::uint64_t lo, std::uint64_t hi, EffAddr aEa, EffAddr bEa,
+             EffAddr cEa, EffAddr partialEa)
+{
+    auto &s = sys.spe(w);
+    auto &mfc = s.mfc();
+    const StreamOp op = streamOp(spec.kind);
+    const std::uint32_t esz = spec.elemBytes();
+    const std::uint32_t chunk_elems = spec.chunkBytes / esz;
+    const unsigned nbuf = spec.doubleBuffer ? 2 : 1;
+
+    LsAddr buf_a[2], buf_b[2] = {0, 0}, buf_c[2] = {0, 0};
+    for (unsigned i = 0; i < nbuf; ++i)
+        buf_a[i] = s.lsAlloc(spec.chunkBytes);
+    if (op.usesB)
+        for (unsigned i = 0; i < nbuf; ++i)
+            buf_b[i] = s.lsAlloc(spec.chunkBytes);
+    if (op.writesC)
+        for (unsigned i = 0; i < nbuf; ++i)
+            buf_c[i] = s.lsAlloc(spec.chunkBytes);
+    LsAddr partial_ls = s.lsAlloc(16, 16);
+
+    auto elems_of = [&](std::uint64_t c0) {
+        return static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk_elems, hi - lo - c0));
+    };
+    auto fetch = [&](std::uint64_t first, unsigned buf) -> sim::Task {
+        std::uint32_t bytes = elems_of(first) * esz;
+        co_await mfc.queueSpace();
+        mfc.get(buf_a[buf], aEa + (lo + first) * esz, bytes, buf);
+        if (op.usesB) {
+            co_await mfc.queueSpace();
+            mfc.get(buf_b[buf], bEa + (lo + first) * esz, bytes,
+                    2 + buf);
+        }
+    };
+
+    const std::uint64_t total = hi - lo;
+    double partial = 0.0;
+    // Raw chunk buffers, interpreted per the spec's precision.
+    std::vector<std::uint8_t> va(spec.chunkBytes), vb(spec.chunkBytes),
+        vc(spec.chunkBytes);
+    auto compute = [&](std::uint32_t elems) {
+        if (spec.precision == Precision::Single) {
+            const auto *pa = reinterpret_cast<const float *>(va.data());
+            const auto *pb = reinterpret_cast<const float *>(vb.data());
+            auto *pc = reinterpret_cast<float *>(vc.data());
+            if (op.reduces) {
+                for (std::uint32_t i = 0; i < elems; ++i)
+                    partial += static_cast<double>(pa[i]) * pb[i];
+            } else {
+                for (std::uint32_t i = 0; i < elems; ++i)
+                    pc[i] = applyOp(spec.kind, pa[i],
+                                    op.usesB ? pb[i] : 0.0f);
+            }
+        } else {
+            const auto *pa =
+                reinterpret_cast<const double *>(va.data());
+            const auto *pb =
+                reinterpret_cast<const double *>(vb.data());
+            auto *pc = reinterpret_cast<double *>(vc.data());
+            if (op.reduces) {
+                for (std::uint32_t i = 0; i < elems; ++i)
+                    partial += pa[i] * pb[i];
+            } else {
+                for (std::uint32_t i = 0; i < elems; ++i)
+                    pc[i] = applyOp(spec.kind,
+                                    static_cast<float>(pa[i]),
+                                    op.usesB
+                                        ? static_cast<float>(pb[i])
+                                        : 0.0f);
+            }
+        }
+    };
+
+    co_await fetch(0, 0);
+    for (std::uint64_t c0 = 0; c0 < total; c0 += chunk_elems) {
+        unsigned cur = spec.doubleBuffer
+                           ? static_cast<unsigned>((c0 / chunk_elems) % 2)
+                           : 0;
+        if (spec.doubleBuffer && c0 + chunk_elems < total)
+            co_await fetch(c0 + chunk_elems, 1 - cur);
+
+        // Wait for this chunk's inputs (tags also cover the previous
+        // PUT from buf_c[cur], so the write buffer is free to reuse).
+        std::uint32_t mask = 1u << cur;
+        if (op.usesB)
+            mask |= 1u << (2 + cur);
+        if (op.writesC)
+            mask |= 1u << (4 + cur);
+        co_await mfc.tagWait(mask);
+
+        std::uint32_t elems = elems_of(c0);
+        s.ls().read(buf_a[cur], va.data(), elems * esz);
+        if (op.usesB)
+            s.ls().read(buf_b[cur], vb.data(), elems * esz);
+
+        compute(elems);
+        if (op.writesC)
+            s.ls().write(buf_c[cur], vc.data(), elems * esz);
+        auto cycles = static_cast<Tick>(
+            op.flopsPerElem * elems / spec.effectiveFlopsPerCycle());
+        if (cycles)
+            co_await s.spu().cycles(cycles);
+
+        if (op.writesC) {
+            co_await mfc.queueSpace();
+            mfc.put(buf_c[cur], cEa + (lo + c0) * esz, elems * esz,
+                    4 + cur);
+        }
+        if (!spec.doubleBuffer && c0 + chunk_elems < total)
+            co_await fetch(c0 + chunk_elems, 0);
+    }
+    if (op.reduces) {
+        double slot[2] = {partial, 0.0};
+        s.ls().write(partial_ls, slot, 16);
+        co_await mfc.queueSpace();
+        mfc.put(partial_ls, partialEa + w * 16, 16, 6);
+    }
+    co_await mfc.tagWait(0xFF);
+}
+
+/**
+ * One SPE's share of y = A x.  The vector x lives LS-resident; rows of
+ * A stream through in chunks; each SPE PUTs its slice of y at the end.
+ */
+sim::Task
+matVecWorker(cell::CellSystem &sys, KernelSpec spec, unsigned w,
+             std::uint64_t row_lo, std::uint64_t row_hi, EffAddr aEa,
+             EffAddr xEa, EffAddr yEa)
+{
+    auto &s = sys.spe(w);
+    auto &mfc = s.mfc();
+    const auto n = static_cast<std::uint32_t>(spec.n);
+    const std::uint32_t row_bytes = n * 4;
+    const std::uint32_t rows_per_chunk =
+        std::max<std::uint32_t>(1, spec.chunkBytes / row_bytes);
+    const std::uint32_t chunk_bytes = rows_per_chunk * row_bytes;
+    const unsigned nbuf = spec.doubleBuffer ? 2 : 1;
+
+    LsAddr x_ls = s.lsAlloc(row_bytes, 16);
+    LsAddr y_ls = s.lsAlloc(
+        static_cast<std::uint32_t>((row_hi - row_lo) * 4), 16);
+    LsAddr a_ls[2];
+    for (unsigned i = 0; i < nbuf; ++i)
+        a_ls[i] = s.lsAlloc(chunk_bytes, 16);
+
+    // Bring in x (possibly several 16 KB commands).
+    for (std::uint32_t off = 0; off < row_bytes; off += 16 * 1024) {
+        std::uint32_t b =
+            std::min<std::uint32_t>(16 * 1024, row_bytes - off);
+        co_await mfc.queueSpace();
+        mfc.get(x_ls + off, xEa + off, b, 7);
+    }
+    co_await mfc.tagWait(1u << 7);
+    std::vector<float> x(n);
+    s.ls().read(x_ls, x.data(), row_bytes);
+
+    auto fetch_rows = [&](std::uint64_t r, unsigned buf) -> sim::Task {
+        auto rows = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rows_per_chunk, row_hi - r));
+        std::uint32_t bytes = rows * row_bytes;
+        for (std::uint32_t off = 0; off < bytes; off += 16 * 1024) {
+            std::uint32_t b =
+                std::min<std::uint32_t>(16 * 1024, bytes - off);
+            co_await mfc.queueSpace();
+            mfc.get(a_ls[buf] + off, aEa + r * row_bytes + off, b, buf);
+        }
+    };
+
+    std::vector<float> rows_buf(rows_per_chunk * n);
+    std::vector<float> y(row_hi - row_lo, 0.0f);
+
+    co_await fetch_rows(row_lo, 0);
+    for (std::uint64_t r = row_lo; r < row_hi; r += rows_per_chunk) {
+        unsigned cur = spec.doubleBuffer
+                           ? static_cast<unsigned>(
+                                 ((r - row_lo) / rows_per_chunk) % 2)
+                           : 0;
+        if (spec.doubleBuffer && r + rows_per_chunk < row_hi)
+            co_await fetch_rows(r + rows_per_chunk, 1 - cur);
+        co_await mfc.tagWait(1u << cur);
+
+        auto rows = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rows_per_chunk, row_hi - r));
+        s.ls().read(a_ls[cur], rows_buf.data(), rows * row_bytes);
+        for (std::uint32_t i = 0; i < rows; ++i) {
+            double acc = 0.0;
+            const float *row = rows_buf.data() + i * n;
+            for (std::uint32_t j = 0; j < n; ++j)
+                acc += static_cast<double>(row[j]) * x[j];
+            y[r - row_lo + i] = static_cast<float>(acc);
+        }
+        auto cycles = static_cast<Tick>(2.0 * rows * n /
+                                        spec.flopsPerCycle);
+        co_await s.spu().cycles(cycles);
+
+        if (!spec.doubleBuffer && r + rows_per_chunk < row_hi)
+            co_await fetch_rows(r + rows_per_chunk, 0);
+    }
+
+    s.ls().write(y_ls, y.data(), y.size() * 4);
+    for (std::uint32_t off = 0; off < y.size() * 4; off += 16 * 1024) {
+        auto b = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(16 * 1024, y.size() * 4 - off));
+        co_await mfc.queueSpace();
+        mfc.put(y_ls + off, yEa + row_lo * 4 + off, b, 6);
+    }
+    co_await mfc.tagWait(0xFF);
+}
+
+constexpr std::uint32_t blockDim = 64;
+constexpr std::uint32_t blockBytes = blockDim * blockDim * 4;   // 16 KB
+
+/** Block-major offset of block (bi, bj) in an nb x nb block matrix. */
+std::uint64_t
+blockOffset(std::uint32_t nb, std::uint32_t bi, std::uint32_t bj)
+{
+    return (static_cast<std::uint64_t>(bi) * nb + bj) * blockBytes;
+}
+
+/**
+ * One SPE's share of C = A B with 64x64 blocks (matrices stored
+ * block-major so each block is one contiguous 16 KB DMA).  Output
+ * tiles round-robin across SPEs; the k-loop double-buffers the next
+ * A/B block pair behind the current multiply.
+ */
+sim::Task
+matMulWorker(cell::CellSystem &sys, KernelSpec spec, unsigned w,
+             EffAddr aEa, EffAddr bEa, EffAddr cEa)
+{
+    auto &s = sys.spe(w);
+    auto &mfc = s.mfc();
+    const auto nb = static_cast<std::uint32_t>(spec.n / blockDim);
+    const unsigned nbuf = spec.doubleBuffer ? 2 : 1;
+
+    LsAddr a_ls[2], b_ls[2];
+    for (unsigned i = 0; i < nbuf; ++i) {
+        a_ls[i] = s.lsAlloc(blockBytes);
+        b_ls[i] = s.lsAlloc(blockBytes);
+    }
+    LsAddr c_ls = s.lsAlloc(blockBytes);
+
+    auto fetch_pair = [&](std::uint32_t bi, std::uint32_t bj,
+                          std::uint32_t k, unsigned buf) -> sim::Task {
+        co_await mfc.queueSpace();
+        mfc.get(a_ls[buf], aEa + blockOffset(nb, bi, k), blockBytes,
+                buf);
+        co_await mfc.queueSpace();
+        mfc.get(b_ls[buf], bEa + blockOffset(nb, k, bj), blockBytes,
+                2 + buf);
+    };
+
+    std::vector<float> a(blockDim * blockDim), b(blockDim * blockDim);
+    std::vector<float> c(blockDim * blockDim);
+
+    for (std::uint64_t tile = w; tile < std::uint64_t(nb) * nb;
+         tile += spec.spes) {
+        auto bi = static_cast<std::uint32_t>(tile / nb);
+        auto bj = static_cast<std::uint32_t>(tile % nb);
+        std::fill(c.begin(), c.end(), 0.0f);
+
+        co_await fetch_pair(bi, bj, 0, 0);
+        for (std::uint32_t k = 0; k < nb; ++k) {
+            unsigned cur = spec.doubleBuffer ? (k % 2) : 0;
+            if (spec.doubleBuffer && k + 1 < nb)
+                co_await fetch_pair(bi, bj, k + 1, 1 - cur);
+            co_await mfc.tagWait((1u << cur) | (1u << (2 + cur)));
+
+            s.ls().read(a_ls[cur], a.data(), blockBytes);
+            s.ls().read(b_ls[cur], b.data(), blockBytes);
+            for (std::uint32_t i = 0; i < blockDim; ++i) {
+                for (std::uint32_t kk = 0; kk < blockDim; ++kk) {
+                    float aik = a[i * blockDim + kk];
+                    const float *brow = b.data() + kk * blockDim;
+                    float *crow = c.data() + i * blockDim;
+                    for (std::uint32_t j = 0; j < blockDim; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+            auto cycles = static_cast<Tick>(
+                2.0 * blockDim * blockDim * blockDim /
+                spec.flopsPerCycle);
+            co_await s.spu().cycles(cycles);
+
+            if (!spec.doubleBuffer && k + 1 < nb)
+                co_await fetch_pair(bi, bj, k + 1, 0);
+        }
+        s.ls().write(c_ls, c.data(), blockBytes);
+        co_await mfc.queueSpace();
+        mfc.put(c_ls, cEa + blockOffset(nb, bi, bj), blockBytes, 6);
+    }
+    co_await mfc.tagWait(0xFF);
+}
+
+} // namespace
+
+const char *
+toString(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Copy:
+        return "copy";
+      case KernelKind::Scale:
+        return "scale";
+      case KernelKind::Add:
+        return "add";
+      case KernelKind::Triad:
+        return "triad";
+      case KernelKind::Dot:
+        return "dot";
+      case KernelKind::MatVec:
+        return "matvec";
+      case KernelKind::MatMul:
+        return "matmul";
+    }
+    return "?";
+}
+
+double
+computePeakGflops(const cell::CellSystem &sys, const KernelSpec &spec)
+{
+    return spec.spes * spec.effectiveFlopsPerCycle() *
+           sys.clock().cpuHz / 1e9;
+}
+
+KernelResult
+runKernel(cell::CellSystem &sys, const KernelSpec &spec)
+{
+    if (spec.spes == 0 || spec.spes > sys.numSpes())
+        sim::fatal("kernel: spes must be 1..%u", sys.numSpes());
+    auto &store = sys.memory().store();
+    KernelResult res;
+
+    std::uint64_t mfc_before = 0;
+    for (unsigned w = 0; w < spec.spes; ++w)
+        mfc_before += sys.spe(w).mfc().bytesTransferred();
+    Tick t0 = sys.now();
+
+    switch (spec.kind) {
+      case KernelKind::Copy:
+      case KernelKind::Scale:
+      case KernelKind::Add:
+      case KernelKind::Triad:
+      case KernelKind::Dot: {
+        const StreamOp op = streamOp(spec.kind);
+        const std::uint32_t esz = spec.elemBytes();
+        if (spec.n % (spec.chunkBytes / esz) != 0)
+            sim::fatal("kernel: n must be chunk-aligned");
+        // Canonical data in the working precision.
+        const bool dp = spec.precision == Precision::Double;
+        std::vector<float> a, b;
+        std::vector<double> da, db;
+        EffAddr aEa = sys.malloc(spec.n * esz);
+        if (dp) {
+            da.resize(spec.n);
+            for (std::uint64_t i = 0; i < spec.n; ++i)
+                da[i] = valA(i);
+            store.write(aEa, da.data(), spec.n * 8);
+        } else {
+            a.resize(spec.n);
+            for (std::uint64_t i = 0; i < spec.n; ++i)
+                a[i] = valA(i);
+            writeFloats(store, aEa, a);
+        }
+        EffAddr bEa = 0, cEa = 0, pEa = 0;
+        if (op.usesB) {
+            bEa = sys.malloc(spec.n * esz);
+            if (dp) {
+                db.resize(spec.n);
+                for (std::uint64_t i = 0; i < spec.n; ++i)
+                    db[i] = valB(i);
+                store.write(bEa, db.data(), spec.n * 8);
+            } else {
+                b.resize(spec.n);
+                for (std::uint64_t i = 0; i < spec.n; ++i)
+                    b[i] = valB(i);
+                writeFloats(store, bEa, b);
+            }
+        }
+        if (op.writesC)
+            cEa = sys.malloc(spec.n * esz);
+        if (op.reduces)
+            pEa = sys.malloc(16 * spec.spes);
+
+        std::uint64_t per = (spec.n + spec.spes - 1) / spec.spes;
+        per = util::roundUp(per, spec.chunkBytes / esz);
+        for (unsigned w = 0; w < spec.spes; ++w) {
+            std::uint64_t lo = std::min<std::uint64_t>(w * per, spec.n);
+            std::uint64_t hi =
+                std::min<std::uint64_t>(lo + per, spec.n);
+            if (lo >= hi)
+                continue;
+            sys.launch(streamWorker(sys, spec, w, lo, hi, aEa, bEa,
+                                    cEa, pEa));
+        }
+        sys.run();
+
+        res.flops = static_cast<std::uint64_t>(op.flopsPerElem * spec.n);
+        // Verify.
+        res.verified = true;
+        auto in_a = [&](std::uint64_t i) {
+            return dp ? da[i] : static_cast<double>(a[i]);
+        };
+        auto in_b = [&](std::uint64_t i) {
+            return dp ? db[i] : static_cast<double>(b[i]);
+        };
+        if (op.reduces) {
+            double expect = 0.0;
+            for (std::uint64_t i = 0; i < spec.n; ++i)
+                expect += in_a(i) * in_b(i);
+            double got = 0.0;
+            for (unsigned w = 0; w < spec.spes; ++w) {
+                double slot[2];
+                store.read(pEa + w * 16, slot, 16);
+                got += slot[0];
+            }
+            res.maxError = std::fabs(got - expect) /
+                           std::max(1.0, std::fabs(expect));
+            res.verified = res.maxError < 1e-6;
+        } else if (dp) {
+            std::vector<double> c(spec.n);
+            store.read(cEa, c.data(), spec.n * 8);
+            for (std::uint64_t i = 0; i < spec.n; ++i) {
+                double expect = applyOp(
+                    spec.kind, static_cast<float>(da[i]),
+                    op.usesB ? static_cast<float>(db[i]) : 0.0f);
+                double err = std::fabs(c[i] - expect);
+                res.maxError = std::max(res.maxError, err);
+                if (err > 1e-12)
+                    res.verified = false;
+            }
+        } else {
+            auto c = readFloats(store, cEa, spec.n);
+            for (std::uint64_t i = 0; i < spec.n; ++i) {
+                float expect = applyOp(spec.kind, a[i],
+                                       op.usesB ? b[i] : 0.0f);
+                double err = std::fabs(c[i] - expect);
+                res.maxError = std::max(res.maxError, err);
+                if (err != 0.0)
+                    res.verified = false;
+            }
+        }
+        break;
+      }
+      case KernelKind::MatVec: {
+        if (spec.precision == Precision::Double)
+            sim::fatal("matvec: double precision not supported");
+        const auto n = static_cast<std::uint32_t>(spec.n);
+        if (n == 0 || n % 4 != 0 || n > 4096)
+            sim::fatal("matvec: n must be a multiple of 4, <= 4096");
+        std::vector<float> A(std::uint64_t(n) * n), x(n);
+        for (std::uint64_t i = 0; i < A.size(); ++i)
+            A[i] = valA(i);
+        for (std::uint32_t j = 0; j < n; ++j)
+            x[j] = valB(j);
+        EffAddr aEa = sys.malloc(A.size() * 4);
+        EffAddr xEa = sys.malloc(n * 4);
+        EffAddr yEa = sys.malloc(n * 4);
+        writeFloats(store, aEa, A);
+        writeFloats(store, xEa, x);
+
+        std::uint64_t rows = (n + spec.spes - 1) / spec.spes;
+        for (unsigned w = 0; w < spec.spes; ++w) {
+            std::uint64_t lo = std::min<std::uint64_t>(w * rows, n);
+            std::uint64_t hi =
+                std::min<std::uint64_t>(lo + rows, n);
+            if (lo >= hi)
+                continue;
+            sys.launch(matVecWorker(sys, spec, w, lo, hi, aEa, xEa,
+                                    yEa));
+        }
+        sys.run();
+
+        res.flops = 2ull * n * n;
+        auto y = readFloats(store, yEa, n);
+        res.verified = true;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            double expect = 0.0;
+            for (std::uint32_t j = 0; j < n; ++j)
+                expect += static_cast<double>(A[std::uint64_t(i) * n + j]) *
+                          x[j];
+            double err = std::fabs(y[i] - expect) /
+                         std::max(1.0, std::fabs(expect));
+            res.maxError = std::max(res.maxError, err);
+            if (err > 1e-5)
+                res.verified = false;
+        }
+        break;
+      }
+      case KernelKind::MatMul: {
+        if (spec.precision == Precision::Double)
+            sim::fatal("matmul: double precision not supported");
+        const auto n = static_cast<std::uint32_t>(spec.n);
+        if (n == 0 || n % blockDim != 0)
+            sim::fatal("matmul: n must be a multiple of %u", blockDim);
+        const std::uint32_t nb = n / blockDim;
+        // Block-major storage: block (bi,bj) is contiguous.
+        std::vector<float> A(std::uint64_t(n) * n), B(A.size());
+        for (std::uint64_t i = 0; i < A.size(); ++i) {
+            A[i] = valA(i);
+            B[i] = valB(i);
+        }
+        EffAddr aEa = sys.malloc(A.size() * 4);
+        EffAddr bEa = sys.malloc(B.size() * 4);
+        EffAddr cEa = sys.malloc(A.size() * 4);
+        writeFloats(store, aEa, A);
+        writeFloats(store, bEa, B);
+
+        for (unsigned w = 0; w < spec.spes; ++w)
+            sys.launch(matMulWorker(sys, spec, w, aEa, bEa, cEa));
+        sys.run();
+
+        res.flops = 2ull * n * n * n;
+        // Verify block (0,0) and one other block fully (a full host
+        // O(n^3) check is done for small n).
+        res.verified = true;
+        auto block = [&](const std::vector<float> &m, std::uint32_t bi,
+                         std::uint32_t bj, std::uint32_t i,
+                         std::uint32_t j) {
+            return m[blockOffset(nb, bi, bj) / 4 + i * blockDim + j];
+        };
+        auto C = readFloats(store, cEa, A.size());
+        unsigned tiles_checked = (n <= 256) ? nb * nb : 2;
+        for (unsigned t = 0; t < tiles_checked; ++t) {
+            std::uint32_t bi = t / nb;
+            std::uint32_t bj = t % nb;
+            for (std::uint32_t i = 0; i < blockDim; i += 7) {
+                for (std::uint32_t j = 0; j < blockDim; j += 5) {
+                    double expect = 0.0;
+                    for (std::uint32_t k = 0; k < nb; ++k)
+                        for (std::uint32_t kk = 0; kk < blockDim; ++kk)
+                            expect += static_cast<double>(
+                                          block(A, bi, k, i, kk)) *
+                                      block(B, k, bj, kk, j);
+                    double got = block(C, bi, bj, i, j);
+                    double err = std::fabs(got - expect) /
+                                 std::max(1.0, std::fabs(expect));
+                    res.maxError = std::max(res.maxError, err);
+                    if (err > 1e-4)
+                        res.verified = false;
+                }
+            }
+        }
+        break;
+      }
+    }
+
+    Tick elapsed = sys.now() - t0;
+    std::uint64_t mfc_after = 0;
+    for (unsigned w = 0; w < spec.spes; ++w)
+        mfc_after += sys.spe(w).mfc().bytesTransferred();
+    res.bytes = mfc_after - mfc_before;
+    res.seconds = sys.clock().seconds(elapsed);
+    if (res.seconds > 0.0) {
+        res.gflops = res.flops / res.seconds / 1e9;
+        res.gbps = res.bytes / res.seconds / 1e9;
+    }
+    if (res.bytes)
+        res.intensity = static_cast<double>(res.flops) / res.bytes;
+    return res;
+}
+
+} // namespace cellbw::core

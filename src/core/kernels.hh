@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The paper's future work, implemented: "we plan to use this experience
+ * to evaluate small kernels (scalar product, matrix by vector, matrix
+ * product, streaming benchmarks...)".
+ *
+ * Each kernel runs on real simulated SPEs: inputs stream through the
+ * local stores by double-buffered DMA (following the paper's rules),
+ * the SPU consumes cycles at its 8 single-precision flops/cycle peak
+ * (4-wide SIMD madd), and the arithmetic is actually performed on the
+ * simulated bytes so results are verified end to end.
+ *
+ * Together the kernels sweep arithmetic intensity from 0 (copy) to
+ * ~16 flops/byte (blocked matrix multiply), reproducing the
+ * roofline-style story of Williams et al. that the paper cites: below
+ * the machine-balance point the measured bandwidth — not the headline
+ * GFLOPS — decides performance.
+ */
+
+#ifndef CELLBW_CORE_KERNELS_HH
+#define CELLBW_CORE_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cell/cell_system.hh"
+
+namespace cellbw::core
+{
+
+enum class KernelKind
+{
+    Copy,       ///< c[i] = a[i]                (STREAM copy)
+    Scale,      ///< c[i] = s * a[i]            (STREAM scale)
+    Add,        ///< c[i] = a[i] + b[i]         (STREAM add)
+    Triad,      ///< c[i] = a[i] + s * b[i]     (STREAM triad)
+    Dot,        ///< sum(a[i] * b[i])           (scalar product)
+    MatVec,     ///< y = A x                    (matrix by vector)
+    MatMul,     ///< C = A B, 64x64 blocks      (matrix product)
+};
+
+const char *toString(KernelKind k);
+
+/**
+ * Numeric precision.  The paper: the CBE "can perform 4 single
+ * precision operations per cycle on each SPE, but only one double
+ * precision operation every 7 cycles" — a 2-way DP FMA every 7 cycles,
+ * i.e. 4/7 DP flops/cycle against 8 SP flops/cycle (the 14:1 ratio of
+ * Williams et al.).  DP elements are also twice the bytes, so
+ * bandwidth-bound kernels lose a further 2x — Dongarra's argument for
+ * doing the bulk of the work in single precision.
+ */
+enum class Precision { Single, Double };
+
+struct KernelSpec
+{
+    KernelKind kind = KernelKind::Triad;
+
+    /**
+     * Problem size: vector elements for the streaming kernels and Dot;
+     * the (square) matrix dimension for MatVec/MatMul.  MatMul requires
+     * a multiple of 64; MatVec a multiple of 4 with dim*4 bytes <= 96 KB.
+     */
+    std::uint64_t n = 1 << 20;
+
+    unsigned spes = 8;
+    std::uint32_t chunkBytes = 16 * 1024;
+    bool doubleBuffer = true;
+
+    /** SPU single-precision flops per cycle (CBE: 4-wide madd = 8). */
+    double flopsPerCycle = 8.0;
+
+    /** SPU double-precision flops per cycle (CBE: 2-way FMA / 7 cyc). */
+    double dpFlopsPerCycle = 4.0 / 7.0;
+
+    /** Streaming kernels and Dot support Double; matvec/matmul are
+     *  single-precision only. */
+    Precision precision = Precision::Single;
+
+    std::uint32_t elemBytes() const
+    {
+        return precision == Precision::Double ? 8 : 4;
+    }
+
+    double effectiveFlopsPerCycle() const
+    {
+        return precision == Precision::Double ? dpFlopsPerCycle
+                                              : flopsPerCycle;
+    }
+};
+
+struct KernelResult
+{
+    double seconds = 0.0;
+    double gflops = 0.0;
+    double gbps = 0.0;          ///< DMA bytes moved / time
+    double intensity = 0.0;     ///< flops per DMA byte
+    std::uint64_t flops = 0;
+    std::uint64_t bytes = 0;
+    bool verified = false;
+    double maxError = 0.0;
+};
+
+/** Run @p spec on @p sys; inputs are generated and outputs verified. */
+KernelResult runKernel(cell::CellSystem &sys, const KernelSpec &spec);
+
+/** Compute-roof (GFLOPS) for @p spes SPEs under @p spec's machine. */
+double computePeakGflops(const cell::CellSystem &sys,
+                         const KernelSpec &spec);
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_KERNELS_HH

@@ -1,0 +1,18 @@
+#include "core/runner.hh"
+
+namespace cellbw::core
+{
+
+stats::Distribution
+repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
+           const ExperimentBody &body)
+{
+    stats::Distribution dist;
+    for (unsigned r = 0; r < spec.runs; ++r) {
+        cell::CellSystem sys(cfg, spec.seed + r);
+        dist.add(body(sys));
+    }
+    return dist;
+}
+
+} // namespace cellbw::core

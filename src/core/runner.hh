@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Repeated-run harness.
+ *
+ * "Since we expect physical resource layout to be a critical factor,
+ * but the current API does not allow the programmer to control such
+ * layout, we run all our experiments 10 times to test different logical
+ * to physical SPE mappings" — the paper, Section 3.  repeatRuns() does
+ * exactly that: N fresh systems, N placement seeds, one Distribution.
+ */
+
+#ifndef CELLBW_CORE_RUNNER_HH
+#define CELLBW_CORE_RUNNER_HH
+
+#include <functional>
+
+#include "cell/cell_system.hh"
+#include "stats/distribution.hh"
+
+namespace cellbw::core
+{
+
+struct RepeatSpec
+{
+    /** Placement-randomized repetitions (the paper uses 10). */
+    unsigned runs = 10;
+
+    /** Base seed; run i uses seed + i. */
+    std::uint64_t seed = 42;
+};
+
+using ExperimentBody = std::function<double(cell::CellSystem &)>;
+
+/**
+ * Run @p body once per placement seed on a freshly constructed system
+ * and collect the per-run GB/s samples.
+ */
+stats::Distribution repeatRuns(const cell::CellConfig &cfg,
+                               const RepeatSpec &spec,
+                               const ExperimentBody &body);
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_RUNNER_HH

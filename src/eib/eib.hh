@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Element Interconnect Bus data arbiter.
+ *
+ * The EIB has four data rings (two per direction) plus a tree-structured
+ * command bus.  The data arbiter grants a packet to a ring whose
+ * direction matches the packet's shorter path (never more than halfway
+ * around) and whose path segments are free; each ramp can drive one
+ * outgoing and accept one incoming 16 B flit per bus cycle.
+ *
+ * Transfers are reserved greedily at request time: the packet gets the
+ * ring that lets it start earliest, subject to its source TX port,
+ * destination RX port, and path-segment availability.  This keeps the
+ * model O(path length) per packet while reproducing the conflict
+ * behaviour the paper measures (couples vs. cycles, placement spread).
+ */
+
+#ifndef CELLBW_EIB_EIB_HH
+#define CELLBW_EIB_EIB_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eib/ring.hh"
+#include "sim/clock.hh"
+#include "sim/sim_object.hh"
+#include "trace/recorder.hh"
+
+namespace cellbw::eib
+{
+
+struct EibParams
+{
+    /** Data rings, split evenly between the two directions. */
+    unsigned numRings = 4;
+
+    /** Command-phase latency before data arbitration, bus cycles. */
+    Tick cmdLatencyBus = 20;
+
+    /** Per-segment data latency, bus cycles. */
+    Tick hopLatencyBus = 1;
+
+    /** Ring width: bytes moved per bus cycle. */
+    unsigned bytesPerBusCycle = 16;
+
+    /**
+     * Pin each (src, dst) flow to one ring of its direction instead of
+     * load-balancing per packet.  The real data arbiter keeps a
+     * transfer's packets on the ring it was granted, so concurrent
+     * flows whose paths overlap *and* hash to the same ring serialize —
+     * the loss the paper measures with 4 couples / 8-SPE cycles.
+     */
+    bool flowPinning = true;
+};
+
+class Eib : public sim::SimObject
+{
+  public:
+    Eib(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
+        const EibParams &params);
+
+    /** Attach an event recorder; @p chip labels this bus's records. */
+    void
+    setRecorder(trace::Recorder *recorder, unsigned chip)
+    {
+        recorder_ = recorder;
+        chip_ = chip;
+    }
+
+    /**
+     * Move a data packet of @p bytes (<= 128 in normal operation) from
+     * ramp @p src to ramp @p dst.  @p onDone fires when the packet's
+     * tail arrives at the destination ramp.
+     */
+    void transfer(RampPos src, RampPos dst, std::uint32_t bytes,
+                  std::function<void()> onDone);
+
+    /** @name Introspection for tests and the bench reports. */
+    /** @{ */
+    unsigned numRings() const { return static_cast<unsigned>(rings_.size()); }
+    const Ring &ring(unsigned i) const { return *rings_[i]; }
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    std::uint64_t packets() const { return packets_; }
+    /** Sum over packets of (grant tick - earliest possible tick). */
+    Tick contentionTicks() const { return contentionTicks_; }
+    /** Peak data bandwidth of one ramp direction, GB/s. */
+    double rampPeakGBps() const;
+    /** @} */
+
+  private:
+    sim::ClockSpec clock_;
+    EibParams params_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::array<Tick, numRamps> txFreeAt_{};
+    std::array<Tick, numRamps> rxFreeAt_{};
+    trace::Recorder *recorder_ = nullptr;
+    unsigned chip_ = 0;
+    std::uint64_t bytesMoved_ = 0;
+    std::uint64_t packets_ = 0;
+    Tick contentionTicks_ = 0;
+    unsigned rrCounter_ = 0;
+};
+
+} // namespace cellbw::eib
+
+#endif // CELLBW_EIB_EIB_HH

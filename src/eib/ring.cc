@@ -1,0 +1,51 @@
+#include "eib/ring.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cellbw::eib
+{
+
+Ring::Ring(unsigned index, RingDir dir)
+    : index_(index), dir_(dir), segFreeAt_(numRamps, 0)
+{
+}
+
+unsigned
+Ring::hops(RampPos src, RampPos dst) const
+{
+    return dir_ == RingDir::Clockwise ? cwHops(src, dst)
+                                      : ccwHops(src, dst);
+}
+
+Tick
+Ring::earliestStart(RampPos src, RampPos dst, Tick from,
+                    Tick hopLat) const
+{
+    Tick start = from;
+    forEachSegment(src, dst, [&](unsigned seg, unsigned k) {
+        Tick offset = hopLat * k;
+        Tick free_at = segFreeAt_[seg];
+        // The wavefront hits segment k at start + offset.
+        start = std::max(start,
+                         free_at > offset ? free_at - offset : Tick(0));
+    });
+    return start;
+}
+
+void
+Ring::reserve(RampPos src, RampPos dst, Tick start, Tick dur, Tick hopLat)
+{
+    unsigned n = hops(src, dst);
+    if (n == 0 || n > numRamps / 2)
+        sim::panic("ring %u: illegal %u-hop reservation", index_, n);
+    forEachSegment(src, dst, [&](unsigned seg, unsigned k) {
+        segFreeAt_[seg] =
+            std::max(segFreeAt_[seg], start + hopLat * k + dur);
+    });
+    ++grants_;
+    busyTicks_ += dur;
+}
+
+} // namespace cellbw::eib

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Physical layout of the Element Interconnect Bus.
+ *
+ * Twelve ramps sit on the ring in die order.  Following Krolak's EIB
+ * description (MPR Fall Processor Forum 2005) and Chen et al., the
+ * physical order interleaves the SPEs on the two sides of the die:
+ *
+ *   0:PPE 1:SPE1 2:SPE3 3:SPE5 4:SPE7 5:IOIF1
+ *   6:IOIF0 7:SPE6 8:SPE4 9:SPE2 10:SPE0 11:MIC
+ *
+ * The paper's central observation is that the *logical* SPE numbering
+ * the programmer sees is an arbitrary permutation of these physical
+ * positions, and that transfer paths therefore conflict unpredictably.
+ */
+
+#ifndef CELLBW_EIB_TOPOLOGY_HH
+#define CELLBW_EIB_TOPOLOGY_HH
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace cellbw::eib
+{
+
+/** Index of a ramp's physical position on the ring, 0..11. */
+using RampPos = unsigned;
+
+constexpr unsigned numRamps = 12;
+constexpr unsigned numPhysicalSpes = 8;
+
+constexpr RampPos ppeRamp = 0;
+constexpr RampPos ioif1Ramp = 5;
+constexpr RampPos ioif0Ramp = 6;
+constexpr RampPos micRamp = 11;
+
+/** Physical SPE number (0-7) to ramp position. */
+constexpr std::array<RampPos, numPhysicalSpes> speRampTable = {
+    10, // SPE0
+    1,  // SPE1
+    9,  // SPE2
+    2,  // SPE3
+    8,  // SPE4
+    3,  // SPE5
+    7,  // SPE6
+    4,  // SPE7
+};
+
+constexpr RampPos
+speRamp(unsigned physSpe)
+{
+    return speRampTable[physSpe];
+}
+
+constexpr bool
+isSpeRamp(RampPos pos)
+{
+    return pos != ppeRamp && pos != ioif0Ramp && pos != ioif1Ramp &&
+           pos != micRamp;
+}
+
+inline const char *
+rampName(RampPos pos)
+{
+    static const char *names[numRamps] = {
+        "PPE",  "SPE1", "SPE3", "SPE5", "SPE7",  "IOIF1",
+        "IOIF0", "SPE6", "SPE4", "SPE2", "SPE0", "MIC",
+    };
+    if (pos >= numRamps)
+        sim::panic("bad ramp position %u", pos);
+    return names[pos];
+}
+
+/** Hops travelling clockwise (increasing position) from src to dst. */
+constexpr unsigned
+cwHops(RampPos src, RampPos dst)
+{
+    return (dst + numRamps - src) % numRamps;
+}
+
+/** Hops travelling counter-clockwise from src to dst. */
+constexpr unsigned
+ccwHops(RampPos src, RampPos dst)
+{
+    return (src + numRamps - dst) % numRamps;
+}
+
+/**
+ * Hops along the shorter direction; the EIB never routes a transfer
+ * more than halfway around the ring.
+ */
+constexpr unsigned
+shortestHops(RampPos src, RampPos dst)
+{
+    unsigned cw = cwHops(src, dst);
+    unsigned ccw = ccwHops(src, dst);
+    return cw < ccw ? cw : ccw;
+}
+
+} // namespace cellbw::eib
+
+#endif // CELLBW_EIB_TOPOLOGY_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * XDR DRAM bank timing model.
+ *
+ * The dual-Cell blade of the paper has one 256 MB XDR bank per chip.
+ * The local bank is reached through the MIC (EIB ramp peak 16.8 GB/s);
+ * the remote chip's bank is reached through the IOIF at 7 GB/s.
+ *
+ * The paper observes that a bank sustains clearly less than the ramp
+ * peak ("that could be due to memory having to do other operations, like
+ * refreshing, snooping, etc.").  The model therefore has a sustained
+ * service rate below peak plus explicit periodic refresh windows.
+ */
+
+#ifndef CELLBW_MEM_DRAM_BANK_HH
+#define CELLBW_MEM_DRAM_BANK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/clock.hh"
+#include "sim/sim_object.hh"
+
+namespace cellbw::mem
+{
+
+struct DramBankParams
+{
+    /** Sustained data service rate, bytes per tick (CPU cycle). */
+    double bytesPerTick = 6.67;     // ~14 GB/s at 2.1 GHz
+
+    /** Access latency (command decode + core access), ticks. */
+    Tick accessLatency = 250;       // ~120 ns
+
+    /** Refresh period; 0 disables refresh. */
+    Tick refreshInterval = 16384;
+
+    /** Bank unavailable this long at each refresh point. */
+    Tick refreshDuration = 512;
+};
+
+/**
+ * A single in-order DRAM bank.  Requests serialize through the data
+ * pins; reads complete accessLatency after their service slot, writes
+ * are posted (complete at end of their service slot).
+ */
+class DramBank : public sim::SimObject
+{
+  public:
+    DramBank(std::string name, sim::EventQueue &eq,
+             const DramBankParams &params);
+
+    /**
+     * Enqueue an access of @p bytes.  @p onDone fires at the completion
+     * tick (data available for reads / accepted for writes).
+     */
+    void access(std::uint32_t bytes, bool isWrite,
+                std::function<void()> onDone);
+
+    /** Earliest tick at which a new request could start service. */
+    Tick busyUntil() const { return freeAt_; }
+
+    /** Total bytes serviced. */
+    std::uint64_t bytesServiced() const { return bytesServiced_; }
+
+    /** Number of refresh windows that delayed service so far. */
+    std::uint64_t refreshStalls() const { return refreshStalls_; }
+
+  private:
+    /** Advance @p t past any refresh window it falls into. */
+    Tick skipRefresh(Tick t);
+
+    /** Reserve @p service ticks of pin time starting no earlier than
+     *  @p earliest; returns the end of the reserved slot. */
+    Tick reserve(Tick earliest, Tick service);
+
+    DramBankParams params_;
+    Tick freeAt_ = 0;
+    std::uint64_t bytesServiced_ = 0;
+    std::uint64_t refreshStalls_ = 0;
+};
+
+} // namespace cellbw::mem
+
+#endif // CELLBW_MEM_DRAM_BANK_HH

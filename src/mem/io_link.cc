@@ -1,0 +1,33 @@
+#include "mem/io_link.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cellbw::mem
+{
+
+IoLink::IoLink(std::string name, sim::EventQueue &eq, const IoLinkParams &p)
+    : sim::SimObject(std::move(name), eq), params_(p)
+{
+    if (params_.bytesPerTick <= 0.0)
+        sim::fatal("%s: IO link rate must be positive", this->name().c_str());
+}
+
+void
+IoLink::send(Dir dir, std::uint32_t bytes, std::function<void()> onDone)
+{
+    int d = static_cast<int>(dir);
+    auto service =
+        static_cast<Tick>(std::ceil(bytes / params_.bytesPerTick));
+    if (service == 0)
+        service = 1;
+    Tick start = std::max(curTick(), freeAt_[d]);
+    freeAt_[d] = start + service;
+    bytesSent_[d] += bytes;
+    eventQueue().scheduleAt(freeAt_[d] + params_.crossingLatency,
+                            std::move(onDone));
+}
+
+} // namespace cellbw::mem

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * IOIF / BIF FlexIO link model.
+ *
+ * On the dual-Cell blade the second chip's XDR bank is reached through
+ * the IOIF, which the paper quotes at 7 GB/s.  The link serializes
+ * traffic per direction at that rate and adds a fixed crossing latency.
+ */
+
+#ifndef CELLBW_MEM_IO_LINK_HH
+#define CELLBW_MEM_IO_LINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/sim_object.hh"
+
+namespace cellbw::mem
+{
+
+struct IoLinkParams
+{
+    /** Per-direction sustained rate, bytes per tick (~7 GB/s). */
+    double bytesPerTick = 3.33;
+
+    /** One-way crossing latency in ticks (~60 ns). */
+    Tick crossingLatency = 126;
+};
+
+class IoLink : public sim::SimObject
+{
+  public:
+    enum class Dir { Outbound = 0, Inbound = 1 };
+
+    IoLink(std::string name, sim::EventQueue &eq, const IoLinkParams &p);
+
+    /**
+     * Send @p bytes across the link in direction @p dir; @p onDone fires
+     * when the tail of the message arrives on the far side.
+     */
+    void send(Dir dir, std::uint32_t bytes, std::function<void()> onDone);
+
+    std::uint64_t bytesSent(Dir dir) const
+    {
+        return bytesSent_[static_cast<int>(dir)];
+    }
+
+    Tick crossingLatency() const { return params_.crossingLatency; }
+
+  private:
+    IoLinkParams params_;
+    Tick freeAt_[2] = {0, 0};
+    std::uint64_t bytesSent_[2] = {0, 0};
+};
+
+} // namespace cellbw::mem
+
+#endif // CELLBW_MEM_IO_LINK_HH

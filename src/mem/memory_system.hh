@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The blade's main-storage domain: two XDR banks, the IOIF link to the
+ * second chip's bank, the NUMA page allocator, and the data contents.
+ *
+ * Timing and data are deliberately separate: MemorySystem answers
+ * "when is this line available at the MIC/IOIF ramp" while the caller
+ * (the cell-level DMA router) moves the actual bytes and models the EIB
+ * part of the journey.
+ */
+
+#ifndef CELLBW_MEM_MEMORY_SYSTEM_HH
+#define CELLBW_MEM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+
+#include "mem/backing_store.hh"
+#include "mem/dram_bank.hh"
+#include "mem/io_link.hh"
+#include "mem/page_allocator.hh"
+#include "sim/sim_object.hh"
+
+namespace cellbw::mem
+{
+
+struct MemorySystemParams
+{
+    std::uint64_t pageBytes = 64 * util::KiB;
+    DramBankParams bank0;
+    DramBankParams bank1;
+    IoLinkParams ioLink;
+};
+
+class MemorySystem : public sim::SimObject
+{
+  public:
+    MemorySystem(std::string name, sim::EventQueue &eq,
+                 const MemorySystemParams &params);
+
+    /** Allocate simulated memory; returns the base effective address. */
+    EffAddr alloc(std::uint64_t bytes, const NumaPolicy &policy);
+
+    unsigned bankOf(EffAddr ea) const { return allocator_.bankOf(ea); }
+    bool isRemote(EffAddr ea) const { return bankOf(ea) != 0; }
+
+    /**
+     * Timing of a line read: @p onDone fires when the line's data is
+     * available at the memory-side EIB ramp (MIC for bank 0, IOIF for
+     * bank 1; remote reads pay the link crossing both ways).
+     */
+    void readLine(EffAddr ea, std::uint32_t bytes,
+                  std::function<void()> onDone);
+
+    /**
+     * Timing of a line write: @p onDone fires when the write has been
+     * accepted by the target bank (writes are posted).
+     */
+    void writeLine(EffAddr ea, std::uint32_t bytes,
+                   std::function<void()> onDone);
+
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+    PageAllocator &allocator() { return allocator_; }
+    DramBank &bank(unsigned i);
+    IoLink &ioLink() { return *ioLink_; }
+
+  private:
+    PageAllocator allocator_;
+    BackingStore store_;
+    std::unique_ptr<DramBank> banks_[2];
+    std::unique_ptr<IoLink> ioLink_;
+};
+
+} // namespace cellbw::mem
+
+#endif // CELLBW_MEM_MEMORY_SYSTEM_HH

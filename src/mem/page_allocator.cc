@@ -1,0 +1,81 @@
+#include "mem/page_allocator.hh"
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::mem
+{
+
+PageAllocator::PageAllocator(std::uint64_t pageBytes, unsigned numBanks)
+    : pageBytes_(pageBytes), numBanks_(numBanks)
+{
+    if (!util::isPow2(pageBytes))
+        sim::fatal("page size must be a power of two");
+    if (numBanks == 0)
+        sim::fatal("need at least one memory bank");
+    // Page 0 is reserved so that EA 0 is never handed out.
+    pageBank_.push_back(0);
+}
+
+EffAddr
+PageAllocator::alloc(std::uint64_t bytes, const NumaPolicy &policy)
+{
+    if (bytes == 0)
+        sim::fatal("zero-byte allocation");
+    auto pages = util::divCeil(bytes, pageBytes_);
+    EffAddr base = static_cast<EffAddr>(pageBank_.size()) * pageBytes_;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        unsigned bank = 0;
+        switch (policy.kind) {
+          case NumaPolicy::Kind::LocalOnly:
+            bank = 0;
+            break;
+          case NumaPolicy::Kind::RemoteOnly:
+            bank = numBanks_ > 1 ? 1 : 0;
+            break;
+          case NumaPolicy::Kind::Interleave:
+            if (numBanks_ == 1) {
+                bank = 0;
+            } else {
+                // Error diffusion keeps the realized ratio within one
+                // page of bank0Share at every prefix of the allocation.
+                carry_ += policy.bank0Share;
+                if (carry_ >= 1.0 - 1e-12) {
+                    bank = 0;
+                    carry_ -= 1.0;
+                } else {
+                    bank = 1;
+                }
+            }
+            break;
+        }
+        pageBank_.push_back(static_cast<std::uint8_t>(bank));
+    }
+    return base;
+}
+
+unsigned
+PageAllocator::bankOf(EffAddr ea) const
+{
+    std::uint64_t pn = ea / pageBytes_;
+    if (pn >= pageBank_.size())
+        sim::fatal("access to unallocated page at ea=0x%llx",
+                   (unsigned long long)ea);
+    return pageBank_[pn];
+}
+
+std::uint64_t
+PageAllocator::bytesAllocated() const
+{
+    return (pageBank_.size() - 1) * pageBytes_;
+}
+
+void
+PageAllocator::reset()
+{
+    pageBank_.clear();
+    pageBank_.push_back(0);
+    carry_ = 0.0;
+}
+
+} // namespace cellbw::mem

@@ -1,0 +1,224 @@
+#include "msg/communicator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::msg
+{
+
+Communicator::Communicator(cell::CellSystem &sys, unsigned ranks,
+                           const CommunicatorParams &params)
+    : sys_(sys), params_(params), ranks_(ranks)
+{
+    if (ranks_ < 2 || ranks_ > sys_.numSpes())
+        sim::fatal("communicator: ranks must be 2..%u", sys_.numSpes());
+    if (params_.eagerLimit > params_.slotBytes)
+        sim::fatal("communicator: eager limit exceeds the slot size");
+    if (!util::isValidDmaSize(params_.slotBytes))
+        sim::fatal("communicator: slot size is not a valid DMA size");
+
+    auto &eq = sys_.eventQueue();
+    pairs_.resize(std::size_t(ranks_) * ranks_);
+    for (unsigned dst = 0; dst < ranks_; ++dst) {
+        for (unsigned src = 0; src < ranks_; ++src) {
+            if (src == dst)
+                continue;
+            Pair &p = pair(src, dst);
+            p.arrived = std::make_unique<sim::Signal>(eq);
+            p.credit = std::make_unique<sim::Signal>(eq);
+            p.consumed = std::make_unique<sim::Signal>(eq);
+            p.credits = params_.slotsPerPair;
+            // Eager slots live in the receiver's LS.
+            p.slotBase = sys_.spe(dst).lsAlloc(
+                params_.slotsPerPair * params_.slotBytes);
+        }
+    }
+    barrierRelease_ = std::make_unique<sim::Signal>(eq);
+}
+
+Communicator::Pair &
+Communicator::pair(unsigned src, unsigned dst)
+{
+    if (src >= ranks_ || dst >= ranks_ || src == dst)
+        sim::fatal("communicator: bad pair %u -> %u", src, dst);
+    return pairs_[std::size_t(src) * ranks_ + dst];
+}
+
+namespace
+{
+
+/** Message sizes follow the DMA rules but may exceed one command:
+ *  1, 2, 4, 8 bytes or any multiple of 16 (chunked into <=16 KB DMAs). */
+bool
+isValidMessageSize(std::uint32_t bytes)
+{
+    if (bytes == 0)
+        return false;
+    if (bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8)
+        return true;
+    return bytes % 16 == 0;
+}
+
+} // namespace
+
+sim::Task
+Communicator::send(unsigned self, unsigned dst, LsAddr lsa,
+                   std::uint32_t bytes)
+{
+    if (!isValidMessageSize(bytes))
+        sim::fatal("communicator: message size %u is not a valid DMA "
+                   "size", bytes);
+    Pair &p = pair(self, dst);
+    auto &mfc = sys_.spe(self).mfc();
+    bytesSent_ += bytes;
+
+    if (bytes <= params_.eagerLimit) {
+        // Eager: claim a credit, PUT into the receiver's slot, post.
+        while (p.credits == 0)
+            co_await p.credit->wait();
+        --p.credits;
+        unsigned slot = p.nextSlot;
+        p.nextSlot = (p.nextSlot + 1) % params_.slotsPerPair;
+
+        co_await mfc.queueSpace();
+        mfc.put(lsa,
+                sys_.lsEa(dst, p.slotBase + slot * params_.slotBytes),
+                bytes, 7);
+        co_await mfc.tagWait(1u << 7);
+
+        co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
+        p.queue.push_back(std::make_shared<Descriptor>(
+            Descriptor{bytes, true, slot, 0, false}));
+        p.arrived->notifyAll();
+        ++eagerCount_;
+        co_return;
+    }
+
+    // Rendezvous: publish a ready-to-send descriptor, wait for the
+    // receiver to pull the payload from our LS.
+    co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
+    auto mine = std::make_shared<Descriptor>(
+        Descriptor{bytes, false, 0, lsa, false});
+    p.queue.push_back(mine);
+    p.arrived->notifyAll();
+    ++rndvCount_;
+    while (!mine->consumed)
+        co_await p.consumed->wait();
+}
+
+sim::Task
+Communicator::recv(unsigned self, unsigned src, LsAddr lsa,
+                   std::uint32_t maxBytes, std::uint32_t *outBytes)
+{
+    Pair &p = pair(src, self);
+    auto &spe = sys_.spe(self);
+
+    while (p.queue.empty())
+        co_await p.arrived->wait();
+    std::shared_ptr<Descriptor> stored = p.queue.front();
+    Descriptor d = *stored;
+    if (d.bytes > maxBytes) {
+        sim::fatal("communicator: %u-byte message exceeds the %u-byte "
+                   "receive buffer", d.bytes, maxBytes);
+    }
+
+    if (d.eager) {
+        p.queue.pop_front();
+        // Copy slot -> user buffer inside the LS (quadword loop).
+        LsAddr slot_lsa = p.slotBase + d.slot * params_.slotBytes;
+        std::vector<std::uint8_t> buf(d.bytes);
+        spe.ls().read(slot_lsa, buf.data(), d.bytes);
+        spe.ls().write(lsa, buf.data(), d.bytes);
+        Tick done = spe.ls().reservePort(2 * d.bytes);
+        co_await sim::WaitUntil{sys_.eventQueue(), done};
+        // Return the credit.
+        co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
+        ++p.credits;
+        p.credit->notifyAll();
+    } else {
+        // Rendezvous: pull straight from the sender's LS, chunked into
+        // <=16 KiB commands with the tag wait delayed to the end.
+        auto &mfc = spe.mfc();
+        for (std::uint32_t off = 0; off < d.bytes; off += 16 * 1024) {
+            std::uint32_t chunk =
+                std::min<std::uint32_t>(16 * 1024, d.bytes - off);
+            co_await mfc.queueSpace();
+            mfc.get(lsa + off, sys_.lsEa(src, d.senderLsa + off), chunk,
+                    8);
+        }
+        co_await mfc.tagWait(1u << 8);
+        stored->consumed = true;
+        p.queue.pop_front();
+        co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
+        p.consumed->notifyAll();
+    }
+    if (outBytes)
+        *outBytes = d.bytes;
+}
+
+sim::Task
+Communicator::barrier(unsigned self)
+{
+    if (self >= ranks_)
+        sim::fatal("communicator: bad rank %u", self);
+    // Model the flag write reaching the coordinating location.
+    co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
+    std::uint64_t gen = barrierGeneration_;
+    if (++barrierWaiting_ == ranks_) {
+        barrierWaiting_ = 0;
+        ++barrierGeneration_;
+        barrierRelease_->notifyAll();
+        co_return;
+    }
+    while (barrierGeneration_ == gen)
+        co_await barrierRelease_->wait();
+}
+
+sim::Task
+Communicator::allreduceSum(unsigned self, LsAddr lsa,
+                           std::uint32_t elems)
+{
+    const std::uint32_t bytes = elems * 4;
+    if (elems == 0 || !util::isValidDmaSize(bytes))
+        sim::fatal("allreduce: %u floats is not a DMA-able size", elems);
+    auto &spe = sys_.spe(self);
+    LsAddr scratch = spe.lsAlloc(bytes, 16);
+    const unsigned last = ranks_ - 1;
+
+    auto add_into = [&](LsAddr acc, LsAddr other) -> sim::Task {
+        std::vector<float> a(elems), b(elems);
+        spe.ls().read(acc, a.data(), bytes);
+        spe.ls().read(other, b.data(), bytes);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            a[i] += b[i];
+        spe.ls().write(acc, a.data(), bytes);
+        Tick done = spe.ls().reservePort(3 * bytes);
+        // 4-wide SIMD adds: elems/4 cycles of compute.
+        co_await spe.spu().cycles(elems / 4 + 1);
+        co_await sim::WaitUntil{sys_.eventQueue(), done};
+    };
+
+    // Reduce along the ring towards rank ranks-1.
+    if (self > 0) {
+        std::uint32_t got = 0;
+        co_await recv(self, self - 1, scratch, bytes, &got);
+        co_await add_into(lsa, scratch);
+    }
+    if (self < last) {
+        co_await send(self, self + 1, lsa, bytes);
+    }
+
+    // Broadcast the completed sum around the ring from rank ranks-1.
+    if (self == last) {
+        co_await send(self, 0, lsa, bytes);
+    } else {
+        co_await recv(self, (self == 0) ? last : self - 1, lsa, bytes,
+                      nullptr);
+        if (self + 1 != last)
+            co_await send(self, self + 1, lsa, bytes);
+    }
+}
+
+} // namespace cellbw::msg

@@ -1,0 +1,107 @@
+#include "ppe/cache.hh"
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::ppe
+{
+
+CacheArray::CacheArray(const CacheParams &params)
+    : params_(params)
+{
+    if (!util::isPow2(params_.lineBytes))
+        sim::fatal("cache line size must be a power of two");
+    if (params_.assoc == 0 || params_.sizeBytes == 0)
+        sim::fatal("cache must have positive size and associativity");
+    std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    if (lines < params_.assoc || lines % params_.assoc != 0)
+        sim::fatal("cache size not divisible into sets");
+    numSets_ = static_cast<std::uint32_t>(lines / params_.assoc);
+    ways_.resize(lines);
+}
+
+CacheArray::Way *
+CacheArray::find(EffAddr ea)
+{
+    std::uint64_t line = lineOf(ea);
+    std::uint32_t set = setOf(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    return nullptr;
+}
+
+const CacheArray::Way *
+CacheArray::find(EffAddr ea) const
+{
+    return const_cast<CacheArray *>(this)->find(ea);
+}
+
+bool
+CacheArray::access(EffAddr ea)
+{
+    if (Way *w = find(ea)) {
+        w->lru = ++clock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+CacheArray::contains(EffAddr ea) const
+{
+    return find(ea) != nullptr;
+}
+
+bool
+CacheArray::insert(EffAddr ea, bool dirty)
+{
+    if (Way *w = find(ea)) {
+        w->lru = ++clock_;
+        w->dirty = w->dirty || dirty;
+        return false;
+    }
+    std::uint64_t line = lineOf(ea);
+    std::uint32_t set = setOf(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    Way *victim = &base[0];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    bool dirty_evict = victim->valid && victim->dirty;
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = line;
+    victim->lru = ++clock_;
+    return dirty_evict;
+}
+
+bool
+CacheArray::touchDirty(EffAddr ea)
+{
+    if (Way *w = find(ea)) {
+        w->dirty = true;
+        w->lru = ++clock_;
+        return true;
+    }
+    return false;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &w : ways_)
+        w = Way{};
+}
+
+} // namespace cellbw::ppe

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU replacement.
+ *
+ * Used for the PPE's 32 KB L1D and 512 KB L2.  Only tags matter for the
+ * bandwidth model (data moves through the backing store); the arrays
+ * give real residency behaviour, so where a buffer fits decides which
+ * level's timing the sweep sees — exactly how the paper's experiments
+ * select L1 / L2 / memory.
+ */
+
+#ifndef CELLBW_PPE_CACHE_HH
+#define CELLBW_PPE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cellbw::ppe
+{
+
+struct CacheParams
+{
+    std::uint32_t sizeBytes;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t assoc = 8;
+};
+
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params);
+
+    std::uint32_t lineBytes() const { return params_.lineBytes; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    /**
+     * Look up the line containing @p ea; updates LRU on hit.
+     * @return true on hit.
+     */
+    bool access(EffAddr ea);
+
+    /** Tag check without LRU update. */
+    bool contains(EffAddr ea) const;
+
+    /**
+     * Install the line containing @p ea (no-op if present; marks dirty
+     * if @p dirty).
+     * @return true iff a *dirty* victim was evicted.
+     */
+    bool insert(EffAddr ea, bool dirty = false);
+
+    /** Mark the line dirty if present; @return true iff it was present. */
+    bool touchDirty(EffAddr ea);
+
+    void invalidateAll();
+
+    /** @name Statistics. */
+    /** @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    /** @} */
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t lineOf(EffAddr ea) const { return ea / params_.lineBytes; }
+    std::uint32_t setOf(std::uint64_t line) const
+    {
+        return static_cast<std::uint32_t>(line % numSets_);
+    }
+
+    Way *find(EffAddr ea);
+    const Way *find(EffAddr ea) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Way> ways_;     // numSets_ * assoc, row-major by set
+    std::uint64_t clock_ = 0;   // LRU timestamp source
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace cellbw::ppe
+
+#endif // CELLBW_PPE_CACHE_HH

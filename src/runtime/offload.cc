@@ -1,0 +1,163 @@
+#include "runtime/offload.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::runtime
+{
+
+OffloadRuntime::OffloadRuntime(cell::CellSystem &sys,
+                               const OffloadParams &params)
+    : sys_(sys), params_(params)
+{
+    if (params_.workers == 0 || params_.workers > sys_.numSpes())
+        sim::fatal("offload runtime: workers must be 1..%u",
+                   sys_.numSpes());
+    if (params_.chunkBytes == 0 ||
+        !util::isValidDmaSize(params_.chunkBytes)) {
+        sim::fatal("offload runtime: chunk size %u is not a valid DMA "
+                   "size", params_.chunkBytes);
+    }
+}
+
+void
+OffloadRuntime::submit(OffloadTask task)
+{
+    if (started_)
+        sim::fatal("offload runtime: submit after start");
+    if (task.bytes == 0)
+        sim::fatal("offload runtime: empty task");
+    if (!task.kernel)
+        sim::fatal("offload runtime: task without a kernel");
+    tasks_.push_back(std::move(task));
+}
+
+void
+OffloadRuntime::start()
+{
+    if (started_)
+        sim::fatal("offload runtime: started twice");
+    started_ = true;
+    stats_.worker.resize(params_.workers);
+    stats_.firstDispatch = sys_.now();
+
+    buf0_.resize(params_.workers);
+    buf1_.resize(params_.workers);
+    for (unsigned w = 0; w < params_.workers; ++w) {
+        auto &s = sys_.spe(w);
+        buf0_[w] = s.lsAlloc(params_.chunkBytes);
+        buf1_[w] = params_.doubleBuffer ? s.lsAlloc(params_.chunkBytes)
+                                        : buf0_[w];
+        sys_.launch(worker(w));
+    }
+    sys_.launch(dispatcher());
+}
+
+sim::Task
+OffloadRuntime::dispatcher()
+{
+    // Round-robin dispatch through the 4-entry inbound mailboxes; a
+    // busy worker's full mailbox applies backpressure naturally.
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+        unsigned w = static_cast<unsigned>(t % params_.workers);
+        co_await sys_.spe(w).inboundMailbox().write(
+            static_cast<std::uint32_t>(t));
+    }
+    for (unsigned w = 0; w < params_.workers; ++w)
+        co_await sys_.spe(w).inboundMailbox().write(stopToken);
+}
+
+sim::Task
+OffloadRuntime::processTask(unsigned w, const OffloadTask &task,
+                            WorkerStats &ws)
+{
+    auto &s = sys_.spe(w);
+    auto &mfc = s.mfc();
+    const std::uint32_t chunk = params_.chunkBytes;
+    const std::uint64_t n =
+        util::divCeil(task.bytes, chunk);
+    const LsAddr bufs[2] = {buf0_[w], buf1_[w]};
+
+    auto chunk_size = [&](std::uint64_t c) {
+        return static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, task.bytes - c * chunk));
+    };
+
+    // Prefetch chunk 0.
+    co_await mfc.queueSpace();
+    mfc.get(bufs[0], task.input, chunk_size(0), 0);
+
+    std::vector<std::uint8_t> scratch(chunk);
+    for (std::uint64_t c = 0; c < n; ++c) {
+        unsigned cur = params_.doubleBuffer
+                           ? static_cast<unsigned>(c % 2)
+                           : 0u;
+        unsigned nxt = 1 - cur;
+        // Kick off the next chunk's GET before waiting on this one,
+        // so the transfer overlaps this chunk's compute.
+        if (params_.doubleBuffer && c + 1 < n) {
+            co_await mfc.queueSpace();
+            mfc.get(bufs[nxt], task.input + (c + 1) * chunk,
+                    chunk_size(c + 1), nxt);
+        }
+        // The tag also covers the previous PUT from this buffer, so
+        // waiting here both lands the input and frees the buffer.
+        co_await mfc.tagWait(1u << cur);
+
+        std::uint32_t bytes = chunk_size(c);
+        s.ls().read(bufs[cur], scratch.data(), bytes);
+        task.kernel(scratch.data(), bytes);
+        s.ls().write(bufs[cur], scratch.data(), bytes);
+        co_await s.spu().cycles(task.computeCyclesPerKiB *
+                                util::divCeil(bytes, util::KiB));
+
+        co_await mfc.queueSpace();
+        mfc.put(bufs[cur], task.output + c * chunk, bytes, cur);
+        if (!params_.doubleBuffer) {
+            co_await mfc.tagWait(1u << cur);
+            if (c + 1 < n) {
+                co_await mfc.queueSpace();
+                mfc.get(bufs[0], task.input + (c + 1) * chunk,
+                        chunk_size(c + 1), 0);
+            }
+        }
+        ws.bytesIn += bytes;
+        ws.bytesOut += bytes;
+        ++ws.chunks;
+    }
+    co_await mfc.tagWait((1u << 0) | (1u << 1));
+}
+
+sim::Task
+OffloadRuntime::worker(unsigned w)
+{
+    auto &s = sys_.spe(w);
+    WorkerStats &ws = stats_.worker[w];
+    while (true) {
+        std::uint32_t id = co_await s.inboundMailbox().read();
+        if (id == stopToken)
+            break;
+        Tick t0 = sys_.now();
+        co_await processTask(w, tasks_[id], ws);
+        ws.busyTicks += sys_.now() - t0;
+        ++ws.tasks;
+        ++stats_.tasksCompleted;
+        stats_.lastCompletion = sys_.now();
+    }
+}
+
+double
+OffloadRuntime::throughputGBps() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &w : stats_.worker)
+        bytes += w.bytesIn;
+    Tick span = stats_.makespan();
+    if (span == 0)
+        return 0.0;
+    return sys_.clock().bandwidthGBps(bytes, span);
+}
+
+} // namespace cellbw::runtime

@@ -1,0 +1,152 @@
+#include "runtime/software_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::runtime
+{
+
+SoftwareCache::SoftwareCache(cell::CellSystem &sys, unsigned speIndex,
+                             const SoftwareCacheParams &params)
+    : sys_(sys), params_(params), speIndex_(speIndex)
+{
+    if (params_.sets == 0 || params_.ways == 0)
+        sim::fatal("software cache: geometry must be positive");
+    if (params_.dmaTag >= spe::numTags)
+        sim::fatal("software cache: bad DMA tag");
+    ways_.resize(std::size_t(params_.sets) * params_.ways);
+    base_ = sys_.spe(speIndex_).lsAlloc(capacityBytes(), lineBytes);
+}
+
+SoftwareCache::Way &
+SoftwareCache::way(unsigned set, unsigned w)
+{
+    return ways_[std::size_t(set) * params_.ways + w];
+}
+
+LsAddr
+SoftwareCache::lineLsa(unsigned set, unsigned w) const
+{
+    return base_ + (set * params_.ways + w) * lineBytes;
+}
+
+sim::Task
+SoftwareCache::ensureResident(EffAddr lineEa, unsigned set,
+                              unsigned *wayOut)
+{
+    auto &spe = sys_.spe(speIndex_);
+    auto &mfc = spe.mfc();
+
+    // Tag check (the software overhead of every access).
+    co_await spe.spu().cycles(params_.lookupCycles);
+
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Way &cand = way(set, w);
+        if (cand.valid && cand.lineEa == lineEa) {
+            cand.lru = ++clock_;
+            ++hits_;
+            *wayOut = w;
+            co_return;
+        }
+    }
+
+    // Miss: pick the LRU victim.
+    ++misses_;
+    unsigned victim = 0;
+    for (unsigned w = 1; w < params_.ways; ++w) {
+        if (!way(set, w).valid) {
+            victim = w;
+            break;
+        }
+        if (way(set, w).lru < way(set, victim).lru)
+            victim = w;
+    }
+    Way &v = way(set, victim);
+
+    if (v.valid && v.dirty) {
+        // Write the victim back before reusing its slot.
+        ++writebacks_;
+        co_await mfc.queueSpace();
+        mfc.put(lineLsa(set, victim), v.lineEa, lineBytes,
+                params_.dmaTag);
+        co_await mfc.tagWait(1u << params_.dmaTag);
+    }
+
+    co_await mfc.queueSpace();
+    mfc.get(lineLsa(set, victim), lineEa, lineBytes, params_.dmaTag);
+    co_await mfc.tagWait(1u << params_.dmaTag);
+
+    v.valid = true;
+    v.dirty = false;
+    v.lineEa = lineEa;
+    v.lru = ++clock_;
+    *wayOut = victim;
+}
+
+sim::Task
+SoftwareCache::read(EffAddr ea, void *out, std::uint32_t bytes)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (bytes > 0) {
+        EffAddr line_ea = util::roundDown(ea, lineBytes);
+        auto off = static_cast<std::uint32_t>(ea - line_ea);
+        std::uint32_t chunk =
+            std::min(bytes, lineBytes - off);
+        unsigned set = static_cast<unsigned>(
+            (line_ea / lineBytes) % params_.sets);
+        unsigned w = 0;
+        co_await ensureResident(line_ea, set, &w);
+        sys_.spe(speIndex_).ls().read(lineLsa(set, w) + off, dst,
+                                      chunk);
+        ea += chunk;
+        dst += chunk;
+        bytes -= chunk;
+    }
+}
+
+sim::Task
+SoftwareCache::write(EffAddr ea, const void *in, std::uint32_t bytes)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (bytes > 0) {
+        EffAddr line_ea = util::roundDown(ea, lineBytes);
+        auto off = static_cast<std::uint32_t>(ea - line_ea);
+        std::uint32_t chunk =
+            std::min(bytes, lineBytes - off);
+        unsigned set = static_cast<unsigned>(
+            (line_ea / lineBytes) % params_.sets);
+        unsigned w = 0;
+        co_await ensureResident(line_ea, set, &w);
+        sys_.spe(speIndex_).ls().write(lineLsa(set, w) + off, src,
+                                       chunk);
+        way(set, w).dirty = true;
+        ea += chunk;
+        src += chunk;
+        bytes -= chunk;
+    }
+}
+
+sim::Task
+SoftwareCache::flush()
+{
+    auto &mfc = sys_.spe(speIndex_).mfc();
+    for (unsigned set = 0; set < params_.sets; ++set) {
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            Way &cand = way(set, w);
+            if (cand.valid && cand.dirty) {
+                ++writebacks_;
+                co_await mfc.queueSpace();
+                mfc.put(lineLsa(set, w), cand.lineEa, lineBytes,
+                        params_.dmaTag);
+                cand.dirty = false;
+            }
+            cand.valid = false;
+        }
+    }
+    co_await mfc.tagWait(1u << params_.dmaTag);
+}
+
+} // namespace cellbw::runtime

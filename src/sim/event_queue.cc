@@ -1,0 +1,53 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace cellbw::sim
+{
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past: %llu < %llu",
+              (unsigned long long)when, (unsigned long long)now_);
+    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::dispatchOne()
+{
+    // Move the callback out before popping so that the callback may
+    // schedule new events (which mutates the queue) safely.
+    Entry e = std::move(const_cast<Entry &>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    ++processed_;
+    e.cb();
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        dispatchOne();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick when)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= when) {
+        dispatchOne();
+        ++n;
+    }
+    if (now_ < when)
+        now_ = when;
+    return n;
+}
+
+} // namespace cellbw::sim

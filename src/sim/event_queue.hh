@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * One global tick = one CPU cycle of the modeled 2.1 GHz Cell.  Events
+ * scheduled for the same tick fire in FIFO (schedule) order, which makes
+ * the simulation deterministic for a fixed RNG seed.
+ */
+
+#ifndef CELLBW_SIM_EVENT_QUEUE_HH
+#define CELLBW_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cellbw::sim
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to fire @p delay ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void scheduleAt(Tick when, Callback cb);
+
+    /**
+     * Run until no events remain.
+     * @return the number of events processed.
+     */
+    std::uint64_t run();
+
+    /**
+     * Run all events with timestamp <= @p when, then advance now to
+     * @p when.  @return the number of events processed.
+     */
+    std::uint64_t runUntil(Tick when);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void dispatchOne();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace cellbw::sim
+
+#endif // CELLBW_SIM_EVENT_QUEUE_HH

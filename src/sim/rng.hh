@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * The paper runs every experiment 10 times because the kernel assigns a
+ * different logical-to-physical SPE mapping each run.  We reproduce that
+ * with a seeded generator so results are repeatable.
+ */
+
+#ifndef CELLBW_SIM_RNG_HH
+#define CELLBW_SIM_RNG_HH
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace cellbw::sim
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniformReal()
+    {
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        return d(engine_);
+    }
+
+    /** Fisher-Yates permutation of {0, ..., n-1}. */
+    std::vector<std::uint32_t>
+    permutation(std::uint32_t n)
+    {
+        std::vector<std::uint32_t> p(n);
+        std::iota(p.begin(), p.end(), 0u);
+        for (std::uint32_t i = n; i > 1; --i) {
+            auto j = static_cast<std::uint32_t>(uniformInt(0, i - 1));
+            std::swap(p[i - 1], p[j]);
+        }
+        return p;
+    }
+
+    /** Derive an independent child seed (for per-run reproducibility). */
+    std::uint64_t
+    fork()
+    {
+        return engine_();
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace cellbw::sim
+
+#endif // CELLBW_SIM_RNG_HH

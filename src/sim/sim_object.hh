@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Common base for named simulation components.
+ */
+
+#ifndef CELLBW_SIM_SIM_OBJECT_HH
+#define CELLBW_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+
+namespace cellbw::sim
+{
+
+/**
+ * A named component bound to an event queue.  Models (caches, rings,
+ * MFCs, banks) derive from this to get uniform naming for logs and a
+ * shortcut to the simulation clock.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eq_(eq)
+    {
+    }
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventQueue() { return eq_; }
+    const EventQueue &eventQueue() const { return eq_; }
+    Tick curTick() const { return eq_.now(); }
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+};
+
+} // namespace cellbw::sim
+
+#endif // CELLBW_SIM_SIM_OBJECT_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * C++20 coroutine support for writing simulated programs.
+ *
+ * SPU programs and PPE thread bodies are written as coroutines returning
+ * sim::Task.  Awaiting sim::Delay yields simulated time; components such
+ * as the MFC expose their own awaitables built on sim::Signal.
+ *
+ * @code
+ *   sim::Task spuProgram(cell::SpeContext &ctx)
+ *   {
+ *       ctx.mfc().get(ls, ea, bytes, tag);
+ *       co_await ctx.mfc().tagWait(1u << tag);
+ *       co_await sim::Delay{ctx.eventQueue(), 10};
+ *   }
+ * @endcode
+ *
+ * Lifetime rules: a Task owns its coroutine frame.  Tasks must outlive
+ * the simulation run that resumes them; the cell::CellSystem keeps all
+ * launched tasks alive until reset.
+ */
+
+#ifndef CELLBW_SIM_TASK_HH
+#define CELLBW_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cellbw::sim
+{
+
+/**
+ * A lazily-started coroutine handle with completion tracking.
+ * Move-only; destroys the frame on destruction.
+ */
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        std::exception_ptr exception;
+        bool finished = false;
+        bool started = false;
+        std::coroutine_handle<> continuation;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                auto &p = h.promise();
+                p.finished = true;
+                if (p.continuation)
+                    return p.continuation;
+                return std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** Begin execution; runs synchronously to the first suspension. */
+    void
+    start()
+    {
+        if (handle_ && !handle_.promise().started && !handle_.done()) {
+            handle_.promise().started = true;
+            handle_.resume();
+        }
+    }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.promise().finished; }
+
+    /** True iff the coroutine ended with an uncaught exception. */
+    bool
+    failed() const
+    {
+        return handle_ && static_cast<bool>(handle_.promise().exception);
+    }
+
+    /** Rethrow the coroutine's stored exception, if any. */
+    void
+    rethrow() const
+    {
+        if (failed())
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    /**
+     * Awaiting a task suspends the awaiter until the task finishes.
+     * If the task has not started yet, awaiting starts it (symmetric
+     * transfer).  Only one awaiter is supported.
+     */
+    auto
+    operator co_await() const noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+
+            bool await_ready() const noexcept
+            {
+                return !h || h.promise().finished;
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> c) noexcept
+            {
+                auto &p = h.promise();
+                p.continuation = c;
+                if (!p.started) {
+                    p.started = true;
+                    return h;   // start the child now
+                }
+                return std::noop_coroutine();
+            }
+
+            void
+            await_resume() const
+            {
+                if (h && h.promise().exception)
+                    std::rethrow_exception(h.promise().exception);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_;
+};
+
+/** Awaitable: suspend for @p delay ticks on @p eq. */
+struct Delay
+{
+    EventQueue &eq;
+    Tick delay;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        eq.schedule(delay, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/** Awaitable: suspend until absolute tick @p when (no-op if passed). */
+struct WaitUntil
+{
+    EventQueue &eq;
+    Tick when;
+
+    bool await_ready() const noexcept { return when <= eq.now(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        eq.scheduleAt(when, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/**
+ * A broadcast wake-up channel.  Coroutines co_await wait(); notifyAll()
+ * resumes every waiter at the current tick (via the event queue, so
+ * notification is never re-entrant).
+ */
+class Signal
+{
+  public:
+    explicit Signal(EventQueue &eq) : eq_(eq) {}
+
+    Signal(const Signal &) = delete;
+    Signal &operator=(const Signal &) = delete;
+
+    struct WaitAwaiter
+    {
+        Signal &sig;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sig.waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Awaitable that resumes on the next notifyAll(). */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+    /** Wake all current waiters (scheduled at the current tick). */
+    void
+    notifyAll()
+    {
+        if (waiters_.empty())
+            return;
+        auto batch = std::move(waiters_);
+        waiters_.clear();
+        eq_.schedule(0, [batch = std::move(batch)] {
+            for (auto h : batch)
+                h.resume();
+        });
+    }
+
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    EventQueue &eq_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace cellbw::sim
+
+#endif // CELLBW_SIM_TASK_HH

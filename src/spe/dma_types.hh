@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Types shared between the MFC and the system-level DMA router.
+ *
+ * The MFC splits DMA commands into EIB-sized lines (<= 128 bytes) and
+ * hands them to a LineHandler installed by the cell layer, which routes
+ * each line over the EIB to main memory or a remote local store.  This
+ * keeps libcellbw_spe free of a dependency on the interconnect and
+ * memory models.
+ */
+
+#ifndef CELLBW_SPE_DMA_TYPES_HH
+#define CELLBW_SPE_DMA_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cellbw::spe
+{
+
+/** Direction of a DMA command, from the issuing SPE's point of view. */
+enum class DmaDir
+{
+    Get,    ///< effective address -> local store
+    Put,    ///< local store -> effective address
+};
+
+/** One element of a DMA list (mfc_getl / mfc_putl). */
+struct ListElement
+{
+    EffAddr ea;
+    std::uint32_t size;
+};
+
+/** Maximum transfer size of one DMA command or list element. */
+constexpr std::uint32_t maxDmaSize = 16 * 1024;
+
+/** Maximum number of elements in one DMA list command. */
+constexpr std::uint32_t maxListElements = 2048;
+
+/** EIB packet payload granularity: one cache line. */
+constexpr std::uint32_t lineBytes = 128;
+
+/** Number of MFC tag groups. */
+constexpr unsigned numTags = 32;
+
+/**
+ * Base effective address of the memory-mapped local-store apertures.
+ * Lines targeting EAs at or above this are LS-to-LS traffic and do not
+ * consume memory tokens in the MFC's resource allocator.
+ */
+constexpr EffAddr lsApertureBase = 1ull << 40;
+
+/** A single line-sized piece of a DMA command, ready for routing. */
+struct LineRequest
+{
+    unsigned speIndex;          ///< logical index of the issuing SPE
+    DmaDir dir;
+    EffAddr ea;
+    LsAddr lsa;
+    std::uint32_t bytes;
+    std::function<void()> done; ///< invoked when the line has landed
+};
+
+using LineHandler = std::function<void(LineRequest &&)>;
+
+} // namespace cellbw::spe
+
+#endif // CELLBW_SPE_DMA_TYPES_HH

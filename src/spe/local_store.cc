@@ -1,0 +1,69 @@
+#include "spe/local_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::spe
+{
+
+LocalStore::LocalStore(std::string name, sim::EventQueue &eq,
+                       const LocalStoreParams &params)
+    : sim::SimObject(std::move(name), eq), params_(params),
+      data_(params.sizeBytes, 0)
+{
+    if (params_.bytesPerCycle == 0)
+        sim::fatal("%s: LS port width must be positive",
+                   this->name().c_str());
+}
+
+void
+LocalStore::checkRange(LsAddr lsa, std::uint32_t size) const
+{
+    if (static_cast<std::uint64_t>(lsa) + size > params_.sizeBytes) {
+        sim::fatal("%s: LS access [0x%x, +%u) out of the %u-byte store",
+                   name().c_str(), lsa, size, params_.sizeBytes);
+    }
+}
+
+void
+LocalStore::write(LsAddr lsa, const void *src, std::uint32_t size)
+{
+    checkRange(lsa, size);
+    std::memcpy(data_.data() + lsa, src, size);
+}
+
+void
+LocalStore::read(LsAddr lsa, void *dst, std::uint32_t size) const
+{
+    checkRange(lsa, size);
+    std::memcpy(dst, data_.data() + lsa, size);
+}
+
+void
+LocalStore::fill(LsAddr lsa, std::uint8_t value, std::uint32_t size)
+{
+    checkRange(lsa, size);
+    std::memset(data_.data() + lsa, value, size);
+}
+
+std::uint8_t
+LocalStore::byteAt(LsAddr lsa) const
+{
+    checkRange(lsa, 1);
+    return data_[lsa];
+}
+
+Tick
+LocalStore::reservePort(std::uint32_t bytes)
+{
+    Tick service = util::divCeil(bytes, params_.bytesPerCycle);
+    Tick start = std::max(curTick(), portFreeAt_);
+    portFreeAt_ = start + service;
+    bytesAccessed_ += bytes;
+    return portFreeAt_ + params_.accessLatency;
+}
+
+} // namespace cellbw::spe

@@ -1,0 +1,46 @@
+#include "spe/mailbox.hh"
+
+namespace cellbw::spe
+{
+
+Mailbox::Mailbox(std::string name, sim::EventQueue &eq, unsigned capacity)
+    : sim::SimObject(std::move(name), eq), capacity_(capacity)
+{
+    if (capacity_ == 0)
+        sim::fatal("%s: mailbox capacity must be positive",
+                   this->name().c_str());
+}
+
+void
+Mailbox::wakeOne(std::vector<std::coroutine_handle<>> &waiters)
+{
+    if (waiters.empty())
+        return;
+    auto h = waiters.front();
+    waiters.erase(waiters.begin());
+    eventQueue().schedule(0, [h] { h.resume(); });
+}
+
+bool
+Mailbox::tryWrite(std::uint32_t value)
+{
+    if (full())
+        return false;
+    fifo_.push_back(value);
+    ++written_;
+    wakeOne(readWaiters_);
+    return true;
+}
+
+bool
+Mailbox::tryRead(std::uint32_t &value)
+{
+    if (empty())
+        return false;
+    value = fifo_.front();
+    fifo_.pop_front();
+    wakeOne(writeWaiters_);
+    return true;
+}
+
+} // namespace cellbw::spe

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SPE mailboxes: 32-bit message channels between the SPU and the PPE
+ * (or other SPEs via the MFC's memory-mapped problem-state registers).
+ *
+ * The CBEA gives each SPE a 4-entry inbound mailbox and 1-entry outbound
+ * and outbound-interrupt mailboxes.  Reads from an empty mailbox and
+ * writes to a full one stall, which the simulator expresses as
+ * awaitables.  Single producer and single consumer per mailbox, as on
+ * the real machine's intended use.
+ */
+
+#ifndef CELLBW_SPE_MAILBOX_HH
+#define CELLBW_SPE_MAILBOX_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+
+namespace cellbw::spe
+{
+
+class Mailbox : public sim::SimObject
+{
+  public:
+    Mailbox(std::string name, sim::EventQueue &eq, unsigned capacity);
+
+    unsigned capacity() const { return capacity_; }
+    unsigned count() const { return static_cast<unsigned>(fifo_.size()); }
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return fifo_.size() >= capacity_; }
+
+    /** Non-blocking write; @return false when the mailbox is full. */
+    bool tryWrite(std::uint32_t value);
+
+    /** Non-blocking read; @return false when the mailbox is empty. */
+    bool tryRead(std::uint32_t &value);
+
+    /** Awaitable write: stalls while full. */
+    struct WriteAwaiter
+    {
+        Mailbox &mb;
+        std::uint32_t value;
+
+        bool
+        await_ready() const
+        {
+            return !mb.full();
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            mb.writeWaiters_.push_back(h);
+        }
+
+        void
+        await_resume()
+        {
+            // Single producer: the slot that woke us is still free.
+            if (!mb.tryWrite(value))
+                sim::panic("%s: lost mailbox slot (multiple producers?)",
+                           mb.name().c_str());
+        }
+    };
+
+    WriteAwaiter write(std::uint32_t value)
+    {
+        return WriteAwaiter{*this, value};
+    }
+
+    /** Awaitable read: stalls while empty; yields the value. */
+    struct ReadAwaiter
+    {
+        Mailbox &mb;
+
+        bool await_ready() const { return !mb.empty(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            mb.readWaiters_.push_back(h);
+        }
+
+        std::uint32_t
+        await_resume()
+        {
+            std::uint32_t v = 0;
+            if (!mb.tryRead(v))
+                sim::panic("%s: empty on resume (multiple consumers?)",
+                           mb.name().c_str());
+            return v;
+        }
+    };
+
+    ReadAwaiter read() { return ReadAwaiter{*this}; }
+
+    std::uint64_t messagesWritten() const { return written_; }
+
+  private:
+    friend struct WriteAwaiter;
+    friend struct ReadAwaiter;
+
+    void wakeOne(std::vector<std::coroutine_handle<>> &waiters);
+
+    unsigned capacity_;
+    std::deque<std::uint32_t> fifo_;
+    std::vector<std::coroutine_handle<>> readWaiters_;
+    std::vector<std::coroutine_handle<>> writeWaiters_;
+    std::uint64_t written_ = 0;
+};
+
+} // namespace cellbw::spe
+
+#endif // CELLBW_SPE_MAILBOX_HH

@@ -1,0 +1,337 @@
+#include "spe/mfc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "util/align.hh"
+
+namespace cellbw::spe
+{
+
+Mfc::Mfc(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
+         const MfcParams &params, unsigned speIndex)
+    : sim::SimObject(std::move(name), eq), clock_(clock), params_(params),
+      speIndex_(speIndex)
+{
+    if (params_.queueDepth == 0 || params_.memoryTokens == 0 ||
+        params_.lsLines == 0) {
+        sim::fatal("%s: queue depth and line windows must be positive",
+                   this->name().c_str());
+    }
+}
+
+std::uint32_t
+Mfc::tagsPendingMask() const
+{
+    std::uint32_t mask = 0;
+    for (unsigned t = 0; t < numTags; ++t)
+        if (tagPending_[t])
+            mask |= 1u << t;
+    return mask;
+}
+
+void
+Mfc::validate(LsAddr lsa, const std::vector<ListElement> &segs,
+              bool isList) const
+{
+    if (isList) {
+        if (segs.empty() || segs.size() > maxListElements) {
+            sim::fatal("%s: DMA list must have 1..%u elements, got %zu",
+                       name().c_str(), maxListElements, segs.size());
+        }
+    }
+    LsAddr cursor = lsa;
+    for (const auto &seg : segs) {
+        if (isList)
+            cursor = static_cast<LsAddr>(util::roundUp(cursor, 16));
+        if (!util::isValidDmaSize(seg.size)) {
+            sim::fatal("%s: invalid DMA transfer size %u", name().c_str(),
+                       seg.size);
+        }
+        if (!util::isValidDmaAlignment(cursor, seg.ea, seg.size)) {
+            sim::fatal("%s: misaligned DMA (lsa=0x%x ea=0x%llx size=%u)",
+                       name().c_str(), cursor,
+                       (unsigned long long)seg.ea, seg.size);
+        }
+        cursor += seg.size;
+        if (cursor > params_.lsSize) {
+            sim::fatal("%s: DMA overruns the %u-byte local store",
+                       name().c_str(), params_.lsSize);
+        }
+    }
+}
+
+void
+Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
+             std::vector<ListElement> segs, unsigned tag, Order order,
+             bool proxy)
+{
+    if (tag >= numTags)
+        sim::fatal("%s: DMA tag %u out of range", name().c_str(), tag);
+    if (!proxy && spuCount_ >= params_.queueDepth) {
+        sim::fatal("%s: MFC command queue overflow; "
+                   "co_await queueSpace() before issuing",
+                   name().c_str());
+    }
+    if (proxy && proxyCount_ >= params_.proxyQueueDepth) {
+        sim::fatal("%s: MFC proxy queue overflow; "
+                   "co_await proxyQueueSpace() before issuing",
+                   name().c_str());
+    }
+    if (!handler_)
+        sim::fatal("%s: no DMA line handler installed", name().c_str());
+    validate(lsa, segs, isList);
+
+    Command c;
+    c.dir = dir;
+    c.tag = tag;
+    c.isList = isList;
+    c.isProxy = proxy;
+    c.order = order;
+    c.lsaCursor = lsa;
+    c.enqueuedAt = curTick();
+    for (const auto &seg : segs)
+        c.totalBytes += seg.size;
+    c.segs = std::move(segs);
+    queue_.push_back(std::move(c));
+    if (proxy)
+        ++proxyCount_;
+    else
+        ++spuCount_;
+    ++tagPending_[tag];
+    scheduleIssue();
+}
+
+void
+Mfc::proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+              Order order)
+{
+    enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order, true);
+}
+
+void
+Mfc::proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+              Order order)
+{
+    enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order, true);
+}
+
+void
+Mfc::get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+         Order order)
+{
+    enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order);
+}
+
+void
+Mfc::put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+         Order order)
+{
+    enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order);
+}
+
+void
+Mfc::getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+             Order order)
+{
+    enqueue(DmaDir::Get, true, lsa, std::move(list), tag, order);
+}
+
+void
+Mfc::putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+             Order order)
+{
+    enqueue(DmaDir::Put, true, lsa, std::move(list), tag, order);
+}
+
+bool
+Mfc::issuable(const Command &c) const
+{
+    for (const auto &earlier : queue_) {
+        if (&earlier == &c)
+            break;
+        if (earlier.tag != c.tag || earlier.done)
+            continue;
+        // A fenced or barriered command waits for every earlier
+        // incomplete command of its tag group.
+        if (c.order != Order::None)
+            return false;
+        // Any command waits for an earlier incomplete barrier of its
+        // tag group.
+        if (earlier.order == Order::Barrier)
+            return false;
+    }
+    return true;
+}
+
+void
+Mfc::scheduleIssue()
+{
+    if (issueInProgress_)
+        return;
+    // First command that has not passed the issue engine yet and is
+    // not held back by tag-group fences/barriers.  Commands of other
+    // tag groups may overtake a blocked one, as on real hardware.
+    Command *next = nullptr;
+    for (auto &c : queue_) {
+        if (!c.issued && issuable(c)) {
+            next = &c;
+            break;
+        }
+    }
+    if (!next)
+        return;
+
+    issueInProgress_ = true;
+    Tick occ_bus = params_.elemOverheadBus;
+    if (next->isList)
+        occ_bus += params_.listElemOverheadBus * next->segs.size();
+    Tick start = std::max(curTick(), issueFreeAt_);
+    issueFreeAt_ = start + clock_.busCycles(occ_bus);
+    eventQueue().scheduleAt(issueFreeAt_, [this, next] {
+        finishIssue(next);
+    });
+}
+
+void
+Mfc::finishIssue(Command *c)
+{
+    c->issued = true;
+    c->issuedAt = curTick();
+    activePool_.push_back(c);
+    issueInProgress_ = false;
+    scheduleIssue();
+    tryIssueLines();
+}
+
+void
+Mfc::tryIssueLines()
+{
+    // Round-robin over active commands, skipping those whose next line
+    // has no token (memory) or window slot (LS) available, so LS
+    // traffic is never head-of-line-blocked behind memory traffic or
+    // vice versa.
+    std::size_t attempts = activePool_.size();
+    while (attempts-- > 0 && !activePool_.empty()) {
+        Command *c = activePool_.front();
+
+        const ListElement &seg = c->segs[c->nextSeg];
+        bool is_ls = seg.ea >= lsApertureBase;
+        if (is_ls ? (lsLinesInFlight_ >= params_.lsLines)
+                  : (memLinesInFlight_ >= params_.memoryTokens)) {
+            // Rotate and try another command.
+            activePool_.pop_front();
+            activePool_.push_back(c);
+            continue;
+        }
+        activePool_.pop_front();
+
+        if (c->isList && c->segOffset == 0) {
+            c->lsaCursor =
+                static_cast<LsAddr>(util::roundUp(c->lsaCursor, 16));
+        }
+        std::uint32_t chunk =
+            std::min(lineBytes, seg.size - c->segOffset);
+
+        LineRequest req;
+        req.speIndex = speIndex_;
+        req.dir = c->dir;
+        req.ea = seg.ea + c->segOffset;
+        req.lsa = c->lsaCursor;
+        req.bytes = chunk;
+        req.done = [this, c, chunk, is_ls] { lineDone(c, chunk, is_ls); };
+
+        c->segOffset += chunk;
+        c->lsaCursor += chunk;
+        if (c->segOffset == seg.size) {
+            ++c->nextSeg;
+            c->segOffset = 0;
+        }
+        ++c->linesOutstanding;
+        if (is_ls)
+            ++lsLinesInFlight_;
+        else
+            ++memLinesInFlight_;
+        ++linesSent_;
+
+        if (c->nextSeg < c->segs.size()) {
+            activePool_.push_back(c);   // round-robin across commands
+            ++attempts;                 // progress was made; keep going
+        } else {
+            c->allLinesIssued = true;
+        }
+
+        handler_(std::move(req));
+    }
+}
+
+void
+Mfc::lineDone(Command *c, std::uint32_t bytes, bool isLs)
+{
+    if (isLs)
+        --lsLinesInFlight_;
+    else
+        --memLinesInFlight_;
+    --c->linesOutstanding;
+    bytesTransferred_ += bytes;
+    if (c->allLinesIssued && c->linesOutstanding == 0)
+        commandComplete(c);
+    tryIssueLines();
+}
+
+void
+Mfc::commandComplete(Command *c)
+{
+    c->done = true;
+    if (recorder_) {
+        recorder_->dma({c->enqueuedAt, c->issuedAt, curTick(),
+                        speIndex_, c->dir, c->tag, c->totalBytes,
+                        c->isList, c->isProxy});
+    }
+    if (tagPending_[c->tag] == 0)
+        sim::panic("%s: tag %u underflow", name().c_str(), c->tag);
+    --tagPending_[c->tag];
+    ++commandsCompleted_;
+    if (c->isProxy)
+        --proxyCount_;
+    else
+        --spuCount_;
+    queue_.remove_if([c](const Command &q) { return &q == c; });
+    wakeWaiters();
+    // A completion may unblock a fenced/barriered command.
+    scheduleIssue();
+}
+
+void
+Mfc::wakeWaiters()
+{
+    // One queue slot opened: reserve it for one waiting producer so no
+    // concurrently-running stream can steal it before the resume fires.
+    if (!spaceWaiters_.empty() &&
+        spuCount_ + reservedSlots_ < params_.queueDepth) {
+        ++reservedSlots_;
+        auto h = spaceWaiters_.front();
+        spaceWaiters_.erase(spaceWaiters_.begin());
+        eventQueue().schedule(0, [h] { h.resume(); });
+    }
+    if (!proxyWaiters_.empty() &&
+        proxyCount_ + reservedProxySlots_ < params_.proxyQueueDepth) {
+        ++reservedProxySlots_;
+        auto h = proxyWaiters_.front();
+        proxyWaiters_.erase(proxyWaiters_.begin());
+        eventQueue().schedule(0, [h] { h.resume(); });
+    }
+    // Wake every tag waiter whose mask is now clear.
+    std::uint32_t pending = tagsPendingMask();
+    for (auto it = tagWaiters_.begin(); it != tagWaiters_.end();) {
+        if ((it->mask & pending) == 0) {
+            auto h = it->h;
+            eventQueue().schedule(0, [h] { h.resume(); });
+            it = tagWaiters_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace cellbw::spe

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Memory Flow Controller: the SPE's DMA engine.
+ *
+ * Programs interact with the MFC the way Cell SDK code does:
+ *
+ * @code
+ *   co_await mfc.queueSpace();          // mfc_get stalls when queue full
+ *   mfc.get(lsa, ea, 16_KiB, tag);      // enqueue DMA-elem command
+ *   co_await mfc.tagWait(1u << tag);    // mfc_write_tag_mask + read status
+ * @endcode
+ *
+ * Structure (and the measured effects it produces):
+ *  - a 16-entry command queue (entries are held until completion);
+ *  - a serial *issue engine* that spends a fixed occupancy per command
+ *    (plus a small per-element cost for DMA lists) before the command's
+ *    lines can flow.  This is what degrades DMA-elem bandwidth below
+ *    1024-byte elements while DMA-list transfers stay flat — the
+ *    paper's Figures 10/12/15;
+ *  - a *line window* limiting outstanding <=128 B lines on the bus.
+ *    The window times the memory round-trip pins single-SPE-to-memory
+ *    bandwidth near 10 GB/s regardless of element size — Figure 8;
+ *  - lines of issued commands interleave round-robin, so transfers
+ *    complete out of order like real MFC transfer-class behaviour.
+ */
+
+#ifndef CELLBW_SPE_MFC_HH
+#define CELLBW_SPE_MFC_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+#include "spe/dma_types.hh"
+#include "trace/recorder.hh"
+
+namespace cellbw::spe
+{
+
+struct MfcParams
+{
+    /** Command-queue depth (CBEA: 16 SPU-side entries). */
+    unsigned queueDepth = 16;
+
+    /** Proxy queue depth for PPE-issued commands (CBEA: 8 entries). */
+    unsigned proxyQueueDepth = 8;
+
+    /**
+     * Max main-memory lines (<=128 B each) in flight at once.  Models
+     * the CBE resource-allocation tokens for XDR access; with the
+     * memory round-trip this pins a single SPE near 10 GB/s to memory
+     * (paper Fig. 8) no matter the element size.
+     */
+    unsigned memoryTokens = 18;
+
+    /**
+     * Max LS-to-LS lines in flight at once.  LS apertures need no
+     * memory tokens, so this is much larger; SPE pairs therefore reach
+     * the 33.6 GB/s duplex peak (paper Figs. 10/12/15).
+     */
+    unsigned lsLines = 64;
+
+    /** Issue-engine occupancy per DMA command, bus cycles. */
+    Tick elemOverheadBus = 24;
+
+    /** Extra issue occupancy per DMA-list element, bus cycles. */
+    Tick listElemOverheadBus = 2;
+
+    /** Local-store size used for address validation. */
+    std::uint32_t lsSize = 256 * 1024;
+};
+
+class Mfc : public sim::SimObject
+{
+  public:
+    Mfc(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
+        const MfcParams &params, unsigned speIndex);
+
+    /** Install the system-level router for line requests. */
+    void setLineHandler(LineHandler handler) { handler_ = std::move(handler); }
+
+    /** Attach an event recorder (nullptr disables tracing). */
+    void setRecorder(trace::Recorder *recorder) { recorder_ = recorder; }
+
+    /** CBEA tag-group ordering attached to a command. */
+    enum class Order
+    {
+        None,       ///< plain get/put: free to overtake
+        Fence,      ///< *f: waits for earlier commands of its tag group
+        Barrier,    ///< *b: fence + later commands of the group wait
+    };
+
+    /** @name Command issue (mirrors mfc_get / mfc_put / mfc_getl /
+     *        mfc_putl and the fence/barrier forms mfc_getf, mfc_putb,
+     *        ...).  fatal()s when the queue is full: await
+     *        queueSpace() first, as real code must poll for space. */
+    /** @{ */
+    void get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+             Order order = Order::None);
+    void put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+             Order order = Order::None);
+    void getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+                 Order order = Order::None);
+    void putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+                 Order order = Order::None);
+
+    /** mfc_getf / mfc_getb / mfc_putf / mfc_putb. */
+    void
+    getf(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
+    {
+        get(lsa, ea, size, tag, Order::Fence);
+    }
+
+    void
+    getb(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
+    {
+        get(lsa, ea, size, tag, Order::Barrier);
+    }
+
+    void
+    putf(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
+    {
+        put(lsa, ea, size, tag, Order::Fence);
+    }
+
+    void
+    putb(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
+    {
+        put(lsa, ea, size, tag, Order::Barrier);
+    }
+    /** @} */
+
+    /** @name Proxy commands: DMA issued on this MFC by the PPE (or
+     *        another SPE) through the memory-mapped problem-state
+     *        registers.  They share the issue engine and tag groups
+     *        with SPU commands but have their own 8-entry queue
+     *        (CBEA MFC proxy command queue). */
+    /** @{ */
+    void proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size,
+                  unsigned tag, Order order = Order::None);
+    void proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size,
+                  unsigned tag, Order order = Order::None);
+
+    unsigned
+    proxyQueueFree() const
+    {
+        auto used = proxyCount_ + reservedProxySlots_;
+        return used >= params_.proxyQueueDepth
+                   ? 0
+                   : params_.proxyQueueDepth - used;
+    }
+
+    bool proxyQueueFull() const { return proxyQueueFree() == 0; }
+
+    /** Awaitable mirror of queueSpace() for the proxy queue. */
+    struct ProxySpaceAwaiter
+    {
+        Mfc &mfc;
+        bool suspended = false;
+
+        bool await_ready() const { return !mfc.proxyQueueFull(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            suspended = true;
+            mfc.proxyWaiters_.push_back(h);
+        }
+
+        void
+        await_resume()
+        {
+            if (suspended) {
+                if (mfc.reservedProxySlots_ == 0)
+                    sim::panic("%s: proxy reservation underflow",
+                               mfc.name().c_str());
+                --mfc.reservedProxySlots_;
+            }
+        }
+    };
+
+    ProxySpaceAwaiter proxyQueueSpace() { return ProxySpaceAwaiter{*this}; }
+    /** @} */
+
+    unsigned queueDepth() const { return params_.queueDepth; }
+
+    /**
+     * Queue slots available to a new command.  Slots already promised
+     * to woken-but-not-yet-resumed queueSpace() waiters are excluded,
+     * so concurrent streams on one MFC cannot steal each other's slot.
+     */
+    unsigned
+    queueFree() const
+    {
+        auto used = spuCount_ + reservedSlots_;
+        return used >= params_.queueDepth ? 0 : params_.queueDepth - used;
+    }
+
+    bool queueFull() const { return queueFree() == 0; }
+
+    /** Bitmask of tag groups with incomplete commands. */
+    std::uint32_t tagsPendingMask() const;
+
+    /** Awaitable: resumes once at least one queue slot is free (and
+     *  reserved for this waiter). */
+    struct QueueSpaceAwaiter
+    {
+        Mfc &mfc;
+        bool suspended = false;
+
+        bool await_ready() const { return !mfc.queueFull(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            suspended = true;
+            mfc.spaceWaiters_.push_back(h);
+        }
+
+        void
+        await_resume()
+        {
+            // A waiter woken by wakeWaiters() holds a slot reservation;
+            // release it so the command issued next can take the slot.
+            if (suspended) {
+                if (mfc.reservedSlots_ == 0)
+                    sim::panic("%s: queue-slot reservation underflow",
+                               mfc.name().c_str());
+                --mfc.reservedSlots_;
+            }
+        }
+    };
+
+    QueueSpaceAwaiter queueSpace() { return QueueSpaceAwaiter{*this}; }
+
+    /**
+     * Awaitable: resumes once every tag group selected by @p mask has
+     * no incomplete commands (mfc_read_tag_status_all semantics).
+     */
+    struct TagWaitAwaiter
+    {
+        Mfc &mfc;
+        std::uint32_t mask;
+
+        bool
+        await_ready() const
+        {
+            return (mfc.tagsPendingMask() & mask) == 0;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            mfc.tagWaiters_.push_back({mask, h});
+        }
+
+        void await_resume() const {}
+    };
+
+    TagWaitAwaiter tagWait(std::uint32_t mask)
+    {
+        return TagWaitAwaiter{*this, mask};
+    }
+
+    /** @name Statistics. */
+    /** @{ */
+    std::uint64_t bytesTransferred() const { return bytesTransferred_; }
+    std::uint64_t commandsCompleted() const { return commandsCompleted_; }
+    std::uint64_t linesSent() const { return linesSent_; }
+    /** @} */
+
+    unsigned speIndex() const { return speIndex_; }
+
+  private:
+    struct Command
+    {
+        DmaDir dir;
+        unsigned tag;
+        bool isList;
+        bool isProxy = false;
+        Order order;
+        LsAddr lsaCursor;
+        std::vector<ListElement> segs;
+        // Progress through segs.
+        std::size_t nextSeg = 0;
+        std::uint32_t segOffset = 0;
+        unsigned linesOutstanding = 0;
+        bool issued = false;
+        bool allLinesIssued = false;
+        bool done = false;
+        Tick enqueuedAt = 0;
+        Tick issuedAt = 0;
+        std::uint32_t totalBytes = 0;
+    };
+
+    void enqueue(DmaDir dir, bool isList, LsAddr lsa,
+                 std::vector<ListElement> segs, unsigned tag,
+                 Order order, bool proxy = false);
+
+    /** Tag-group ordering: may @p c pass the issue engine now? */
+    bool issuable(const Command &c) const;
+    void validate(LsAddr lsa, const std::vector<ListElement> &segs,
+                  bool isList) const;
+    void scheduleIssue();
+    void finishIssue(Command *c);
+    void tryIssueLines();
+    void lineDone(Command *c, std::uint32_t bytes, bool isLs);
+    void commandComplete(Command *c);
+    void wakeWaiters();
+
+    sim::ClockSpec clock_;
+    MfcParams params_;
+    unsigned speIndex_;
+    LineHandler handler_;
+    trace::Recorder *recorder_ = nullptr;
+
+    std::list<Command> queue_;
+    std::deque<Command *> activePool_;
+    Tick issueFreeAt_ = 0;
+    bool issueInProgress_ = false;
+    unsigned memLinesInFlight_ = 0;
+    unsigned lsLinesInFlight_ = 0;
+
+    std::vector<std::coroutine_handle<>> spaceWaiters_;
+    unsigned reservedSlots_ = 0;
+    std::vector<std::coroutine_handle<>> proxyWaiters_;
+    unsigned reservedProxySlots_ = 0;
+    unsigned spuCount_ = 0;
+    unsigned proxyCount_ = 0;
+    struct TagWaiter
+    {
+        std::uint32_t mask;
+        std::coroutine_handle<> h;
+    };
+    std::vector<TagWaiter> tagWaiters_;
+    unsigned tagPending_[numTags] = {};
+
+    std::uint64_t bytesTransferred_ = 0;
+    std::uint64_t commandsCompleted_ = 0;
+    std::uint64_t linesSent_ = 0;
+};
+
+} // namespace cellbw::spe
+
+#endif // CELLBW_SPE_MFC_HH

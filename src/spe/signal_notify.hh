@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SPU signal-notification registers (CBEA SPU_Sig_Notify_1/2).
+ *
+ * A 32-bit register other processors write through the problem-state
+ * area.  In OR mode, concurrent writers accumulate bits (the classic
+ * many-to-one completion barrier); in overwrite mode the last write
+ * wins.  The SPU read is destructive and stalls while the register is
+ * empty.
+ */
+
+#ifndef CELLBW_SPE_SIGNAL_NOTIFY_HH
+#define CELLBW_SPE_SIGNAL_NOTIFY_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+
+namespace cellbw::spe
+{
+
+class SignalNotify : public sim::SimObject
+{
+  public:
+    enum class Mode { Or, Overwrite };
+
+    SignalNotify(std::string name, sim::EventQueue &eq, Mode mode)
+        : sim::SimObject(std::move(name), eq), mode_(mode)
+    {
+    }
+
+    Mode mode() const { return mode_; }
+    bool pending() const { return hasValue_; }
+    std::uint32_t peek() const { return value_; }
+
+    /** Writer side: deliver @p bits (ORed or overwriting per mode). */
+    void
+    signal(std::uint32_t bits)
+    {
+        if (mode_ == Mode::Or)
+            value_ |= bits;
+        else
+            value_ = bits;
+        hasValue_ = true;
+        ++writes_;
+        wakeAll();
+    }
+
+    /** Non-blocking destructive read. @return false when empty. */
+    bool
+    tryRead(std::uint32_t &out)
+    {
+        if (!hasValue_)
+            return false;
+        out = value_;
+        value_ = 0;
+        hasValue_ = false;
+        return true;
+    }
+
+    /** Awaitable destructive read: stalls until a signal arrives. */
+    struct ReadAwaiter
+    {
+        SignalNotify &sig;
+
+        bool await_ready() const { return sig.pending(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sig.waiters_.push_back(h);
+        }
+
+        std::uint32_t
+        await_resume()
+        {
+            std::uint32_t v = 0;
+            if (!sig.tryRead(v))
+                sim::panic("%s: empty on resume (multiple readers?)",
+                           sig.name().c_str());
+            return v;
+        }
+    };
+
+    ReadAwaiter read() { return ReadAwaiter{*this}; }
+
+    std::uint64_t writeCount() const { return writes_; }
+
+  private:
+    void
+    wakeAll()
+    {
+        if (waiters_.empty())
+            return;
+        auto batch = std::move(waiters_);
+        waiters_.clear();
+        eventQueue().schedule(0, [batch = std::move(batch)] {
+            for (auto h : batch)
+                h.resume();
+        });
+    }
+
+    Mode mode_;
+    std::uint32_t value_ = 0;
+    bool hasValue_ = false;
+    std::uint64_t writes_ = 0;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace cellbw::spe
+
+#endif // CELLBW_SPE_SIGNAL_NOTIFY_HH

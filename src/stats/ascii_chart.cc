@@ -1,0 +1,127 @@
+#include "stats/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace cellbw::stats
+{
+
+void
+BarChart::add(const std::string &label, double value)
+{
+    bars_.emplace_back(label, value);
+}
+
+std::string
+BarChart::render() const
+{
+    std::string out = title_ + "\n";
+    if (bars_.empty())
+        return out + "  (no data)\n";
+
+    double maxv = scaleMax_;
+    if (maxv <= 0.0)
+        for (const auto &[label, v] : bars_)
+            maxv = std::max(maxv, v);
+    if (maxv <= 0.0)
+        maxv = 1.0;
+
+    std::size_t lw = 0;
+    for (const auto &[label, v] : bars_)
+        lw = std::max(lw, label.size());
+
+    for (const auto &[label, v] : bars_) {
+        std::string pad = label;
+        pad.resize(lw, ' ');
+        int n = static_cast<int>(std::lround(v / maxv * width_));
+        n = std::clamp(n, 0, width_);
+        out += util::format("  %s |%s%s %7.2f\n", pad.c_str(),
+                            std::string(static_cast<size_t>(n), '#').c_str(),
+                            std::string(static_cast<size_t>(width_ - n),
+                                        ' ').c_str(),
+                            v);
+    }
+    return out;
+}
+
+SeriesChart::SeriesChart(std::string title, std::vector<std::string> xLabels,
+                         int height)
+    : title_(std::move(title)), xLabels_(std::move(xLabels)), height_(height)
+{
+    if (xLabels_.empty())
+        sim::fatal("series chart needs at least one x point");
+}
+
+void
+SeriesChart::addSeries(const std::string &name, std::vector<double> values)
+{
+    if (values.size() != xLabels_.size()) {
+        sim::fatal("series '%s' has %zu points, x-axis has %zu", name.c_str(),
+                   values.size(), xLabels_.size());
+    }
+    series_.emplace_back(name, std::move(values));
+}
+
+std::string
+SeriesChart::render() const
+{
+    static const char marks[] = "*o+x#@%&";
+    std::string out = title_ + "\n";
+    if (series_.empty())
+        return out + "  (no data)\n";
+
+    double maxv = 0.0;
+    for (const auto &[name, vals] : series_)
+        for (double v : vals)
+            maxv = std::max(maxv, v);
+    if (maxv <= 0.0)
+        maxv = 1.0;
+
+    const int colw = 6;
+    const int gridw = colw * static_cast<int>(xLabels_.size());
+
+    // One text row per grid line, top-down.
+    for (int row = height_; row >= 0; --row) {
+        double lo = maxv * (row - 0.5) / height_;
+        double hi = maxv * (row + 0.5) / height_;
+        std::string line(static_cast<size_t>(gridw), ' ');
+        for (std::size_t s = 0; s < series_.size(); ++s) {
+            char mark = marks[s % (sizeof(marks) - 1)];
+            const auto &vals = series_[s].second;
+            for (std::size_t x = 0; x < vals.size(); ++x) {
+                if (vals[x] >= lo && vals[x] < hi) {
+                    auto pos = static_cast<size_t>(colw) * x + 2;
+                    // Stack collisions sideways so marks stay visible.
+                    while (pos < line.size() && line[pos] != ' ')
+                        ++pos;
+                    if (pos < line.size())
+                        line[pos] = mark;
+                }
+            }
+        }
+        double axis = maxv * row / height_;
+        out += util::format("%8.1f |%s\n", axis, line.c_str());
+    }
+
+    out += "         +" + std::string(static_cast<size_t>(gridw), '-') + "\n";
+    std::string xline = "          ";
+    for (const auto &xl : xLabels_) {
+        std::string cell = xl.substr(0, colw - 1);
+        cell.resize(static_cast<size_t>(colw), ' ');
+        xline += cell;
+    }
+    out += xline + "\n";
+
+    out += "  legend:";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        out += util::format(" %c=%s", marks[s % (sizeof(marks) - 1)],
+                            series_[s].first.c_str());
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace cellbw::stats

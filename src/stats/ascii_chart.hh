@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Terminal bar/series charts so each bench can show the *shape* of the
+ * figure it reproduces, not just numbers.
+ */
+
+#ifndef CELLBW_STATS_ASCII_CHART_HH
+#define CELLBW_STATS_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace cellbw::stats
+{
+
+/**
+ * Horizontal bar chart: one labeled bar per (label, value) pair, scaled
+ * to @p width characters at the max value (or at @p scaleMax if > 0,
+ * useful for drawing "peak" reference lines).
+ */
+class BarChart
+{
+  public:
+    explicit BarChart(std::string title, int width = 50)
+        : title_(std::move(title)), width_(width)
+    {
+    }
+
+    void add(const std::string &label, double value);
+
+    /** Fix the full-scale value (e.g. the architectural peak). */
+    void setScaleMax(double m) { scaleMax_ = m; }
+
+    std::string render() const;
+
+  private:
+    std::string title_;
+    int width_;
+    double scaleMax_ = 0.0;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+/**
+ * Multi-series line chart over a shared x-axis of labeled points,
+ * rendered as a dot grid.  Used for the element-size sweeps.
+ */
+class SeriesChart
+{
+  public:
+    SeriesChart(std::string title, std::vector<std::string> xLabels,
+                int height = 12);
+
+    /** Add a named series; values.size() must match the x-axis length. */
+    void addSeries(const std::string &name, std::vector<double> values);
+
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> xLabels_;
+    int height_;
+    std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+} // namespace cellbw::stats
+
+#endif // CELLBW_STATS_ASCII_CHART_HH

@@ -1,0 +1,148 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cellbw::stats
+{
+
+void
+Accumulator::add(double v)
+{
+    if (n_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++n_;
+    sum_ += v;
+    double delta = v - m_;
+    m_ += delta / static_cast<double>(n_);
+    s_ += delta * (v - m_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::mean() const
+{
+    return n_ ? m_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return n_ > 1 ? s_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+void
+Distribution::add(double v)
+{
+    samples_.push_back(v);
+    dirty_ = true;
+}
+
+void
+Distribution::reset()
+{
+    samples_.clear();
+    sorted_.clear();
+    dirty_ = false;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples_)
+        s += v;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    double m = mean();
+    double s = 0.0;
+    for (double v : samples_)
+        s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double
+Distribution::min() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+Distribution::max() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+Distribution::median() const
+{
+    return quantile(0.5);
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        sim::fatal("quantile %g out of [0,1]", q);
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    double pos = q * static_cast<double>(sorted_.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    auto hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+} // namespace cellbw::stats

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sample statistics.
+ *
+ * The paper reports minimum / maximum / median / mean bandwidth across 10
+ * placement-randomized runs (Figures 13 and 16).  Distribution stores the
+ * raw samples so all of those (plus arbitrary quantiles) are exact.
+ */
+
+#ifndef CELLBW_STATS_DISTRIBUTION_HH
+#define CELLBW_STATS_DISTRIBUTION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cellbw::stats
+{
+
+/** Streaming mean/variance/extrema without sample storage. */
+class Accumulator
+{
+  public:
+    void add(double v);
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double m_ = 0.0;   // running mean (Welford)
+    double s_ = 0.0;   // running sum of squared deviations
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Exact sample statistics with storage. */
+class Distribution
+{
+  public:
+    void add(double v);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    /** Median: midpoint of the two central order statistics when even. */
+    double median() const;
+    /**
+     * Quantile by linear interpolation between order statistics,
+     * q in [0, 1].
+     */
+    double quantile(double q) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sort cache maintained lazily. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+} // namespace cellbw::stats
+
+#endif // CELLBW_STATS_DISTRIBUTION_HH

@@ -1,0 +1,106 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace cellbw::stats
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        sim::fatal("table must have at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        sim::fatal("table row has %zu cells, expected %zu", cells.size(),
+                   headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    return util::format("%.*f", digits, v);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += "  ";
+            std::string cell = cells[c];
+            cell.resize(width[c], ' ');
+            line += cell;
+        }
+        // Trim trailing pad.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+        if (c)
+            sep += "  ";
+        sep += std::string(width[c], '-');
+    }
+    out += sep + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+Table::csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto renderRow = [](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += ",";
+            line += csvEscape(cells[c]);
+        }
+        return line + "\n";
+    };
+    std::string out = renderRow(headers_);
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace cellbw::stats

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Event tracing: records DMA commands and EIB packets so users can see
+ * *why* a transfer pattern performs the way it does — the per-command
+ * issue/complete timeline behind every number in the paper.
+ *
+ * Tracing is opt-in (CellSystem::enableTracing()) and adds no cost when
+ * off.  Records can be dumped as CSV or rendered as an ASCII per-SPE
+ * timeline (a poor man's Paraver, the BSC tool the authors would have
+ * used).
+ */
+
+#ifndef CELLBW_TRACE_RECORDER_HH
+#define CELLBW_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spe/dma_types.hh"
+#include "util/types.hh"
+
+namespace cellbw::trace
+{
+
+/** One MFC command's lifetime. */
+struct DmaRecord
+{
+    Tick enqueued;
+    Tick issued;
+    Tick completed;
+    unsigned spe;
+    spe::DmaDir dir;
+    unsigned tag;
+    std::uint32_t bytes;
+    bool isList;
+    bool isProxy;
+};
+
+/** One data packet's trip over an EIB ring. */
+struct EibRecord
+{
+    Tick requested;
+    Tick granted;
+    Tick delivered;
+    unsigned chip;
+    unsigned ring;
+    unsigned srcRamp;
+    unsigned dstRamp;
+    std::uint32_t bytes;
+};
+
+class Recorder
+{
+  public:
+    void
+    dma(const DmaRecord &r)
+    {
+        dma_.push_back(r);
+    }
+
+    void
+    eib(const EibRecord &r)
+    {
+        eib_.push_back(r);
+    }
+
+    const std::vector<DmaRecord> &dmaRecords() const { return dma_; }
+    const std::vector<EibRecord> &eibRecords() const { return eib_; }
+
+    void
+    clear()
+    {
+        dma_.clear();
+        eib_.clear();
+    }
+
+    /** CSV with a header row; one line per DMA command. */
+    std::string dmaCsv() const;
+
+    /** CSV with a header row; one line per EIB packet. */
+    std::string eibCsv() const;
+
+    /**
+     * ASCII Gantt chart of the DMA records: one lane per SPE, time
+     * bucketed into @p width columns.  '.' = command in queue,
+     * 'G'/'P' = GET/PUT in flight, ' ' = idle.
+     */
+    std::string renderDmaTimeline(int width = 72) const;
+
+    /**
+     * Paraver-style trace (.prv) of the DMA records — the trace format
+     * of the authors' own BSC tooling.  One application, one task per
+     * SPE; state records (type 1) span each command's in-flight window
+     * with the state value 1 for GET and 2 for PUT.  @p nsPerTick
+     * converts ticks to the nanosecond timebase Paraver expects.
+     */
+    std::string paraverExport(double nsPerTick) const;
+
+  private:
+    std::vector<DmaRecord> dma_;
+    std::vector<EibRecord> eib_;
+};
+
+} // namespace cellbw::trace
+
+#endif // CELLBW_TRACE_RECORDER_HH

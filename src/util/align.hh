@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Alignment and power-of-two helpers.
+ *
+ * DMA on the Cell BE has strict alignment rules (CBEA: transfer sizes of
+ * 1, 2, 4, 8 bytes or multiples of 16 bytes; source and destination must
+ * agree in their low four address bits; 128-byte alignment gives best
+ * performance).  These helpers centralize those checks.
+ */
+
+#ifndef CELLBW_UTIL_ALIGN_HH
+#define CELLBW_UTIL_ALIGN_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cellbw::util
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return @p v rounded up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** @return @p v rounded down to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** @return true iff @p v is a multiple of @p align (a power of 2). */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Validity of a single MFC DMA transfer size per the CBEA: 1, 2, 4, 8
+ * bytes, or a multiple of 16 bytes up to 16 KB.
+ */
+constexpr bool
+isValidDmaSize(std::uint32_t size)
+{
+    if (size == 0 || size > 16 * 1024)
+        return false;
+    if (size == 1 || size == 2 || size == 4 || size == 8)
+        return true;
+    return (size % 16) == 0;
+}
+
+/**
+ * CBEA DMA address rule: for sizes < 16 the LS and EA addresses must be
+ * naturally aligned to the size; for sizes >= 16 both must be 16-byte
+ * aligned and agree in their low four bits (they trivially do when both
+ * are 16-byte aligned).
+ */
+constexpr bool
+isValidDmaAlignment(LsAddr lsa, EffAddr ea, std::uint32_t size)
+{
+    if (size == 1)
+        return true;
+    if (size == 2 || size == 4 || size == 8)
+        return isAligned(lsa, size) && isAligned(ea, size);
+    return isAligned(lsa, 16) && isAligned(ea, 16);
+}
+
+} // namespace cellbw::util
+
+#endif // CELLBW_UTIL_ALIGN_HH

@@ -1,0 +1,101 @@
+#include "util/strings.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/types.hh"
+
+namespace cellbw::util
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<size_t>(len) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<size_t>(len));
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+bytesToString(std::uint64_t bytes)
+{
+    if (bytes >= GiB && bytes % GiB == 0)
+        return format("%llu GiB", (unsigned long long)(bytes / GiB));
+    if (bytes >= MiB && bytes % MiB == 0)
+        return format("%llu MiB", (unsigned long long)(bytes / MiB));
+    if (bytes >= KiB && bytes % KiB == 0)
+        return format("%llu KiB", (unsigned long long)(bytes / KiB));
+    return format("%llu B", (unsigned long long)bytes);
+}
+
+std::uint64_t
+parseByteSize(const std::string &raw)
+{
+    std::string s = toLower(trim(raw));
+    if (s.empty())
+        throw std::invalid_argument("empty byte size");
+    size_t pos = 0;
+    unsigned long long v = std::stoull(s, &pos);
+    std::string suffix = trim(s.substr(pos));
+    if (suffix.empty() || suffix == "b")
+        return v;
+    if (suffix == "k" || suffix == "kb" || suffix == "kib")
+        return v * KiB;
+    if (suffix == "m" || suffix == "mb" || suffix == "mib")
+        return v * MiB;
+    if (suffix == "g" || suffix == "gb" || suffix == "gib")
+        return v * GiB;
+    throw std::invalid_argument("bad byte-size suffix: " + raw);
+}
+
+} // namespace cellbw::util

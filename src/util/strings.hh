@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string formatting helpers shared by the reporting code.
+ */
+
+#ifndef CELLBW_UTIL_STRINGS_HH
+#define CELLBW_UTIL_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellbw::util
+{
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string s);
+
+/**
+ * Human-readable byte size: exact binary units when possible
+ * ("128 B", "4 KiB", "32 MiB"), otherwise a raw byte count.
+ */
+std::string bytesToString(std::uint64_t bytes);
+
+/** Parse "128", "4K"/"4KiB", "2M", "1G" style sizes. Throws on garbage. */
+std::uint64_t parseByteSize(const std::string &s);
+
+} // namespace cellbw::util
+
+#endif // CELLBW_UTIL_STRINGS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the cellbw libraries.
+ *
+ * The simulator follows the Cell Broadband Engine Architecture (CBEA)
+ * conventions: effective addresses (EA) are 64-bit, local-store addresses
+ * (LSA) are 32-bit offsets into a 256 KB local store.
+ */
+
+#ifndef CELLBW_UTIL_TYPES_HH
+#define CELLBW_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cellbw
+{
+
+/** Simulation time in CPU cycles of the modeled machine. */
+using Tick = std::uint64_t;
+
+/** A tick value that is never reached. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** 64-bit effective address in the simulated main-storage domain. */
+using EffAddr = std::uint64_t;
+
+/** Local-store address: a byte offset inside one SPE's 256 KB LS. */
+using LsAddr = std::uint32_t;
+
+namespace util
+{
+
+/** Binary units. */
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/** Decimal giga, used for GB/s figures as in the paper. */
+constexpr double giga = 1e9;
+
+} // namespace util
+} // namespace cellbw
+
+#endif // CELLBW_UTIL_TYPES_HH

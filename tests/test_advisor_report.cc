@@ -1,0 +1,196 @@
+/** @file Tests for the programming-rules advisor, runner and report
+ *        helpers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/advisor.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "core/experiments.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+bool
+hasRule(const std::vector<core::Advice> &advice, const std::string &rule)
+{
+    return std::any_of(advice.begin(), advice.end(),
+                       [&](const core::Advice &a) { return a.rule == rule; });
+}
+
+} // namespace
+
+TEST(Advisor, CleanPlanGetsNoWarnings)
+{
+    core::DmaPlan plan;
+    plan.elemBytes = 16 * 1024;
+    plan.spesPerStream = 4;
+    plan.streams = 2;
+    auto advice = core::advise(plan);
+    for (const auto &a : advice)
+        EXPECT_NE(a.severity, core::Advice::Severity::Warning) << a.rule;
+}
+
+TEST(Advisor, SmallElemsWithoutListsWarn)
+{
+    core::DmaPlan plan;
+    plan.elemBytes = 512;
+    EXPECT_TRUE(hasRule(core::advise(plan), "dma-list-small-elems"));
+    plan.useList = true;
+    EXPECT_FALSE(hasRule(core::advise(plan), "dma-list-small-elems"));
+}
+
+TEST(Advisor, TinyElementsAlwaysWarn)
+{
+    core::DmaPlan plan;
+    plan.elemBytes = 64;
+    plan.useList = true;
+    EXPECT_TRUE(hasRule(core::advise(plan), "tiny-dma-elements"));
+}
+
+TEST(Advisor, EagerSyncWarns)
+{
+    core::DmaPlan plan;
+    plan.syncEvery = 1;
+    EXPECT_TRUE(hasRule(core::advise(plan), "delayed-sync"));
+    plan.syncEvery = 0;
+    EXPECT_FALSE(hasRule(core::advise(plan), "delayed-sync"));
+    plan.syncEvery = 4;
+    EXPECT_TRUE(hasRule(core::advise(plan), "delayed-sync"));
+}
+
+TEST(Advisor, SingleSpeMemoryStreamGetsParallelHint)
+{
+    core::DmaPlan plan;
+    plan.spesPerStream = 1;
+    plan.streams = 1;
+    EXPECT_TRUE(hasRule(core::advise(plan), "parallel-memory-access"));
+}
+
+TEST(Advisor, EightSpeSingleStreamWarns)
+{
+    core::DmaPlan plan;
+    plan.spesPerStream = 8;
+    EXPECT_TRUE(hasRule(core::advise(plan), "two-streams-beat-one"));
+    plan.spesPerStream = 4;
+    plan.streams = 2;
+    EXPECT_FALSE(hasRule(core::advise(plan), "two-streams-beat-one"));
+}
+
+TEST(Advisor, SpeToSpeSaturationHint)
+{
+    core::DmaPlan plan;
+    plan.speToSpe = true;
+    plan.spesPerStream = 8;
+    EXPECT_TRUE(hasRule(core::advise(plan), "eib-saturation"));
+}
+
+TEST(Advisor, PpeRules)
+{
+    core::DmaPlan plan;
+    plan.ppeElemBytes = 4;
+    plan.ppeBulkTransfers = true;
+    auto advice = core::advise(plan);
+    EXPECT_TRUE(hasRule(advice, "ppe-pack-elements"));
+    EXPECT_TRUE(hasRule(advice, "ppe-bulk-transfers"));
+}
+
+TEST(Advisor, RenderingIncludesSeverityAndRule)
+{
+    core::DmaPlan plan;
+    plan.syncEvery = 1;
+    std::string text = core::renderAdvice(core::advise(plan));
+    EXPECT_NE(text.find("[warn]"), std::string::npos);
+    EXPECT_NE(text.find("delayed-sync"), std::string::npos);
+    EXPECT_NE(core::renderAdvice({}).find("no rule violations"),
+              std::string::npos);
+}
+
+TEST(Runner, RunsExactlyNTimes)
+{
+    cell::CellConfig cfg;
+    int calls = 0;
+    core::RepeatSpec spec{5, 7};
+    auto d = core::repeatRuns(cfg, spec, [&](cell::CellSystem &) {
+        return static_cast<double>(++calls);
+    });
+    EXPECT_EQ(calls, 5);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+}
+
+TEST(Runner, SeedsProducePlacementVariety)
+{
+    cell::CellConfig cfg;
+    core::RepeatSpec spec{6, 11};
+    std::vector<std::vector<std::uint32_t>> placements;
+    core::repeatRuns(cfg, spec, [&](cell::CellSystem &sys) {
+        placements.push_back(sys.placement());
+        return 0.0;
+    });
+    bool any_different = false;
+    for (std::size_t i = 1; i < placements.size(); ++i)
+        any_different |= placements[i] != placements[0];
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Runner, SameSeedIsDeterministic)
+{
+    cell::CellConfig cfg;
+    core::RepeatSpec spec{2, 21};
+    auto body = [](cell::CellSystem &sys) {
+        core::SpeSpeConfig sc;
+        sc.numSpes = 4;
+        sc.elemBytes = 4096;
+        sc.bytesPerStream = 256 * util::KiB;
+        return core::runSpeSpe(sys, sc);
+    };
+    auto a = core::repeatRuns(cfg, spec, body);
+    auto b = core::repeatRuns(cfg, spec, body);
+    EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(Report, ElemSweepMatchesThePaper)
+{
+    auto sizes = core::elemSweepSizes();
+    ASSERT_EQ(sizes.size(), 8u);
+    EXPECT_EQ(sizes.front(), 128u);
+    EXPECT_EQ(sizes.back(), 16u * 1024u);
+    EXPECT_EQ(core::ppeElemSizes(),
+              (std::vector<unsigned>{1, 2, 4, 8, 16}));
+}
+
+TEST(Report, ElemLabels)
+{
+    EXPECT_EQ(core::elemLabel(128), "128B");
+    EXPECT_EQ(core::elemLabel(1024), "1KiB");
+    EXPECT_EQ(core::elemLabel(16 * 1024), "16KiB");
+}
+
+TEST(Report, DistCellsAndHeadersAgree)
+{
+    stats::Distribution d;
+    d.add(1.0);
+    d.add(3.0);
+    EXPECT_EQ(core::distCells(d, false).size(),
+              core::distHeaders(false).size());
+    auto cells = core::distCells(d, true);
+    auto heads = core::distHeaders(true);
+    ASSERT_EQ(cells.size(), heads.size());
+    EXPECT_EQ(cells[0], "1.00");    // min
+    EXPECT_EQ(cells[1], "3.00");    // max
+    EXPECT_EQ(cells[2], "2.00");    // median
+    EXPECT_EQ(cells[3], "2.00");    // mean
+}
+
+TEST(Experiments, OpNamesRoundTrip)
+{
+    EXPECT_STREQ(core::toString(core::DmaOp::Get), "GET");
+    EXPECT_STREQ(core::toString(core::DmaOp::Copy), "GET+PUT");
+    EXPECT_STREQ(core::toString(ppe::MemOp::Store), "store");
+}

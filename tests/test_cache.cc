@@ -1,0 +1,125 @@
+/** @file Unit tests for the PPE cache tag arrays. */
+
+#include <gtest/gtest.h>
+
+#include "ppe/cache.hh"
+#include "sim/logging.hh"
+
+using namespace cellbw;
+using ppe::CacheArray;
+using ppe::CacheParams;
+
+TEST(Cache, GeometryChecks)
+{
+    CacheArray c({32 * 1024, 128, 8});
+    EXPECT_EQ(c.lineBytes(), 128u);
+    EXPECT_EQ(c.numSets(), 32u);
+    EXPECT_THROW(CacheArray({1000, 100, 8}), sim::FatalError);
+    EXPECT_THROW(CacheArray({32 * 1024, 128, 0}), sim::FatalError);
+    EXPECT_THROW(CacheArray({100, 128, 3}), sim::FatalError);
+}
+
+TEST(Cache, MissThenHit)
+{
+    CacheArray c({32 * 1024, 128, 8});
+    EXPECT_FALSE(c.access(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1008));      // same line
+    EXPECT_FALSE(c.access(0x1080));     // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 2-set tiny cache: lines map to set (line % 2).
+    CacheArray c({512, 128, 2});
+    EXPECT_EQ(c.numSets(), 2u);
+    // Fill set 0 with lines 0 and 2 (addresses 0 and 256).
+    c.insert(0);
+    c.insert(256);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(256));
+    // Touch line 0 so line 2 is LRU; insert line 4 evicts line 2.
+    c.access(0);
+    c.insert(512);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(256));
+    EXPECT_TRUE(c.contains(512));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Cache, InsertIsIdempotentAndKeepsDirty)
+{
+    CacheArray c({512, 128, 2});
+    EXPECT_FALSE(c.insert(0, true));
+    EXPECT_FALSE(c.insert(0, false));   // still present, stays dirty
+    // Evicting it reports a dirty victim.
+    c.insert(256);
+    EXPECT_TRUE(c.insert(512));         // kicks out line 0 (dirty)
+}
+
+TEST(Cache, DirtyEvictionOnlyForDirtyLines)
+{
+    CacheArray c({512, 128, 2});
+    c.insert(0, false);
+    c.insert(256, false);
+    EXPECT_FALSE(c.insert(512, false));     // clean victim
+}
+
+TEST(Cache, TouchDirtyOnlyWhenPresent)
+{
+    CacheArray c({512, 128, 2});
+    EXPECT_FALSE(c.touchDirty(0));
+    c.insert(0, false);
+    EXPECT_TRUE(c.touchDirty(0));
+    c.insert(256);
+    EXPECT_TRUE(c.insert(512));             // victim line 0 now dirty
+}
+
+TEST(Cache, InvalidateAllEmptiesTheCache)
+{
+    CacheArray c({512, 128, 2});
+    c.insert(0);
+    c.insert(128);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(128));
+}
+
+TEST(Cache, ContainsDoesNotTouchLru)
+{
+    CacheArray c({512, 128, 2});
+    c.insert(0);
+    c.insert(256);
+    // contains() on line 0 must NOT refresh it...
+    EXPECT_TRUE(c.contains(0));
+    // ...so inserting a third line evicts line 0 (the oldest).
+    c.insert(512);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(256));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    CacheArray c({32 * 1024, 128, 8});
+    // Two passes over 64 KB: every access misses both times.
+    for (int pass = 0; pass < 2; ++pass)
+        for (EffAddr ea = 0; ea < 64 * 1024; ea += 128)
+            if (!c.access(ea))
+                c.insert(ea);
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 1024u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHitsOnSecondPass)
+{
+    CacheArray c({32 * 1024, 128, 8});
+    for (int pass = 0; pass < 2; ++pass)
+        for (EffAddr ea = 0; ea < 16 * 1024; ea += 128)
+            if (!c.access(ea))
+                c.insert(ea);
+    EXPECT_EQ(c.misses(), 128u);
+    EXPECT_EQ(c.hits(), 128u);
+}

@@ -1,0 +1,93 @@
+/** @file Tests for CellConfig option registration and parsing. */
+
+#include <gtest/gtest.h>
+
+#include "cell/config.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+cell::CellConfig
+parse(std::vector<const char *> args)
+{
+    util::Options opts("test", "test");
+    cell::CellConfig::registerOptions(opts);
+    args.insert(args.begin(), "test");
+    if (!opts.parse(static_cast<int>(args.size()), args.data()))
+        sim::fatal("parse failed");
+    return cell::CellConfig::fromOptions(opts);
+}
+
+} // namespace
+
+TEST(CellConfig, DefaultsMatchThePaperMachine)
+{
+    cell::CellConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.clock.cpuHz, 2.1e9);
+    EXPECT_EQ(cfg.numSpes, 8u);
+    EXPECT_EQ(cfg.numChips, 1u);
+    EXPECT_EQ(cfg.eib.numRings, 4u);
+    EXPECT_EQ(cfg.spe.mfc.queueDepth, 16u);
+    EXPECT_NEAR(cfg.rampPeakGBps(), 16.8, 1e-9);
+    EXPECT_NEAR(cfg.lsPeakGBps(), 33.6, 1e-9);
+    EXPECT_NEAR(cfg.pairPeakGBps(), 33.6, 1e-9);
+    EXPECT_NEAR(cfg.memory.ioLink.bytesPerTick * cfg.clock.cpuHz / 1e9,
+                7.0, 1e-6);
+}
+
+TEST(CellConfig, FlagsReachTheRightFields)
+{
+    auto cfg = parse({"--cpu-ghz=3.2", "--spes=4", "--rings=8",
+                      "--mfc-queue-depth=8", "--mfc-mem-tokens=10",
+                      "--dma-elem-overhead=48", "--bank0-gbps=20",
+                      "--io-gbps=5", "--numa=local",
+                      "--affinity=paired", "--no-flow-pinning",
+                      "--chips=2"});
+    EXPECT_DOUBLE_EQ(cfg.clock.cpuHz, 3.2e9);
+    EXPECT_EQ(cfg.numSpes, 4u);
+    EXPECT_EQ(cfg.numChips, 2u);
+    EXPECT_EQ(cfg.eib.numRings, 8u);
+    EXPECT_EQ(cfg.spe.mfc.queueDepth, 8u);
+    EXPECT_EQ(cfg.spe.mfc.memoryTokens, 10u);
+    EXPECT_EQ(cfg.spe.mfc.elemOverheadBus, 48u);
+    EXPECT_NEAR(cfg.memory.bank0.bytesPerTick * cfg.clock.cpuHz / 1e9,
+                20.0, 1e-6);
+    EXPECT_NEAR(cfg.memory.ioLink.bytesPerTick * cfg.clock.cpuHz / 1e9,
+                5.0, 1e-6);
+    EXPECT_EQ(cfg.numa.kind, mem::NumaPolicy::Kind::LocalOnly);
+    EXPECT_EQ(cfg.affinity, cell::AffinityPolicy::Paired);
+    EXPECT_FALSE(cfg.eib.flowPinning);
+}
+
+TEST(CellConfig, NumaShareFlagControlsInterleave)
+{
+    auto cfg = parse({"--numa=interleave", "--bank0-share=0.8"});
+    EXPECT_EQ(cfg.numa.kind, mem::NumaPolicy::Kind::Interleave);
+    EXPECT_DOUBLE_EQ(cfg.numa.bank0Share, 0.8);
+    auto remote = parse({"--numa=remote"});
+    EXPECT_EQ(remote.numa.kind, mem::NumaPolicy::Kind::RemoteOnly);
+}
+
+TEST(CellConfig, BadValuesAreFatal)
+{
+    EXPECT_THROW(parse({"--spes=0"}), sim::FatalError);
+    EXPECT_THROW(parse({"--spes=9"}), sim::FatalError);
+    EXPECT_THROW(parse({"--chips=3"}), sim::FatalError);
+    EXPECT_THROW(parse({"--numa=bogus"}), sim::FatalError);
+    EXPECT_THROW(parse({"--affinity=bogus"}), sim::FatalError);
+    // Two chips raise the SPE ceiling.
+    auto cfg = parse({"--chips=2", "--spes=16"});
+    EXPECT_EQ(cfg.numSpes, 16u);
+}
+
+TEST(CellConfig, AffinityNamesRoundTrip)
+{
+    EXPECT_EQ(cell::affinityFromString("random"),
+              cell::AffinityPolicy::Random);
+    EXPECT_EQ(cell::affinityFromString("LINEAR"),
+              cell::AffinityPolicy::Linear);
+    EXPECT_STREQ(cell::toString(cell::AffinityPolicy::Paired), "paired");
+}

@@ -1,0 +1,275 @@
+/** @file Unit tests for the EIB topology, rings and arbiter. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eib/eib.hh"
+#include "eib/ring.hh"
+#include "eib/topology.hh"
+#include "sim/clock.hh"
+
+using namespace cellbw;
+using namespace cellbw::eib;
+
+/* ------------------------------------------------------------------ */
+/*  Topology                                                            */
+/* ------------------------------------------------------------------ */
+
+TEST(Topology, EverySpeHasAUniqueRamp)
+{
+    std::set<RampPos> seen;
+    for (unsigned s = 0; s < numPhysicalSpes; ++s) {
+        RampPos r = speRamp(s);
+        EXPECT_LT(r, numRamps);
+        EXPECT_TRUE(isSpeRamp(r));
+        seen.insert(r);
+    }
+    EXPECT_EQ(seen.size(), numPhysicalSpes);
+    EXPECT_FALSE(seen.count(ppeRamp));
+    EXPECT_FALSE(seen.count(micRamp));
+    EXPECT_FALSE(seen.count(ioif0Ramp));
+    EXPECT_FALSE(seen.count(ioif1Ramp));
+}
+
+TEST(Topology, DieOrderMatchesKrolak)
+{
+    // PPE and MIC sit at opposite ends; SPE0 is next to the MIC,
+    // SPE1 next to the PPE.
+    EXPECT_EQ(ppeRamp, 0u);
+    EXPECT_EQ(micRamp, 11u);
+    EXPECT_EQ(speRamp(0), 10u);
+    EXPECT_EQ(speRamp(1), 1u);
+    EXPECT_STREQ(rampName(micRamp), "MIC");
+    EXPECT_STREQ(rampName(speRamp(7)), "SPE7");
+}
+
+class HopsProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(HopsProperty, DirectionsAreComplementary)
+{
+    auto [src, dst] = GetParam();
+    if (src == dst) {
+        EXPECT_EQ(cwHops(src, dst), 0u);
+        EXPECT_EQ(ccwHops(src, dst), 0u);
+        return;
+    }
+    EXPECT_EQ(cwHops(src, dst) + ccwHops(src, dst), numRamps);
+    EXPECT_EQ(cwHops(src, dst), ccwHops(dst, src));
+    EXPECT_LE(shortestHops(src, dst), numRamps / 2);
+    EXPECT_GE(shortestHops(src, dst), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, HopsProperty,
+    ::testing::Combine(::testing::Range(0u, numRamps),
+                       ::testing::Range(0u, numRamps)));
+
+/* ------------------------------------------------------------------ */
+/*  Ring                                                                */
+/* ------------------------------------------------------------------ */
+
+TEST(Ring, HopsFollowDirection)
+{
+    Ring cw(0, RingDir::Clockwise);
+    Ring ccw(1, RingDir::CounterClockwise);
+    EXPECT_EQ(cw.hops(0, 3), 3u);
+    EXPECT_EQ(ccw.hops(0, 3), 9u);
+    EXPECT_EQ(cw.hops(10, 1), 3u);
+    EXPECT_EQ(ccw.hops(1, 10), 3u);
+}
+
+TEST(Ring, FreeRingStartsImmediately)
+{
+    Ring r(0, RingDir::Clockwise);
+    EXPECT_EQ(r.earliestStart(0, 3, 100, 2), 100u);
+}
+
+TEST(Ring, OverlappingPathsSerialize)
+{
+    Ring r(0, RingDir::Clockwise);
+    r.reserve(0, 3, 100, 16, 0);
+    // Path 1->4 shares segments 1 and 2.
+    EXPECT_EQ(r.earliestStart(1, 4, 100, 0), 116u);
+    // Path 5->8 is disjoint: free immediately.
+    EXPECT_EQ(r.earliestStart(5, 8, 100, 0), 100u);
+}
+
+TEST(Ring, StaggeredWavefrontAllowsBackToBackSameFlow)
+{
+    Ring r(0, RingDir::Clockwise);
+    const Tick hop = 2;
+    r.reserve(0, 6, 100, 16, hop);
+    // The same flow can inject its next packet right when the source
+    // segment frees (116), not when the whole path frees.
+    EXPECT_EQ(r.earliestStart(0, 6, 0, hop), 116u);
+}
+
+TEST(Ring, GrantsAndBusyAccounting)
+{
+    Ring r(0, RingDir::Clockwise);
+    r.reserve(0, 1, 0, 16, 2);
+    r.reserve(2, 3, 0, 16, 2);
+    EXPECT_EQ(r.grants(), 2u);
+    EXPECT_EQ(r.busyTicks(), 32u);
+}
+
+TEST(RingDeathTest, MoreThanHalfwayIsIllegal)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    Ring r(0, RingDir::Clockwise);
+    EXPECT_DEATH(r.reserve(0, 7, 0, 16, 2), "illegal");
+    EXPECT_DEATH(r.reserve(3, 3, 0, 16, 2), "illegal");
+}
+
+/* ------------------------------------------------------------------ */
+/*  Eib arbiter                                                         */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+struct EibFixture : public ::testing::Test
+{
+    sim::ClockSpec clock;
+    sim::EventQueue eq;
+    EibParams params;
+
+    std::unique_ptr<Eib> make()
+    {
+        return std::make_unique<Eib>("eib", eq, clock, params);
+    }
+};
+
+} // namespace
+
+TEST_F(EibFixture, SingleTransferCompletes)
+{
+    auto eib = make();
+    Tick done = 0;
+    eib->transfer(speRamp(0), micRamp, 128, [&] { done = eq.now(); });
+    eq.run();
+    // cmd 20 bc + 8 bc data + 1 hop x 1 bc = 29 bus cycles = 58 ticks.
+    EXPECT_EQ(done, 58u);
+    EXPECT_EQ(eib->packets(), 1u);
+    EXPECT_EQ(eib->bytesMoved(), 128u);
+}
+
+TEST_F(EibFixture, SameSourceSerializesOnTxPort)
+{
+    auto eib = make();
+    // Both destinations are one hop away (in opposite directions), so
+    // the only difference between the packets is the TX port.
+    Tick a = 0, b = 0;
+    eib->transfer(0, 1, 128, [&] { a = eq.now(); });
+    eib->transfer(0, 11, 128, [&] { b = eq.now(); });
+    eq.run();
+    // The second packet starts one occupancy (16 ticks) later.
+    EXPECT_EQ(b - a, 16u);
+}
+
+TEST_F(EibFixture, SameDestinationSerializesOnRxPort)
+{
+    auto eib = make();
+    Tick a = 0, b = 0;
+    eib->transfer(1, 0, 128, [&] { a = eq.now(); });
+    eib->transfer(2, 0, 128, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_GE(b - a, 16u);
+}
+
+TEST_F(EibFixture, DisjointTransfersRunConcurrently)
+{
+    auto eib = make();
+    Tick a = 0, b = 0;
+    eib->transfer(0, 1, 128, [&] { a = eq.now(); });
+    eib->transfer(6, 7, 128, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(eib->contentionTicks(), 0u);
+}
+
+TEST_F(EibFixture, OppositeDirectionsUseDifferentRings)
+{
+    auto eib = make();
+    Tick a = 0, b = 0;
+    eib->transfer(0, 2, 128, [&] { a = eq.now(); });    // CW
+    eib->transfer(2, 0, 128, [&] { b = eq.now(); });    // CCW
+    eq.run();
+    EXPECT_EQ(a, b);
+    unsigned used = 0;
+    for (unsigned r = 0; r < eib->numRings(); ++r)
+        if (eib->ring(r).grants())
+            ++used;
+    EXPECT_EQ(used, 2u);
+}
+
+TEST_F(EibFixture, LongPathTakesLongerThanShortPath)
+{
+    auto eib = make();
+    Tick near = 0, far = 0;
+    eib->transfer(0, 1, 128, [&] { near = eq.now(); });
+    eib->transfer(2, 8, 128, [&] { far = eq.now(); });      // 6 hops
+    eq.run();
+    EXPECT_EQ(far - near, 5u * clock.busCycles(params.hopLatencyBus));
+}
+
+TEST_F(EibFixture, RampPeakMatchesPaper)
+{
+    auto eib = make();
+    EXPECT_NEAR(eib->rampPeakGBps(), 16.8, 1e-9);
+}
+
+TEST_F(EibFixture, SustainedRampRateIsOneLinePerEightBusCycles)
+{
+    auto eib = make();
+    const int n = 1000;
+    Tick done = 0;
+    for (int i = 0; i < n; ++i)
+        eib->transfer(0, 1, 128, [&] { done = eq.now(); });
+    eq.run();
+    // Steady state: 16 ticks per 128 B line + constant latency.
+    Tick expect_span = static_cast<Tick>(n) * 16u;
+    EXPECT_NEAR(static_cast<double>(done),
+                static_cast<double>(expect_span), 100.0);
+}
+
+TEST_F(EibFixture, TwoRingConfigStillRoutesBothDirections)
+{
+    params.numRings = 2;
+    auto eib = make();
+    Tick a = 0, b = 0;
+    eib->transfer(0, 2, 128, [&] { a = eq.now(); });
+    eib->transfer(2, 0, 128, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_GT(a, 0u);
+    EXPECT_GT(b, 0u);
+}
+
+TEST_F(EibFixture, SmallPacketOccupiesOneBusCycle)
+{
+    auto eib = make();
+    Tick a = 0, b = 0;
+    eib->transfer(0, 1, 16, [&] { a = eq.now(); });
+    eib->transfer(0, 1, 16, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(b - a, 2u);   // one bus cycle apart
+}
+
+TEST_F(EibFixture, ZeroRingsIsFatal)
+{
+    params.numRings = 0;
+    EXPECT_THROW(make(), sim::FatalError);
+}
+
+TEST_F(EibFixture, BadRampsPanic)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    auto eib = make();
+    EXPECT_DEATH(eib->transfer(0, 12, 128, [] {}), "bad ramp");
+    EXPECT_DEATH(eib->transfer(3, 3, 128, [] {}), "self");
+    EXPECT_DEATH(eib->transfer(0, 1, 0, [] {}), "zero bytes");
+}

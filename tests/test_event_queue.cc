@@ -1,0 +1,119 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace cellbw;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, EventsFireInTimestampOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsFireInFifoOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(1, [&] {
+            ++fired;
+            eq.schedule(1, [&] { ++fired; });
+        });
+    });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, ZeroDelayFiresAtCurrentTick)
+{
+    sim::EventQueue eq;
+    Tick seen = maxTick;
+    eq.schedule(7, [&] {
+        eq.schedule(0, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesNow)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+
+    // runUntil with no eligible events still advances time.
+    EXPECT_EQ(eq.runUntil(25), 0u);
+    EXPECT_EQ(eq.now(), 25u);
+
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    sim::EventQueue eq;
+    Tick when = 0;
+    eq.scheduleAt(123, [&] { when = eq.now(); });
+    eq.run();
+    EXPECT_EQ(when, 123u);
+}
+
+TEST(EventQueue, ProcessedCountAccumulates)
+{
+    sim::EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    for (int i = 0; i < 3; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsProcessed(), 8u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    sim::EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 10u);
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}

@@ -1,0 +1,201 @@
+/** @file Tests for the small-kernel suite (the paper's future work). */
+
+#include <gtest/gtest.h>
+
+#include "core/kernels.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+core::KernelResult
+run(core::KernelKind kind, std::uint64_t n, unsigned spes,
+    bool doubleBuffer = true)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::KernelSpec spec;
+    spec.kind = kind;
+    spec.n = n;
+    spec.spes = spes;
+    spec.doubleBuffer = doubleBuffer;
+    return core::runKernel(sys, spec);
+}
+
+} // namespace
+
+class StreamKernels : public ::testing::TestWithParam<core::KernelKind>
+{
+};
+
+TEST_P(StreamKernels, VerifiesOnOneAndFourSpes)
+{
+    auto r1 = run(GetParam(), 64 * 1024, 1);
+    EXPECT_TRUE(r1.verified) << "maxError=" << r1.maxError;
+    auto r4 = run(GetParam(), 64 * 1024, 4);
+    EXPECT_TRUE(r4.verified) << "maxError=" << r4.maxError;
+    EXPECT_GT(r4.gbps, r1.gbps);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStream, StreamKernels,
+                         ::testing::Values(core::KernelKind::Copy,
+                                           core::KernelKind::Scale,
+                                           core::KernelKind::Add,
+                                           core::KernelKind::Triad,
+                                           core::KernelKind::Dot));
+
+TEST(Kernels, CopyMovesTwiceTheBytesOfDot)
+{
+    auto copy = run(core::KernelKind::Copy, 64 * 1024, 2);
+    auto dot = run(core::KernelKind::Dot, 64 * 1024, 2);
+    // copy: n in + n out; dot: 2n in, nothing out (plus 16 B partials).
+    EXPECT_NEAR(static_cast<double>(copy.bytes),
+                static_cast<double>(dot.bytes), 256.0);
+    EXPECT_EQ(copy.flops, 0u);
+    EXPECT_EQ(dot.flops, 2ull * 64 * 1024);
+}
+
+TEST(Kernels, TriadIsMemoryBound)
+{
+    auto r = run(core::KernelKind::Triad, 1 << 19, 4);
+    EXPECT_TRUE(r.verified);
+    // Intensity 2 flops / 12 bytes.
+    EXPECT_NEAR(r.intensity, 2.0 / 12.0, 0.02);
+    // Far below the 4-SPE compute roof (67 GFLOPS).
+    EXPECT_LT(r.gflops, 5.0);
+    // But the memory system is well used.
+    EXPECT_GT(r.gbps, 8.0);
+}
+
+TEST(Kernels, MatVecVerifies)
+{
+    auto r = run(core::KernelKind::MatVec, 512, 4);
+    EXPECT_TRUE(r.verified) << "maxError=" << r.maxError;
+    EXPECT_EQ(r.flops, 2ull * 512 * 512);
+}
+
+TEST(Kernels, MatMulVerifiesAndIsComputeBound)
+{
+    auto r = run(core::KernelKind::MatMul, 128, 2);
+    EXPECT_TRUE(r.verified) << "maxError=" << r.maxError;
+    EXPECT_EQ(r.flops, 2ull * 128 * 128 * 128);
+    // Blocked matmul: high arithmetic intensity...
+    EXPECT_GT(r.intensity, 4.0);
+    // ...and close to the 2-SPE compute roof of 33.6 GFLOPS.
+    EXPECT_GT(r.gflops, 0.7 * 2 * 8.0 * 2.1);
+}
+
+TEST(Kernels, MatMulScalesWithSpes)
+{
+    auto r1 = run(core::KernelKind::MatMul, 256, 1);
+    auto r4 = run(core::KernelKind::MatMul, 256, 4);
+    EXPECT_TRUE(r1.verified);
+    EXPECT_TRUE(r4.verified);
+    EXPECT_GT(r4.gflops, 3.0 * r1.gflops);
+}
+
+TEST(Kernels, DoubleBufferingHelpsStreamKernels)
+{
+    auto db = run(core::KernelKind::Triad, 1 << 18, 2, true);
+    auto sb = run(core::KernelKind::Triad, 1 << 18, 2, false);
+    EXPECT_TRUE(db.verified);
+    EXPECT_TRUE(sb.verified);
+    EXPECT_GT(db.gbps, sb.gbps);
+}
+
+TEST(Kernels, InvalidSpecsAreFatal)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::KernelSpec spec;
+    spec.spes = 9;
+    EXPECT_THROW(core::runKernel(sys, spec), sim::FatalError);
+    spec.spes = 2;
+    spec.kind = core::KernelKind::MatMul;
+    spec.n = 100;   // not a multiple of 64
+    EXPECT_THROW(core::runKernel(sys, spec), sim::FatalError);
+    spec.kind = core::KernelKind::MatVec;
+    spec.n = 8192;  // too large for an LS-resident vector
+    EXPECT_THROW(core::runKernel(sys, spec), sim::FatalError);
+}
+
+namespace
+{
+
+core::KernelResult
+runPrec(core::KernelKind kind, core::Precision prec, std::uint64_t n,
+        unsigned spes)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::KernelSpec spec;
+    spec.kind = kind;
+    spec.n = n;
+    spec.spes = spes;
+    spec.precision = prec;
+    return core::runKernel(sys, spec);
+}
+
+} // namespace
+
+TEST(KernelsPrecision, DoubleTriadVerifies)
+{
+    auto r = runPrec(core::KernelKind::Triad, core::Precision::Double,
+                     1 << 17, 2);
+    EXPECT_TRUE(r.verified) << r.maxError;
+    // 2 flops per 24 bytes of DMA traffic.
+    EXPECT_NEAR(r.intensity, 2.0 / 24.0, 0.01);
+}
+
+TEST(KernelsPrecision, DoubleDotVerifies)
+{
+    auto r = runPrec(core::KernelKind::Dot, core::Precision::Double,
+                     1 << 17, 4);
+    EXPECT_TRUE(r.verified) << r.maxError;
+}
+
+TEST(KernelsPrecision, DongarrasTwoXForBandwidthBoundKernels)
+{
+    // Same element count: DP moves twice the bytes at the same GB/s,
+    // so a bandwidth-bound kernel does half the GFLOPS — the paper's
+    // related-work argument for single-precision bulk work.
+    auto sp = runPrec(core::KernelKind::Triad, core::Precision::Single,
+                      1 << 18, 4);
+    auto dp = runPrec(core::KernelKind::Triad, core::Precision::Double,
+                      1 << 18, 4);
+    EXPECT_TRUE(sp.verified);
+    EXPECT_TRUE(dp.verified);
+    EXPECT_NEAR(sp.gbps, dp.gbps, 0.15 * sp.gbps);      // same GB/s
+    EXPECT_NEAR(sp.gflops / dp.gflops, 2.0, 0.4);        // 2x flops
+}
+
+TEST(KernelsPrecision, ComputeRoofIsFourteenToOne)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::KernelSpec sp_spec, dp_spec;
+    dp_spec.precision = core::Precision::Double;
+    double ratio = core::computePeakGflops(sys, sp_spec) /
+                   core::computePeakGflops(sys, dp_spec);
+    EXPECT_NEAR(ratio, 14.0, 0.01);
+}
+
+TEST(KernelsPrecision, MatrixKernelsRejectDouble)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::KernelSpec spec;
+    spec.kind = core::KernelKind::MatMul;
+    spec.n = 128;
+    spec.precision = core::Precision::Double;
+    EXPECT_THROW(core::runKernel(sys, spec), sim::FatalError);
+}
+
+TEST(Kernels, NamesRoundTrip)
+{
+    EXPECT_STREQ(core::toString(core::KernelKind::Dot), "dot");
+    EXPECT_STREQ(core::toString(core::KernelKind::MatMul), "matmul");
+    EXPECT_STREQ(core::toString(core::KernelKind::Triad), "triad");
+}

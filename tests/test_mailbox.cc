@@ -1,0 +1,115 @@
+/** @file Unit tests for SPE mailboxes. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hh"
+#include "spe/mailbox.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+struct MboxFixture : public ::testing::Test
+{
+    sim::EventQueue eq;
+};
+
+sim::Task
+producer(spe::Mailbox &mb, std::vector<std::uint32_t> vals)
+{
+    // Parameters are taken by value: the coroutine outlives the call
+    // expression, so a reference parameter would dangle.
+    for (auto v : vals)
+        co_await mb.write(v);
+}
+
+sim::Task
+consumer(spe::Mailbox &mb, std::size_t n, std::vector<std::uint32_t> *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out->push_back(co_await mb.read());
+}
+
+} // namespace
+
+TEST_F(MboxFixture, TryReadWriteRespectCapacity)
+{
+    spe::Mailbox mb("mb", eq, 2);
+    EXPECT_TRUE(mb.empty());
+    EXPECT_TRUE(mb.tryWrite(1));
+    EXPECT_TRUE(mb.tryWrite(2));
+    EXPECT_TRUE(mb.full());
+    EXPECT_FALSE(mb.tryWrite(3));
+
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mb.tryRead(v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(mb.tryRead(v));
+    EXPECT_EQ(v, 2u);
+    EXPECT_FALSE(mb.tryRead(v));
+    EXPECT_EQ(mb.messagesWritten(), 2u);
+}
+
+TEST_F(MboxFixture, ReaderBlocksUntilMessageArrives)
+{
+    spe::Mailbox mb("mb", eq, 4);
+    std::vector<std::uint32_t> got;
+    sim::Task c = consumer(mb, 1, &got);
+    c.start();
+    eq.run();
+    EXPECT_TRUE(got.empty());   // blocked
+    EXPECT_FALSE(c.done());
+
+    mb.tryWrite(42);
+    eq.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 42u);
+    EXPECT_TRUE(c.done());
+}
+
+TEST_F(MboxFixture, WriterBlocksUntilSpaceFrees)
+{
+    spe::Mailbox mb("mb", eq, 1);
+    sim::Task p = producer(mb, {1, 2, 3});
+    p.start();
+    eq.run();
+    EXPECT_FALSE(p.done());     // stuck after the first write
+    EXPECT_TRUE(mb.full());
+
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mb.tryRead(v));
+    EXPECT_EQ(v, 1u);
+    eq.run();
+    EXPECT_TRUE(mb.full());     // producer wrote 2
+
+    EXPECT_TRUE(mb.tryRead(v));
+    eq.run();
+    EXPECT_EQ(v, 2u);
+    EXPECT_TRUE(mb.tryRead(v));
+    EXPECT_EQ(v, 3u);
+    eq.run();
+    EXPECT_TRUE(p.done());
+}
+
+TEST_F(MboxFixture, ProducerConsumerPipelineInOrder)
+{
+    spe::Mailbox mb("mb", eq, 4);
+    std::vector<std::uint32_t> in = {10, 20, 30, 40, 50, 60, 70};
+    std::vector<std::uint32_t> out;
+    sim::Task p = producer(mb, in);
+    sim::Task c = consumer(mb, in.size(), &out);
+    p.start();
+    c.start();
+    eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_TRUE(c.done());
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(MboxFixture, ZeroCapacityIsFatal)
+{
+    EXPECT_THROW(spe::Mailbox("mb", eq, 0), sim::FatalError);
+}

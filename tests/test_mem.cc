@@ -1,0 +1,340 @@
+/** @file Unit tests for the memory subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/dram_bank.hh"
+#include "mem/io_link.hh"
+#include "mem/memory_system.hh"
+#include "mem/page_allocator.hh"
+#include "sim/logging.hh"
+
+using namespace cellbw;
+
+/* ------------------------------------------------------------------ */
+/*  BackingStore                                                        */
+/* ------------------------------------------------------------------ */
+
+TEST(BackingStore, RoundTripsWithinOnePage)
+{
+    mem::BackingStore bs;
+    const char msg[] = "hello cell";
+    bs.write(0x1000, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    bs.read(0x1000, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(BackingStore, RoundTripsAcrossPageBoundary)
+{
+    mem::BackingStore bs(4096);
+    std::vector<std::uint8_t> in(10000);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 13);
+    bs.write(4000, in.data(), in.size());
+    std::vector<std::uint8_t> out(in.size());
+    bs.read(4000, out.data(), out.size());
+    EXPECT_EQ(in, out);
+    EXPECT_GE(bs.touchedPages(), 3u);
+}
+
+TEST(BackingStore, UntouchedReadsAsZero)
+{
+    mem::BackingStore bs;
+    EXPECT_EQ(bs.byteAt(0xdeadbeef), 0);
+    std::uint8_t buf[4] = {9, 9, 9, 9};
+    bs.read(0x50000000, buf, 4);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(bs.touchedPages(), 0u);
+}
+
+TEST(BackingStore, FillAndClear)
+{
+    mem::BackingStore bs;
+    bs.fill(100, 0xAB, 300);
+    EXPECT_EQ(bs.byteAt(100), 0xAB);
+    EXPECT_EQ(bs.byteAt(399), 0xAB);
+    EXPECT_EQ(bs.byteAt(400), 0x00);
+    bs.clear();
+    EXPECT_EQ(bs.byteAt(100), 0x00);
+}
+
+TEST(BackingStore, NonPow2PageSizeIsFatal)
+{
+    EXPECT_THROW(mem::BackingStore(1000), sim::FatalError);
+}
+
+/* ------------------------------------------------------------------ */
+/*  DramBank                                                            */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+mem::DramBankParams
+fastBank()
+{
+    mem::DramBankParams p;
+    p.bytesPerTick = 8.0;       // 128 B line = 16 ticks of pin time
+    p.accessLatency = 100;
+    p.refreshInterval = 0;      // off unless a test enables it
+    return p;
+}
+
+} // namespace
+
+TEST(DramBank, ReadCompletesAfterServicePlusLatency)
+{
+    sim::EventQueue eq;
+    mem::DramBank bank("b", eq, fastBank());
+    Tick done = 0;
+    bank.access(128, false, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 116u);      // 16 service + 100 latency
+    EXPECT_EQ(bank.bytesServiced(), 128u);
+}
+
+TEST(DramBank, BackToBackRequestsSerializeOnThePins)
+{
+    sim::EventQueue eq;
+    mem::DramBank bank("b", eq, fastBank());
+    Tick first = 0, second = 0;
+    bank.access(128, false, [&] { first = eq.now(); });
+    bank.access(128, false, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_EQ(first, 116u);
+    EXPECT_EQ(second, 132u);    // 16 ticks later: pin-serialized
+}
+
+TEST(DramBank, WriteAlsoPaysAckLatency)
+{
+    sim::EventQueue eq;
+    mem::DramBank bank("b", eq, fastBank());
+    Tick done = 0;
+    bank.access(128, true, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 116u);
+}
+
+TEST(DramBank, RefreshWindowDelaysService)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.refreshInterval = 1000;
+    p.refreshDuration = 50;
+    mem::DramBank bank("b", eq, p);
+    // At t=0 the bank is refreshing (interval boundary).
+    Tick done = 0;
+    bank.access(128, false, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 50u + 16u + 100u);
+    EXPECT_GE(bank.refreshStalls(), 1u);
+}
+
+TEST(DramBank, ServiceSpanningRefreshIsSplit)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.refreshInterval = 100;
+    p.refreshDuration = 10;
+    mem::DramBank bank("b", eq, p);
+    // Occupy past the first boundary: 1024 B = 128 ticks of pin time,
+    // starting at 10 (after the t=0 refresh), must skip the t=100
+    // refresh window (and reach into the t=200 one).
+    Tick done = 0;
+    bank.access(1024, true, [&] { done = eq.now(); });
+    eq.run();
+    // Pin time: 10..100 (90), refresh to 110, 110..148 (38 remaining).
+    EXPECT_EQ(done, 148u + p.accessLatency);
+}
+
+TEST(DramBank, SustainedRateMatchesConfig)
+{
+    sim::EventQueue eq;
+    mem::DramBank bank("b", eq, fastBank());
+    Tick done = 0;
+    const int lines = 1000;
+    for (int i = 0; i < lines; ++i)
+        bank.access(128, false, [&] { done = eq.now(); });
+    eq.run();
+    // 1000 lines at 16 ticks each + one access latency at the end.
+    EXPECT_EQ(done, 1000u * 16u + 100u);
+}
+
+TEST(DramBank, InvalidParamsAreFatal)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.bytesPerTick = 0.0;
+    EXPECT_THROW(mem::DramBank("b", eq, p), sim::FatalError);
+    p = fastBank();
+    p.refreshInterval = 10;
+    p.refreshDuration = 10;
+    EXPECT_THROW(mem::DramBank("b", eq, p), sim::FatalError);
+}
+
+/* ------------------------------------------------------------------ */
+/*  IoLink                                                              */
+/* ------------------------------------------------------------------ */
+
+TEST(IoLink, DirectionsAreIndependent)
+{
+    sim::EventQueue eq;
+    mem::IoLinkParams p;
+    p.bytesPerTick = 4.0;
+    p.crossingLatency = 10;
+    mem::IoLink link("io", eq, p);
+    Tick out_done = 0, in_done = 0;
+    link.send(mem::IoLink::Dir::Outbound, 128, [&] { out_done = eq.now(); });
+    link.send(mem::IoLink::Dir::Inbound, 128, [&] { in_done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(out_done, 42u);   // 32 serialize + 10 crossing
+    EXPECT_EQ(in_done, 42u);    // not serialized behind outbound
+    EXPECT_EQ(link.bytesSent(mem::IoLink::Dir::Outbound), 128u);
+}
+
+TEST(IoLink, SameDirectionSerializes)
+{
+    sim::EventQueue eq;
+    mem::IoLinkParams p;
+    p.bytesPerTick = 4.0;
+    p.crossingLatency = 10;
+    mem::IoLink link("io", eq, p);
+    Tick a = 0, b = 0;
+    link.send(mem::IoLink::Dir::Inbound, 128, [&] { a = eq.now(); });
+    link.send(mem::IoLink::Dir::Inbound, 128, [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(a, 42u);
+    EXPECT_EQ(b, 74u);
+}
+
+/* ------------------------------------------------------------------ */
+/*  PageAllocator                                                       */
+/* ------------------------------------------------------------------ */
+
+TEST(PageAllocator, NeverHandsOutAddressZero)
+{
+    mem::PageAllocator pa(65536, 2);
+    EffAddr ea = pa.alloc(100, mem::NumaPolicy::local());
+    EXPECT_GE(ea, 65536u);
+}
+
+TEST(PageAllocator, LocalAndRemotePolicies)
+{
+    mem::PageAllocator pa(65536, 2);
+    EffAddr local = pa.alloc(200000, mem::NumaPolicy::local());
+    EffAddr remote = pa.alloc(200000, mem::NumaPolicy::remote());
+    for (EffAddr off = 0; off < 200000; off += 65536) {
+        EXPECT_EQ(pa.bankOf(local + off), 0u);
+        EXPECT_EQ(pa.bankOf(remote + off), 1u);
+    }
+}
+
+TEST(PageAllocator, InterleaveShareIsAccurate)
+{
+    mem::PageAllocator pa(65536, 2);
+    const std::uint64_t pages = 1000;
+    EffAddr ea = pa.alloc(pages * 65536, mem::NumaPolicy::interleave(0.65));
+    unsigned bank0 = 0;
+    for (std::uint64_t p = 0; p < pages; ++p)
+        if (pa.bankOf(ea + p * 65536) == 0)
+            ++bank0;
+    EXPECT_NEAR(bank0, 650u, 1u);
+}
+
+TEST(PageAllocator, InterleaveIsBalancedOnEveryPrefix)
+{
+    mem::PageAllocator pa(65536, 2);
+    EffAddr ea = pa.alloc(100 * 65536, mem::NumaPolicy::interleave(0.5));
+    int balance = 0;
+    for (std::uint64_t p = 0; p < 100; ++p) {
+        balance += pa.bankOf(ea + p * 65536) == 0 ? 1 : -1;
+        EXPECT_LE(std::abs(balance), 2);
+    }
+}
+
+TEST(PageAllocator, UnallocatedAccessIsFatal)
+{
+    mem::PageAllocator pa(65536, 2);
+    EXPECT_THROW(pa.bankOf(1ull << 30), sim::FatalError);
+}
+
+TEST(PageAllocator, ZeroByteAllocIsFatal)
+{
+    mem::PageAllocator pa(65536, 2);
+    EXPECT_THROW(pa.alloc(0, mem::NumaPolicy::local()), sim::FatalError);
+}
+
+TEST(PageAllocator, ResetReclaimsEverything)
+{
+    mem::PageAllocator pa(65536, 2);
+    pa.alloc(10 * 65536, mem::NumaPolicy::local());
+    EXPECT_EQ(pa.bytesAllocated(), 10 * 65536u);
+    pa.reset();
+    EXPECT_EQ(pa.bytesAllocated(), 0u);
+}
+
+TEST(PageAllocator, SingleBankInterleaveFallsBackToBank0)
+{
+    mem::PageAllocator pa(65536, 1);
+    EffAddr ea = pa.alloc(5 * 65536, mem::NumaPolicy::interleave(0.3));
+    for (int p = 0; p < 5; ++p)
+        EXPECT_EQ(pa.bankOf(ea + static_cast<EffAddr>(p) * 65536), 0u);
+}
+
+/* ------------------------------------------------------------------ */
+/*  MemorySystem                                                        */
+/* ------------------------------------------------------------------ */
+
+TEST(MemorySystem, RemoteReadIsSlowerThanLocal)
+{
+    sim::EventQueue eq;
+    mem::MemorySystemParams p;
+    mem::MemorySystem ms("m", eq, p);
+    EffAddr local = ms.alloc(65536, mem::NumaPolicy::local());
+    EffAddr remote = ms.alloc(65536, mem::NumaPolicy::remote());
+    EXPECT_FALSE(ms.isRemote(local));
+    EXPECT_TRUE(ms.isRemote(remote));
+
+    // Warm both banks past their t=0 refresh window first, so the
+    // comparison only sees the IOIF crossing cost.
+    ms.readLine(local, 128, [] {});
+    ms.readLine(remote, 128, [] {});
+    eq.run();
+
+    Tick t0 = eq.now();
+    Tick local_done = 0, remote_done = 0;
+    ms.readLine(local, 128, [&] { local_done = eq.now(); });
+    eq.run();
+    Tick t1 = eq.now();
+    ms.readLine(remote, 128, [&] { remote_done = eq.now(); });
+    eq.run();
+    EXPECT_GT(remote_done - t1, local_done - t0);
+}
+
+TEST(MemorySystem, WritesArePostedToTheRightBank)
+{
+    sim::EventQueue eq;
+    mem::MemorySystemParams p;
+    mem::MemorySystem ms("m", eq, p);
+    EffAddr remote = ms.alloc(65536, mem::NumaPolicy::remote());
+    bool done = false;
+    ms.writeLine(remote, 128, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ms.bank(1).bytesServiced(), 128u);
+    EXPECT_EQ(ms.bank(0).bytesServiced(), 0u);
+    EXPECT_EQ(ms.ioLink().bytesSent(mem::IoLink::Dir::Outbound), 128u);
+}
+
+TEST(MemorySystem, BadBankIndexIsFatal)
+{
+    sim::EventQueue eq;
+    mem::MemorySystemParams p;
+    mem::MemorySystem ms("m", eq, p);
+    EXPECT_THROW(ms.bank(2), sim::FatalError);
+}

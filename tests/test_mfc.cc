@@ -1,0 +1,306 @@
+/** @file Unit tests for the MFC DMA engine (with a mock line router). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/task.hh"
+#include "spe/mfc.hh"
+
+using namespace cellbw;
+using spe::DmaDir;
+
+namespace
+{
+
+/** Records every line and completes it after a configurable delay. */
+struct MockRouter
+{
+    sim::EventQueue &eq;
+    Tick delay = 50;
+    std::vector<spe::LineRequest> lines = {};
+    unsigned inFlight = 0;
+    unsigned maxInFlight = 0;
+
+    void
+    operator()(spe::LineRequest &&req)
+    {
+        ++inFlight;
+        maxInFlight = std::max(maxInFlight, inFlight);
+        auto done = std::move(req.done);
+        lines.push_back(std::move(req));
+        eq.schedule(delay, [this, done = std::move(done)] {
+            --inFlight;
+            done();
+        });
+    }
+};
+
+struct MfcFixture : public ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::ClockSpec clock;
+    spe::MfcParams params;
+    MockRouter router{eq};
+
+    std::unique_ptr<spe::Mfc>
+    make()
+    {
+        auto mfc = std::make_unique<spe::Mfc>("mfc", eq, clock, params, 0);
+        mfc->setLineHandler(std::ref(router));
+        return mfc;
+    }
+};
+
+sim::Task
+waitTags(spe::Mfc &mfc, std::uint32_t mask, Tick *done_at,
+         sim::EventQueue &eq)
+{
+    co_await mfc.tagWait(mask);
+    *done_at = eq.now();
+}
+
+} // namespace
+
+TEST_F(MfcFixture, GetSplitsIntoLines)
+{
+    auto mfc = make();
+    mfc->get(0, 0x10000, 1024, 3);
+    eq.run();
+    ASSERT_EQ(router.lines.size(), 8u);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(router.lines[i].bytes, 128u);
+        EXPECT_EQ(router.lines[i].ea, 0x10000u + i * 128);
+        EXPECT_EQ(router.lines[i].lsa, i * 128);
+        EXPECT_EQ(router.lines[i].dir, DmaDir::Get);
+        EXPECT_EQ(router.lines[i].speIndex, 0u);
+    }
+    EXPECT_EQ(mfc->bytesTransferred(), 1024u);
+    EXPECT_EQ(mfc->commandsCompleted(), 1u);
+    EXPECT_EQ(mfc->linesSent(), 8u);
+}
+
+TEST_F(MfcFixture, SmallTransfersAreOneLine)
+{
+    auto mfc = make();
+    mfc->put(16, 0x20000, 16, 0);
+    mfc->put(32, 0x20010, 4, 0);
+    eq.run();
+    ASSERT_EQ(router.lines.size(), 2u);
+    EXPECT_EQ(router.lines[0].bytes, 16u);
+    EXPECT_EQ(router.lines[1].bytes, 4u);
+}
+
+TEST_F(MfcFixture, TagMaskTracksPendingCommands)
+{
+    auto mfc = make();
+    EXPECT_EQ(mfc->tagsPendingMask(), 0u);
+    mfc->get(0, 0x10000, 128, 2);
+    mfc->get(256, 0x20000, 128, 5);
+    EXPECT_EQ(mfc->tagsPendingMask(), (1u << 2) | (1u << 5));
+    eq.run();
+    EXPECT_EQ(mfc->tagsPendingMask(), 0u);
+}
+
+TEST_F(MfcFixture, TagWaitBlocksUntilCompletion)
+{
+    auto mfc = make();
+    mfc->get(0, 0x10000, 2048, 1);
+    Tick woke_at = 0;
+    sim::Task w = waitTags(*mfc, 1u << 1, &woke_at, eq);
+    w.start();
+    EXPECT_FALSE(w.done());
+    eq.run();
+    EXPECT_TRUE(w.done());
+    EXPECT_GT(woke_at, 0u);
+}
+
+TEST_F(MfcFixture, TagWaitOnIdleTagDoesNotBlock)
+{
+    auto mfc = make();
+    mfc->get(0, 0x10000, 128, 1);
+    Tick woke_at = 1234;
+    sim::Task w = waitTags(*mfc, 1u << 7, &woke_at, eq);
+    w.start();
+    EXPECT_TRUE(w.done());      // tag 7 idle: no suspension
+    EXPECT_EQ(woke_at, 0u);
+    eq.run();
+}
+
+TEST_F(MfcFixture, WindowLimitsOutstandingMemoryLines)
+{
+    params.memoryTokens = 4;
+    auto mfc = make();
+    mfc->get(0, 0x10000, 16 * 1024, 0);
+    eq.run();
+    EXPECT_EQ(router.lines.size(), 128u);
+    EXPECT_EQ(router.maxInFlight, 4u);
+}
+
+TEST_F(MfcFixture, LsLinesUseTheLsWindow)
+{
+    params.memoryTokens = 1;
+    params.lsLines = 8;
+    auto mfc = make();
+    mfc->get(0, spe::lsApertureBase + 0x4000, 16 * 1024, 0);
+    eq.run();
+    EXPECT_EQ(router.maxInFlight, 8u);
+}
+
+TEST_F(MfcFixture, MemoryLinesDoNotBlockLsLines)
+{
+    params.memoryTokens = 1;
+    params.lsLines = 4;
+    router.delay = 1000;    // memory lines stay in flight a long time
+    auto mfc = make();
+    mfc->get(0, 0x10000, 1024, 0);                           // memory
+    mfc->get(8192, spe::lsApertureBase + 0x4000, 1024, 1);   // LS
+    eq.run();
+    // Both eventually complete, and at some point 1 mem + 4 LS lines
+    // were in flight together.
+    EXPECT_EQ(router.lines.size(), 16u);
+    EXPECT_EQ(router.maxInFlight, 5u);
+}
+
+TEST_F(MfcFixture, QueueSlotsHeldUntilCompletion)
+{
+    params.queueDepth = 2;
+    auto mfc = make();
+    mfc->get(0, 0x10000, 128, 0);
+    mfc->get(128, 0x20000, 128, 0);
+    EXPECT_TRUE(mfc->queueFull());
+    EXPECT_EQ(mfc->queueFree(), 0u);
+    eq.run();
+    EXPECT_EQ(mfc->queueFree(), 2u);
+}
+
+TEST_F(MfcFixture, OverflowWithoutAwaitIsFatal)
+{
+    params.queueDepth = 1;
+    auto mfc = make();
+    mfc->get(0, 0x10000, 128, 0);
+    EXPECT_THROW(mfc->get(128, 0x20000, 128, 0), sim::FatalError);
+}
+
+TEST_F(MfcFixture, QueueSpaceAwaitAdmitsWhenSlotFrees)
+{
+    params.queueDepth = 1;
+    auto mfc = make();
+    bool issued_second = false;
+    auto prog_fn = [&]() -> sim::Task {
+        co_await mfc->queueSpace();
+        mfc->get(0, 0x10000, 128, 0);
+        co_await mfc->queueSpace();
+        mfc->get(128, 0x20000, 128, 0);
+        issued_second = true;
+        co_await mfc->tagWait(1u << 0);
+    };
+    sim::Task prog = prog_fn();
+    prog.start();
+    EXPECT_FALSE(issued_second);
+    eq.run();
+    prog.rethrow();
+    EXPECT_TRUE(prog.done());
+    EXPECT_TRUE(issued_second);
+    EXPECT_EQ(router.lines.size(), 2u);
+}
+
+TEST_F(MfcFixture, TwoStreamsNeverOverflowSharedQueue)
+{
+    // Regression: a woken waiter's slot must not be stolen by the
+    // other stream running in the same tick.
+    params.queueDepth = 4;
+    auto mfc = make();
+    auto stream = [&](unsigned tag, EffAddr base) -> sim::Task {
+        for (int i = 0; i < 50; ++i) {
+            co_await mfc->queueSpace();
+            mfc->get(static_cast<LsAddr>((i % 8) * 128),
+                     base + static_cast<EffAddr>(i) * 128, 128, tag);
+        }
+        co_await mfc->tagWait(1u << tag);
+    };
+    sim::Task a = stream(0, 0x100000);
+    sim::Task b = stream(1, 0x200000);
+    a.start();
+    b.start();
+    eq.run();
+    a.rethrow();
+    b.rethrow();
+    EXPECT_TRUE(a.done());
+    EXPECT_TRUE(b.done());
+    EXPECT_EQ(router.lines.size(), 100u);
+}
+
+TEST_F(MfcFixture, ListCommandWalksAllElements)
+{
+    auto mfc = make();
+    std::vector<spe::ListElement> list = {
+        {0x10000, 256}, {0x40000, 128}, {0x80000, 512}};
+    mfc->getList(0, list, 6);
+    eq.run();
+    EXPECT_EQ(mfc->bytesTransferred(), 896u);
+    ASSERT_EQ(router.lines.size(), 7u);
+    // Element boundaries never merge into one line.
+    EXPECT_EQ(router.lines[0].ea, 0x10000u);
+    EXPECT_EQ(mfc->commandsCompleted(), 1u);
+}
+
+TEST_F(MfcFixture, ListLsCursorAdvancesContiguously)
+{
+    auto mfc = make();
+    std::vector<spe::ListElement> list = {{0x10000, 128}, {0x20000, 128}};
+    mfc->getList(0x1000, list, 0);
+    eq.run();
+    ASSERT_EQ(router.lines.size(), 2u);
+    EXPECT_EQ(router.lines[0].lsa, 0x1000u);
+    EXPECT_EQ(router.lines[1].lsa, 0x1080u);
+}
+
+TEST_F(MfcFixture, ValidationRejectsBadCommands)
+{
+    auto mfc = make();
+    // Bad sizes.
+    EXPECT_THROW(mfc->get(0, 0x10000, 0, 0), sim::FatalError);
+    EXPECT_THROW(mfc->get(0, 0x10000, 3, 0), sim::FatalError);
+    EXPECT_THROW(mfc->get(0, 0x10000, 100, 0), sim::FatalError);
+    EXPECT_THROW(mfc->get(0, 0x10000, 32 * 1024, 0), sim::FatalError);
+    // Bad alignment.
+    EXPECT_THROW(mfc->get(8, 0x10000, 128, 0), sim::FatalError);
+    EXPECT_THROW(mfc->get(0, 0x10004, 128, 0), sim::FatalError);
+    // Bad tag.
+    EXPECT_THROW(mfc->get(0, 0x10000, 128, 32), sim::FatalError);
+    // LS overrun.
+    EXPECT_THROW(mfc->get(256 * 1024 - 64, 0x10000, 128, 0),
+                 sim::FatalError);
+    // Bad lists.
+    EXPECT_THROW(mfc->getList(0, {}, 0), sim::FatalError);
+    std::vector<spe::ListElement> toobig(2049, {0x10000, 16});
+    EXPECT_THROW(mfc->getList(0, toobig, 0), sim::FatalError);
+    // Nothing leaked into the queue.
+    EXPECT_EQ(mfc->queueFree(), params.queueDepth);
+    eq.run();
+    EXPECT_TRUE(router.lines.empty());
+}
+
+TEST_F(MfcFixture, IssueOverheadSerializesCommands)
+{
+    params.elemOverheadBus = 100;   // enormous, to dominate
+    router.delay = 1;
+    auto mfc = make();
+    mfc->get(0, 0x10000, 128, 0);
+    mfc->get(128, 0x20000, 128, 0);
+    Tick done_at = 0;
+    sim::Task w = waitTags(*mfc, 1u << 0, &done_at, eq);
+    w.start();
+    eq.run();
+    // Two commands pass the serial issue engine back-to-back:
+    // >= 2 x 100 bus cycles = 400 ticks.
+    EXPECT_GE(done_at, 400u);
+}
+
+TEST_F(MfcFixture, NoHandlerIsFatal)
+{
+    auto mfc = std::make_unique<spe::Mfc>("m", eq, clock, params, 0);
+    EXPECT_THROW(mfc->get(0, 0x1000, 128, 0), sim::FatalError);
+}

@@ -1,0 +1,268 @@
+/** @file Tests for MFC fence/barrier ordering, the proxy queue, and the
+ *        signal-notification registers. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/task.hh"
+#include "spe/mfc.hh"
+#include "spe/signal_notify.hh"
+
+using namespace cellbw;
+using spe::Mfc;
+
+namespace
+{
+
+/** Completes lines after a delay and records completion order by EA. */
+struct OrderRouter
+{
+    sim::EventQueue &eq;
+    Tick delay = 100;
+    std::vector<EffAddr> started = {};
+    std::vector<EffAddr> finished = {};
+
+    void
+    operator()(spe::LineRequest &&req)
+    {
+        started.push_back(req.ea);
+        auto done = std::move(req.done);
+        EffAddr ea = req.ea;
+        eq.schedule(delay, [this, ea, done = std::move(done)] {
+            finished.push_back(ea);
+            done();
+        });
+    }
+};
+
+struct OrderFixture : public ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::ClockSpec clock;
+    spe::MfcParams params;
+    OrderRouter router{eq};
+
+    std::unique_ptr<Mfc>
+    make()
+    {
+        auto mfc = std::make_unique<Mfc>("mfc", eq, clock, params, 0);
+        mfc->setLineHandler(std::ref(router));
+        return mfc;
+    }
+
+    /** Index of @p ea in router.started, or -1. */
+    int
+    startIndex(EffAddr ea) const
+    {
+        for (std::size_t i = 0; i < router.started.size(); ++i)
+            if (router.started[i] == ea)
+                return static_cast<int>(i);
+        return -1;
+    }
+};
+
+} // namespace
+
+TEST_F(OrderFixture, PlainCommandsOfOneTagMayOverlap)
+{
+    auto mfc = make();
+    mfc->get(0, 0x1000, 128, 0);
+    mfc->get(128, 0x2000, 128, 0);
+    eq.run();
+    // The second command starts before the first finishes: both were
+    // started before anything finished.
+    ASSERT_EQ(router.started.size(), 2u);
+    EXPECT_TRUE(router.finished.empty() ||
+                startIndex(0x2000) >= 0);
+}
+
+TEST_F(OrderFixture, FenceWaitsForEarlierSameTagCommands)
+{
+    auto mfc = make();
+    mfc->get(0, 0x1000, 128, 0);
+    mfc->getf(128, 0x2000, 128, 0);     // fenced
+    bool first_finished_before_second_started = false;
+    // Observe interleaving as events drain.
+    eq.runUntil(router.delay / 2);
+    EXPECT_EQ(router.started.size(), 1u);   // fence holds 0x2000 back
+    eq.run();
+    ASSERT_EQ(router.started.size(), 2u);
+    first_finished_before_second_started =
+        router.finished.size() >= 1 && router.finished[0] == 0x1000;
+    EXPECT_TRUE(first_finished_before_second_started);
+}
+
+TEST_F(OrderFixture, FenceIgnoresOtherTagGroups)
+{
+    auto mfc = make();
+    mfc->get(0, 0x1000, 128, 0);        // tag 0
+    mfc->getf(128, 0x2000, 128, 5);     // fenced, tag 5: not blocked
+    // Both issue within two issue-engine occupancies (2 x 48 ticks),
+    // well before the first line completes at router.delay.
+    eq.runUntil(router.delay - 1);
+    EXPECT_EQ(router.started.size(), 2u);
+    eq.run();
+}
+
+TEST_F(OrderFixture, BarrierAlsoBlocksLaterCommands)
+{
+    auto mfc = make();
+    mfc->get(0, 0x1000, 128, 0);
+    mfc->getb(128, 0x2000, 128, 0);     // barrier
+    mfc->get(256, 0x3000, 128, 0);      // must wait for the barrier
+    mfc->get(384, 0x4000, 128, 3);      // other tag: free to go
+    eq.runUntil(router.delay - 1);
+    ASSERT_EQ(router.started.size(), 2u);
+    EXPECT_EQ(router.started[0], 0x1000u);
+    EXPECT_EQ(router.started[1], 0x4000u);
+    eq.run();
+    ASSERT_EQ(router.started.size(), 4u);
+    // Barrier started after the first completed; the plain command
+    // after the barrier started last.
+    EXPECT_LT(startIndex(0x2000), startIndex(0x3000));
+}
+
+TEST_F(OrderFixture, FencedPutFormsAPipelineStage)
+{
+    // get A; putf A (must see completed get); classic flush pattern.
+    auto mfc = make();
+    mfc->get(0, 0x1000, 1024, 2);
+    mfc->putf(0, 0x9000, 1024, 2);
+    eq.run();
+    // All 8 get lines finish before the first put line starts.
+    ASSERT_EQ(router.started.size(), 16u);
+    int last_get_finish = -1;
+    for (std::size_t i = 0; i < router.finished.size(); ++i)
+        if (router.finished[i] < 0x9000)
+            last_get_finish = static_cast<int>(i);
+    // 8 get lines finished first.
+    EXPECT_EQ(last_get_finish, 7);
+}
+
+/* --- Proxy queue ------------------------------------------------------ */
+
+TEST_F(OrderFixture, ProxyQueueHasItsOwnCapacity)
+{
+    params.queueDepth = 2;
+    params.proxyQueueDepth = 2;
+    auto mfc = make();
+    mfc->get(0, 0x1000, 128, 0);
+    mfc->get(128, 0x2000, 128, 0);
+    EXPECT_TRUE(mfc->queueFull());
+    EXPECT_FALSE(mfc->proxyQueueFull());
+    mfc->proxyGet(256, 0x3000, 128, 1);
+    mfc->proxyPut(384, 0x4000, 128, 1);
+    EXPECT_TRUE(mfc->proxyQueueFull());
+    EXPECT_THROW(mfc->proxyGet(512, 0x5000, 128, 1), sim::FatalError);
+    eq.run();
+    EXPECT_EQ(router.started.size(), 4u);
+    EXPECT_EQ(mfc->proxyQueueFree(), 2u);
+    EXPECT_EQ(mfc->queueFree(), 2u);
+}
+
+TEST_F(OrderFixture, ProxyCommandsShareTagCompletion)
+{
+    auto mfc = make();
+    mfc->proxyGet(0, 0x1000, 256, 7);
+    EXPECT_EQ(mfc->tagsPendingMask(), 1u << 7);
+    bool woke = false;
+    auto waiter_fn = [&]() -> sim::Task {
+        co_await mfc->tagWait(1u << 7);
+        woke = true;
+    };
+    sim::Task waiter = waiter_fn();
+    waiter.start();
+    eq.run();
+    EXPECT_TRUE(woke);
+}
+
+TEST_F(OrderFixture, ProxySpaceAwaiterAdmitsInOrder)
+{
+    params.proxyQueueDepth = 1;
+    auto mfc = make();
+    int issued = 0;
+    auto ppe_side_fn = [&]() -> sim::Task {
+        for (int i = 0; i < 5; ++i) {
+            co_await mfc->proxyQueueSpace();
+            mfc->proxyGet(static_cast<LsAddr>(i * 128),
+                          0x1000u + static_cast<EffAddr>(i) * 0x1000,
+                          128, 0);
+            ++issued;
+        }
+        co_await mfc->tagWait(1u << 0);
+    };
+    sim::Task ppe_side = ppe_side_fn();
+    ppe_side.start();
+    eq.run();
+    ppe_side.rethrow();
+    EXPECT_EQ(issued, 5);
+    EXPECT_EQ(router.started.size(), 5u);
+}
+
+/* --- Signal notification ---------------------------------------------- */
+
+TEST(SignalNotify, OrModeAccumulatesBits)
+{
+    sim::EventQueue eq;
+    spe::SignalNotify sig("sig", eq, spe::SignalNotify::Mode::Or);
+    sig.signal(0x1);
+    sig.signal(0x4);
+    std::uint32_t v = 0;
+    EXPECT_TRUE(sig.tryRead(v));
+    EXPECT_EQ(v, 0x5u);
+    EXPECT_FALSE(sig.tryRead(v));   // destructive read
+    EXPECT_EQ(sig.writeCount(), 2u);
+}
+
+TEST(SignalNotify, OverwriteModeKeepsLastValue)
+{
+    sim::EventQueue eq;
+    spe::SignalNotify sig("sig", eq, spe::SignalNotify::Mode::Overwrite);
+    sig.signal(0x1);
+    sig.signal(0x4);
+    std::uint32_t v = 0;
+    EXPECT_TRUE(sig.tryRead(v));
+    EXPECT_EQ(v, 0x4u);
+}
+
+TEST(SignalNotify, ReadBlocksUntilSignalled)
+{
+    sim::EventQueue eq;
+    spe::SignalNotify sig("sig", eq, spe::SignalNotify::Mode::Or);
+    std::uint32_t got = 0;
+    auto reader_fn = [&]() -> sim::Task {
+        got = co_await sig.read();
+    };
+    sim::Task reader = reader_fn();
+    reader.start();
+    eq.run();
+    EXPECT_FALSE(reader.done());
+    sig.signal(0xAB);
+    eq.run();
+    EXPECT_TRUE(reader.done());
+    EXPECT_EQ(got, 0xABu);
+    EXPECT_FALSE(sig.pending());
+}
+
+TEST(SignalNotify, BarrierStyleFanIn)
+{
+    // Eight "workers" each OR their bit; a collector waits until all
+    // eight bits are present.
+    sim::EventQueue eq;
+    spe::SignalNotify sig("sig", eq, spe::SignalNotify::Mode::Or);
+    std::uint32_t seen = 0;
+    auto collector_fn = [&]() -> sim::Task {
+        while (seen != 0xFF)
+            seen |= co_await sig.read();
+    };
+    sim::Task collector = collector_fn();
+    collector.start();
+    for (unsigned i = 0; i < 8; ++i) {
+        eq.schedule(10 * (i + 1), [&sig, i] { sig.signal(1u << i); });
+    }
+    eq.run();
+    EXPECT_TRUE(collector.done());
+    EXPECT_EQ(seen, 0xFFu);
+}

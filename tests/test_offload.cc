@@ -1,0 +1,169 @@
+/** @file Tests for the CellSs-style offload runtime. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/offload.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+runtime::Kernel
+xorKernel(std::uint8_t key)
+{
+    return [key](std::uint8_t *d, std::uint32_t n) {
+        for (std::uint32_t i = 0; i < n; ++i)
+            d[i] ^= key;
+    };
+}
+
+struct OffloadFixture : public ::testing::Test
+{
+    cell::CellConfig cfg;
+
+    /** Run @p tasks transforms of @p bytes each; returns the runtime
+     *  stats and checks every output byte. */
+    runtime::OffloadRuntime::Stats
+    runBatch(unsigned workers, bool doubleBuffer, unsigned tasks,
+             std::uint32_t bytes, Tick *makespan = nullptr)
+    {
+        cell::CellSystem sys(cfg, 1);
+        runtime::OffloadParams params;
+        params.workers = workers;
+        params.doubleBuffer = doubleBuffer;
+        runtime::OffloadRuntime rt(sys, params);
+
+        std::vector<EffAddr> ins, outs;
+        for (unsigned t = 0; t < tasks; ++t) {
+            EffAddr in = sys.malloc(bytes);
+            EffAddr out = sys.malloc(bytes);
+            sys.memory().store().fill(in,
+                                      static_cast<std::uint8_t>(t + 1),
+                                      bytes);
+            ins.push_back(in);
+            outs.push_back(out);
+            rt.submit({in, out, bytes, 64, xorKernel(0x33)});
+        }
+        rt.start();
+        sys.run();
+
+        for (unsigned t = 0; t < tasks; ++t) {
+            auto expect =
+                static_cast<std::uint8_t>((t + 1) ^ 0x33);
+            EXPECT_EQ(sys.memory().store().byteAt(outs[t]), expect);
+            EXPECT_EQ(sys.memory().store().byteAt(outs[t] + bytes - 1),
+                      expect);
+            EXPECT_EQ(sys.memory().store().byteAt(outs[t] + bytes / 2),
+                      expect);
+        }
+        if (makespan)
+            *makespan = rt.stats().makespan();
+        return rt.stats();
+    }
+};
+
+} // namespace
+
+TEST_F(OffloadFixture, TransformsEveryTaskCorrectly)
+{
+    auto st = runBatch(4, true, 16, 64 * 1024);
+    EXPECT_EQ(st.tasksCompleted, 16u);
+}
+
+TEST_F(OffloadFixture, SingleWorkerAlsoCorrect)
+{
+    auto st = runBatch(1, true, 5, 48 * 1024);
+    EXPECT_EQ(st.tasksCompleted, 5u);
+    EXPECT_EQ(st.worker.size(), 1u);
+    EXPECT_EQ(st.worker[0].tasks, 5u);
+}
+
+TEST_F(OffloadFixture, OddSizedTasksAreChunkedCorrectly)
+{
+    // 100 KiB is not a multiple of the 16 KiB chunk.
+    auto st = runBatch(2, true, 4, 100 * 1024);
+    EXPECT_EQ(st.tasksCompleted, 4u);
+    std::uint64_t bytes = 0;
+    for (const auto &w : st.worker)
+        bytes += w.bytesIn;
+    EXPECT_EQ(bytes, 4ull * 100 * 1024);
+}
+
+TEST_F(OffloadFixture, WorkSpreadsAcrossWorkers)
+{
+    auto st = runBatch(4, true, 16, 32 * 1024);
+    for (const auto &w : st.worker)
+        EXPECT_EQ(w.tasks, 4u);
+}
+
+TEST_F(OffloadFixture, DoubleBufferingBeatsSingle)
+{
+    Tick db = 0, sb = 0;
+    runBatch(2, true, 8, 128 * 1024, &db);
+    runBatch(2, false, 8, 128 * 1024, &sb);
+    EXPECT_LT(db, sb);
+}
+
+TEST_F(OffloadFixture, MoreWorkersShrinkTheMakespan)
+{
+    Tick one = 0, four = 0;
+    runBatch(1, true, 8, 128 * 1024, &one);
+    runBatch(4, true, 8, 128 * 1024, &four);
+    EXPECT_LT(four, one / 2);
+}
+
+TEST_F(OffloadFixture, ThroughputIsPositiveAndBounded)
+{
+    cell::CellSystem sys(cfg, 1);
+    runtime::OffloadRuntime rt(sys, {});
+    EffAddr in = sys.malloc(64 * 1024);
+    EffAddr out = sys.malloc(64 * 1024);
+    rt.submit({in, out, 64 * 1024, 64, xorKernel(1)});
+    rt.start();
+    sys.run();
+    EXPECT_GT(rt.throughputGBps(), 0.0);
+    EXPECT_LT(rt.throughputGBps(), 25.0);   // below aggregate memory BW
+}
+
+TEST_F(OffloadFixture, ApiMisuseIsFatal)
+{
+    cell::CellSystem sys(cfg, 1);
+    runtime::OffloadParams params;
+    params.workers = 9;
+    EXPECT_THROW(runtime::OffloadRuntime(sys, params), sim::FatalError);
+
+    params.workers = 2;
+    params.chunkBytes = 100;    // invalid DMA size
+    EXPECT_THROW(runtime::OffloadRuntime(sys, params), sim::FatalError);
+
+    runtime::OffloadRuntime rt(sys, {});
+    EXPECT_THROW(rt.submit({0, 0, 0, 64, xorKernel(1)}),
+                 sim::FatalError);
+    EXPECT_THROW(rt.submit({0, 0, 128, 64, nullptr}), sim::FatalError);
+    EffAddr in = sys.malloc(4096);
+    EffAddr out = sys.malloc(4096);
+    rt.submit({in, out, 4096, 64, xorKernel(1)});
+    rt.start();
+    EXPECT_THROW(rt.start(), sim::FatalError);
+    EXPECT_THROW(rt.submit({in, out, 4096, 64, xorKernel(1)}),
+                 sim::FatalError);
+    sys.run();
+    EXPECT_EQ(rt.stats().tasksCompleted, 1u);
+}
+
+TEST_F(OffloadFixture, ComputeBoundTasksConsumeSpuCycles)
+{
+    cell::CellSystem sys(cfg, 1);
+    runtime::OffloadParams params;
+    params.workers = 1;
+    runtime::OffloadRuntime rt(sys, params);
+    EffAddr in = sys.malloc(64 * 1024);
+    EffAddr out = sys.malloc(64 * 1024);
+    rt.submit({in, out, 64 * 1024, 10000, xorKernel(1)});
+    rt.start();
+    sys.run();
+    // 64 KiB at 10000 cycles/KiB = 640k cycles of pure compute.
+    EXPECT_GE(rt.stats().makespan(), 640000u);
+}

@@ -1,0 +1,200 @@
+/** @file Unit tests for the PPU SMT streaming model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "ppe/ppu.hh"
+#include "sim/clock.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+struct PpuFixture : public ::testing::Test
+{
+    sim::EventQueue eq;
+    sim::ClockSpec clock;
+    ppe::PpuParams params;
+    mem::BackingStore store;
+
+    std::unique_ptr<ppe::Ppu>
+    make()
+    {
+        return std::make_unique<ppe::Ppu>("ppe", eq, clock, params,
+                                          &store);
+    }
+
+    /**
+     * Warm a buffer, then sweep it @p reps times on thread 0 and
+     * return the measured GB/s.
+     */
+    double
+    measure(ppe::Ppu &ppu, std::uint64_t buffer, unsigned elem,
+            ppe::MemOp op, int reps = 8)
+    {
+        EffAddr src = 0x100000;
+        // Loads and stores sweep one buffer; only copy uses a second.
+        EffAddr dst = (op == ppe::MemOp::Copy) ? 0x900000 : src;
+        ppu.warm(src, buffer);
+        if (dst != src)
+            ppu.warm(dst, buffer);
+        std::uint64_t counted = 0;
+        Tick t0 = eq.now();
+        // Name the lambda: a coroutine's captures live in the closure
+        // object, which must outlive the coroutine frame.
+        auto body = [&]() -> sim::Task {
+            for (int r = 0; r < reps; ++r)
+                co_await ppu.streamAccess(0, src, dst, buffer, elem, op,
+                                          &counted);
+        };
+        sim::Task t = body();
+        test::runToCompletion(eq, t);
+        return clock.bandwidthGBps(counted, eq.now() - t0);
+    }
+};
+
+} // namespace
+
+TEST_F(PpuFixture, L1LoadHitsHalfPeakAtEightBytes)
+{
+    auto ppu = make();
+    double bw = measure(*ppu, 8 * 1024, 8, ppe::MemOp::Load);
+    EXPECT_NEAR(bw, 16.8, 0.5);
+}
+
+TEST_F(PpuFixture, SixteenByteLoadsGainNothingOverEight)
+{
+    auto ppu = make();
+    double bw8 = measure(*ppu, 8 * 1024, 8, ppe::MemOp::Load);
+    double bw16 = measure(*ppu, 8 * 1024, 16, ppe::MemOp::Load);
+    EXPECT_NEAR(bw8, bw16, 0.5);
+}
+
+TEST_F(PpuFixture, L1LoadScalesWithElementSize)
+{
+    auto ppu = make();
+    double bw4 = measure(*ppu, 8 * 1024, 4, ppe::MemOp::Load);
+    double bw2 = measure(*ppu, 8 * 1024, 2, ppe::MemOp::Load);
+    double bw1 = measure(*ppu, 8 * 1024, 1, ppe::MemOp::Load);
+    EXPECT_NEAR(bw4, 8.4, 0.3);
+    EXPECT_NEAR(bw2, 4.2, 0.2);
+    EXPECT_NEAR(bw1, 2.1, 0.1);
+}
+
+TEST_F(PpuFixture, L1StoresTrailL1Loads)
+{
+    auto ppu = make();
+    double load = measure(*ppu, 8 * 1024, 16, ppe::MemOp::Load);
+    double store = measure(*ppu, 8 * 1024, 16, ppe::MemOp::Store);
+    EXPECT_LT(store, load);
+    EXPECT_GT(store, 0.5 * load);
+}
+
+TEST_F(PpuFixture, L2LoadsAreMuchSlowerThanL1)
+{
+    auto ppu = make();
+    double l1 = measure(*ppu, 8 * 1024, 16, ppe::MemOp::Load);
+    double l2 = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Load, 2);
+    EXPECT_LT(l2, 0.5 * l1);
+}
+
+TEST_F(PpuFixture, L2StoresBeatL2LoadsAboutTwofold)
+{
+    auto ppu = make();
+    double load = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Load, 2);
+    double store = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Store, 2);
+    EXPECT_NEAR(store / load, 2.0, 0.4);
+}
+
+TEST_F(PpuFixture, MemoryReadsMatchL2Reads)
+{
+    auto ppu = make();
+    double l2 = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Load, 2);
+    double memr = measure(*ppu, 4 * 1024 * 1024, 16, ppe::MemOp::Load, 1);
+    EXPECT_NEAR(memr, l2, 0.2 * l2);
+}
+
+TEST_F(PpuFixture, MemoryWritesAreTheSlowestPath)
+{
+    auto ppu = make();
+    double l2w = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Store, 2);
+    double memw = measure(*ppu, 4 * 1024 * 1024, 16, ppe::MemOp::Store, 1);
+    EXPECT_LT(memw, 0.6 * l2w);
+    EXPECT_LT(memw, 6.0);       // the paper's "under 6 GB/s"
+}
+
+TEST_F(PpuFixture, SecondThreadHelpsL2Loads)
+{
+    auto ppu = make();
+    double one = measure(*ppu, 256 * 1024, 16, ppe::MemOp::Load, 2);
+
+    // Two threads on disjoint buffers.
+    EffAddr a = 0x2000000, b = 0x4000000;
+    ppu->warm(a, 256 * 1024);
+    ppu->warm(b, 256 * 1024);
+    std::uint64_t counted = 0;
+    Tick t0 = eq.now();
+    auto mk = [&](unsigned tid, EffAddr base) -> sim::Task {
+        for (int r = 0; r < 2; ++r)
+            co_await ppu->streamAccess(tid, base, base, 256 * 1024, 16,
+                                       ppe::MemOp::Load, &counted);
+    };
+    sim::Task t1 = mk(0, a);
+    sim::Task t2 = mk(1, b);
+    t1.start();
+    t2.start();
+    eq.run();
+    t1.rethrow();
+    t2.rethrow();
+    double two = clock.bandwidthGBps(counted, eq.now() - t0);
+    EXPECT_GT(two, 1.6 * one);
+}
+
+TEST_F(PpuFixture, CopyCountsBothDirections)
+{
+    auto ppu = make();
+    double bw = measure(*ppu, 8 * 1024, 16, ppe::MemOp::Copy);
+    EXPECT_NEAR(bw, 16.8, 1.0);     // half of the 33.6 peak
+}
+
+TEST_F(PpuFixture, CopyMovesRealData)
+{
+    auto ppu = make();
+    store.fill(0x100000, 0xCD, 4096);
+    measure(*ppu, 4096, 16, ppe::MemOp::Copy, 1);
+    EXPECT_EQ(store.byteAt(0x900000), 0xCD);
+    EXPECT_EQ(store.byteAt(0x900000 + 4095), 0xCD);
+}
+
+TEST_F(PpuFixture, InvalidArgumentsAreFatal)
+{
+    auto ppu = make();
+    auto run = [&](unsigned tid, unsigned elem, std::uint64_t bytes) {
+        sim::Task t = ppu->streamAccess(tid, 0, 0, bytes, elem,
+                                        ppe::MemOp::Load);
+        t.start();
+        eq.run();
+        t.rethrow();
+    };
+    EXPECT_THROW(run(2, 16, 1024), sim::FatalError);    // bad thread
+    EXPECT_THROW(run(0, 5, 1024), sim::FatalError);     // bad elem
+    EXPECT_THROW(run(0, 16, 100), sim::FatalError);     // unaligned len
+}
+
+TEST_F(PpuFixture, WarmLoadsTheHierarchy)
+{
+    auto ppu = make();
+    ppu->warm(0, 8 * 1024);
+    for (EffAddr ea = 0; ea < 8 * 1024; ea += 128) {
+        EXPECT_TRUE(ppu->l1().contains(ea));
+        EXPECT_TRUE(ppu->l2().contains(ea));
+    }
+}
+
+TEST_F(PpuFixture, MismatchedLineSizesAreFatal)
+{
+    params.l2.lineBytes = 64;
+    EXPECT_THROW(make(), sim::FatalError);
+}

@@ -1,0 +1,181 @@
+/** @file Tests for the LS-resident software cache (Eichenberger-style). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/software_cache.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+struct SwCacheFixture : public ::testing::Test
+{
+    cell::CellConfig cfg;
+
+    void
+    runTask(cell::CellSystem &sys, sim::Task t)
+    {
+        sys.launch(std::move(t));
+        sys.run();
+    }
+};
+
+} // namespace
+
+TEST_F(SwCacheFixture, ReadsThroughAndHitsAfterwards)
+{
+    cell::CellSystem sys(cfg, 1);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(64 * 1024);
+    sys.memory().store().fill(buf, 0x5C, 64 * 1024);
+
+    std::uint32_t v0 = 0, v1 = 0, v2 = 0;
+    auto prog = [&]() -> sim::Task {
+        co_await cache.read32(buf + 4, &v0);
+        co_await cache.read32(buf + 8, &v1);        // same line: hit
+        co_await cache.read32(buf + 4096, &v2);     // new line: miss
+    };
+    runTask(sys, prog());
+    EXPECT_EQ(v0, 0x5C5C5C5Cu);
+    EXPECT_EQ(v1, 0x5C5C5C5Cu);
+    EXPECT_EQ(v2, 0x5C5C5C5Cu);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(SwCacheFixture, WritesAreVisibleThroughTheCacheBeforeFlush)
+{
+    cell::CellSystem sys(cfg, 2);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(4096);
+
+    std::uint32_t got = 0;
+    auto prog = [&]() -> sim::Task {
+        co_await cache.write32(buf + 64, 0xDEADBEEF);
+        co_await cache.read32(buf + 64, &got);
+    };
+    runTask(sys, prog());
+    EXPECT_EQ(got, 0xDEADBEEFu);
+    // Memory not updated yet (write-back policy).
+    EXPECT_EQ(sys.memory().store().byteAt(buf + 64), 0x00);
+}
+
+TEST_F(SwCacheFixture, FlushWritesDirtyLinesToMemory)
+{
+    cell::CellSystem sys(cfg, 3);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(4096);
+
+    auto prog = [&]() -> sim::Task {
+        co_await cache.write32(buf, 0x01020304);
+        co_await cache.write32(buf + 2048, 0x0A0B0C0D);
+        co_await cache.flush();
+    };
+    runTask(sys, prog());
+    std::uint32_t m0 = 0, m1 = 0;
+    sys.memory().store().read(buf, &m0, 4);
+    sys.memory().store().read(buf + 2048, &m1, 4);
+    EXPECT_EQ(m0, 0x01020304u);
+    EXPECT_EQ(m1, 0x0A0B0C0Du);
+    EXPECT_EQ(cache.writebacks(), 2u);
+    // Flush invalidates: the next read misses again.
+    std::uint32_t v = 0;
+    auto prog2 = [&]() -> sim::Task {
+        co_await cache.read32(buf, &v);
+    };
+    runTask(sys, prog2());
+    EXPECT_EQ(v, 0x01020304u);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST_F(SwCacheFixture, EvictionWritesBackDirtyVictims)
+{
+    cell::CellSystem sys(cfg, 4);
+    runtime::SoftwareCacheParams params;
+    params.sets = 1;
+    params.ways = 2;
+    runtime::SoftwareCache cache(sys, 0, params);
+    // Three distinct lines mapping to the single set.
+    EffAddr buf = sys.malloc(4096);
+
+    auto prog = [&]() -> sim::Task {
+        co_await cache.write32(buf + 0 * 128, 0x11111111);
+        co_await cache.write32(buf + 1 * 128, 0x22222222);
+        co_await cache.write32(buf + 2 * 128, 0x33333333);  // evicts #1
+        std::uint32_t v = 0;
+        co_await cache.read32(buf + 0 * 128, &v);           // miss again
+        EXPECT_EQ(v, 0x11111111u);
+    };
+    runTask(sys, prog());
+    EXPECT_GE(cache.writebacks(), 1u);
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST_F(SwCacheFixture, UnalignedAccessSpanningLines)
+{
+    cell::CellSystem sys(cfg, 5);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(4096);
+    for (unsigned i = 0; i < 512; ++i) {
+        std::uint8_t b = static_cast<std::uint8_t>(i);
+        sys.memory().store().write(buf + i, &b, 1);
+    }
+    std::uint8_t out[64] = {};
+    auto prog = [&]() -> sim::Task {
+        co_await cache.read(buf + 100, out, 64);    // crosses 128B line
+    };
+    runTask(sys, prog());
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], static_cast<std::uint8_t>(100 + i));
+}
+
+TEST_F(SwCacheFixture, HitIsMuchCheaperThanMiss)
+{
+    cell::CellSystem sys(cfg, 6);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(4096);
+
+    Tick miss_time = 0, hit_time = 0;
+    auto prog = [&]() -> sim::Task {
+        std::uint32_t v;
+        Tick t0 = sys.now();
+        co_await cache.read32(buf, &v);
+        miss_time = sys.now() - t0;
+        t0 = sys.now();
+        co_await cache.read32(buf + 8, &v);
+        hit_time = sys.now() - t0;
+    };
+    runTask(sys, prog());
+    // The miss pays a full DMA round trip; the hit only the lookup.
+    EXPECT_GT(miss_time, 10 * hit_time);
+    EXPECT_EQ(hit_time, 12u);   // lookupCycles
+}
+
+TEST_F(SwCacheFixture, HitRateOnLoopedWorkingSet)
+{
+    cell::CellSystem sys(cfg, 7);
+    runtime::SoftwareCache cache(sys, 0);
+    EffAddr buf = sys.malloc(cache.capacityBytes());
+
+    auto prog = [&]() -> sim::Task {
+        std::uint32_t v;
+        // Two passes over a working set that fits: second pass all hits.
+        for (int pass = 0; pass < 2; ++pass)
+            for (std::uint32_t off = 0; off < cache.capacityBytes();
+                 off += 128)
+                co_await cache.read32(buf + off, &v);
+    };
+    runTask(sys, prog());
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST_F(SwCacheFixture, BadGeometryIsFatal)
+{
+    cell::CellSystem sys(cfg, 8);
+    runtime::SoftwareCacheParams params;
+    params.sets = 0;
+    EXPECT_THROW(runtime::SoftwareCache(sys, 0, params),
+                 sim::FatalError);
+}

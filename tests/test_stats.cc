@@ -1,0 +1,204 @@
+/** @file Unit tests for statistics, tables and charts. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "stats/ascii_chart.hh"
+#include "stats/distribution.hh"
+#include "stats/table.hh"
+
+using namespace cellbw;
+
+TEST(Accumulator, EmptyIsZero)
+{
+    stats::Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    stats::Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);   // unbiased
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance)
+{
+    stats::Accumulator a;
+    a.add(3.5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.min(), 3.5);
+    EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    stats::Accumulator a;
+    a.add(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, MedianOddAndEven)
+{
+    stats::Distribution d;
+    for (double v : {5.0, 1.0, 3.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.median(), 3.0);
+    d.add(7.0);
+    EXPECT_DOUBLE_EQ(d.median(), 4.0);  // (3+5)/2
+}
+
+TEST(Distribution, QuantileInterpolates)
+{
+    stats::Distribution d;
+    for (double v : {0.0, 10.0, 20.0, 30.0, 40.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.125), 5.0);
+}
+
+TEST(Distribution, QuantileOutOfRangeIsFatal)
+{
+    stats::Distribution d;
+    d.add(1.0);
+    EXPECT_THROW(d.quantile(1.5), sim::FatalError);
+    EXPECT_THROW(d.quantile(-0.1), sim::FatalError);
+}
+
+TEST(Distribution, MinMaxMeanStddev)
+{
+    stats::Distribution d;
+    for (double v : {4.0, 2.0, 8.0, 6.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.5819888974716116, 1e-12);
+}
+
+TEST(Distribution, EmptyIsAllZero)
+{
+    stats::Distribution d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_DOUBLE_EQ(d.median(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, AddAfterQueryResorts)
+{
+    stats::Distribution d;
+    d.add(10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+    d.add(20.0);
+    EXPECT_DOUBLE_EQ(d.max(), 20.0);
+    d.add(5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    stats::Table t({"name", "value"});
+    t.addRow({"x", "1.00"});
+    t.addRow({"longer-name", "2.50"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name  2.50"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 2u);
+}
+
+TEST(Table, RowArityMismatchIsFatal)
+{
+    stats::Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), sim::FatalError);
+}
+
+TEST(Table, EmptyHeaderListIsFatal)
+{
+    EXPECT_THROW(stats::Table({}), sim::FatalError);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    stats::Table t({"k", "v"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"quote\"inside", "line"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+    EXPECT_EQ(csv.find("plain,"), csv.find("plain"));
+}
+
+TEST(Table, NumFormatsDigits)
+{
+    EXPECT_EQ(stats::Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(stats::Table::num(3.0, 0), "3");
+}
+
+TEST(BarChart, RendersBarsScaledToMax)
+{
+    stats::BarChart c("title", 10);
+    c.add("a", 5.0);
+    c.add("b", 10.0);
+    std::string out = c.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("##########"), std::string::npos);  // full bar
+    EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(BarChart, ExplicitScaleMax)
+{
+    stats::BarChart c("t", 10);
+    c.setScaleMax(20.0);
+    c.add("half-of-scale", 10.0);
+    std::string out = c.render();
+    // 10/20 of 10 chars = 5 hashes, not 10.
+    EXPECT_EQ(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(BarChart, EmptyChartSaysNoData)
+{
+    stats::BarChart c("t");
+    EXPECT_NE(c.render().find("no data"), std::string::npos);
+}
+
+TEST(SeriesChart, RendersLegendAndAxis)
+{
+    stats::SeriesChart c("chart", {"x1", "x2", "x3"}, 4);
+    c.addSeries("s1", {1.0, 2.0, 3.0});
+    c.addSeries("s2", {3.0, 2.0, 1.0});
+    std::string out = c.render();
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("*=s1"), std::string::npos);
+    EXPECT_NE(out.find("o=s2"), std::string::npos);
+    EXPECT_NE(out.find("x1"), std::string::npos);
+}
+
+TEST(SeriesChart, ArityMismatchIsFatal)
+{
+    stats::SeriesChart c("chart", {"a", "b"});
+    EXPECT_THROW(c.addSeries("bad", {1.0}), sim::FatalError);
+}
+
+TEST(SeriesChart, EmptyAxisIsFatal)
+{
+    EXPECT_THROW(stats::SeriesChart("c", {}), sim::FatalError);
+}

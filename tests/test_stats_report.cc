@@ -1,0 +1,54 @@
+/** @file Tests for the machine-wide stats report. */
+
+#include <gtest/gtest.h>
+
+#include "cell/stats_report.hh"
+#include "core/experiments.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+TEST(StatsReport, FreshSystemRendersZeros)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    std::string rep = cell::statsReport(sys);
+    EXPECT_NE(rep.find("machine report"), std::string::npos);
+    EXPECT_NE(rep.find("spe0"), std::string::npos);
+    EXPECT_NE(rep.find("spe7"), std::string::npos);
+    EXPECT_NE(rep.find("bank0"), std::string::npos);
+    EXPECT_NE(rep.find("ioif"), std::string::npos);
+}
+
+TEST(StatsReport, CountersReflectARun)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    core::SpeMemConfig mc;
+    mc.numSpes = 2;
+    mc.bytesPerSpe = 1 * util::MiB;
+    core::runSpeMem(sys, mc);
+
+    std::string rep = cell::statsReport(sys);
+    // Both active SPEs moved a MiB each.
+    EXPECT_NE(rep.find("1 MiB"), std::string::npos);
+    // Ring grants happened on chip 0.
+    EXPECT_NE(rep.find("cw"), std::string::npos);
+    EXPECT_NE(rep.find("ccw"), std::string::npos);
+    // Banks serviced traffic.
+    EXPECT_EQ(sys.memory().bank(0).bytesServiced() +
+                  sys.memory().bank(1).bytesServiced(),
+              2u * util::MiB);
+}
+
+TEST(StatsReport, ListsBothChips)
+{
+    cell::CellConfig cfg;
+    cfg.numChips = 2;
+    cfg.numSpes = 16;
+    cell::CellSystem sys(cfg, 1);
+    std::string rep = cell::statsReport(sys);
+    EXPECT_NE(rep.find("eib0"), std::string::npos);
+    EXPECT_NE(rep.find("eib1"), std::string::npos);
+    EXPECT_NE(rep.find("spe15"), std::string::npos);
+}

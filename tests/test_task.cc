@@ -1,0 +1,201 @@
+/** @file Unit tests for coroutine tasks, delays and signals. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/task.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+sim::Task
+delayTwice(sim::EventQueue &eq, Tick d, Tick *finished_at)
+{
+    co_await sim::Delay{eq, d};
+    co_await sim::Delay{eq, d};
+    *finished_at = eq.now();
+}
+
+sim::Task
+throwing(sim::EventQueue &eq)
+{
+    co_await sim::Delay{eq, 1};
+    throw std::runtime_error("boom");
+}
+
+sim::Task
+parent(sim::EventQueue &eq, Tick *child_done, Tick *parent_done)
+{
+    // Awaiting an unstarted child starts it.
+    sim::Task child = delayTwice(eq, 5, child_done);
+    co_await child;
+    *parent_done = eq.now();
+}
+
+sim::Task
+waitOn(sim::Signal &sig, int *wakes)
+{
+    co_await sig.wait();
+    ++*wakes;
+    co_await sig.wait();
+    ++*wakes;
+}
+
+} // namespace
+
+TEST(Task, LazyUntilStarted)
+{
+    sim::EventQueue eq;
+    Tick done_at = 0;
+    sim::Task t = delayTwice(eq, 10, &done_at);
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(t.done());
+    EXPECT_TRUE(eq.empty());    // nothing scheduled yet
+
+    t.start();
+    EXPECT_FALSE(t.done());
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(done_at, 20u);
+}
+
+TEST(Task, StartIsIdempotent)
+{
+    sim::EventQueue eq;
+    Tick done_at = 0;
+    sim::Task t = delayTwice(eq, 1, &done_at);
+    t.start();
+    t.start();
+    eq.run();
+    EXPECT_EQ(done_at, 2u);
+}
+
+TEST(Task, DefaultConstructedIsInvalid)
+{
+    sim::Task t;
+    EXPECT_FALSE(t.valid());
+    EXPECT_FALSE(t.done());
+    EXPECT_FALSE(t.failed());
+    t.start();      // no-op, must not crash
+    t.rethrow();    // no-op
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    sim::EventQueue eq;
+    Tick done_at = 0;
+    sim::Task a = delayTwice(eq, 1, &done_at);
+    sim::Task b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.start();
+    eq.run();
+    EXPECT_TRUE(b.done());
+}
+
+TEST(Task, ExceptionIsCapturedAndRethrown)
+{
+    sim::EventQueue eq;
+    sim::Task t = throwing(eq);
+    t.start();
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(t.failed());
+    EXPECT_THROW(t.rethrow(), std::runtime_error);
+}
+
+TEST(Task, AwaitingAChildTaskStartsAndJoinsIt)
+{
+    sim::EventQueue eq;
+    Tick child_done = 0;
+    Tick parent_done = 0;
+    sim::Task p = parent(eq, &child_done, &parent_done);
+    p.start();
+    eq.run();
+    EXPECT_EQ(child_done, 10u);
+    EXPECT_EQ(parent_done, 10u);
+    EXPECT_TRUE(p.done());
+}
+
+TEST(Task, AwaitingACompletedTaskDoesNotSuspend)
+{
+    sim::EventQueue eq;
+    Tick done_at = 0;
+    auto outer_fn = [&]() -> sim::Task {
+        sim::Task child = delayTwice(eq, 1, &done_at);
+        co_await child;     // runs child to completion
+        co_await child;     // already done: must not hang
+    };
+    sim::Task outer = outer_fn();
+    outer.start();
+    eq.run();
+    EXPECT_TRUE(outer.done());
+}
+
+TEST(WaitUntil, NoSuspensionWhenTimePassed)
+{
+    sim::EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    bool ran = false;
+    auto t_fn = [&]() -> sim::Task {
+        co_await sim::WaitUntil{eq, 10};    // already past
+        ran = true;
+    };
+    sim::Task t = t_fn();
+    t.start();
+    EXPECT_TRUE(ran);   // completed synchronously
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Signal, NotifyWakesAllWaiters)
+{
+    sim::EventQueue eq;
+    sim::Signal sig(eq);
+    int wakes = 0;
+    sim::Task a = waitOn(sig, &wakes);
+    sim::Task b = waitOn(sig, &wakes);
+    a.start();
+    b.start();
+    EXPECT_EQ(sig.waiterCount(), 2u);
+
+    sig.notifyAll();
+    eq.run();
+    EXPECT_EQ(wakes, 2);            // both woke once
+    EXPECT_EQ(sig.waiterCount(), 2u);   // and wait again
+
+    sig.notifyAll();
+    eq.run();
+    EXPECT_EQ(wakes, 4);
+    EXPECT_TRUE(a.done());
+    EXPECT_TRUE(b.done());
+}
+
+TEST(Signal, NotifyWithNoWaitersIsNoop)
+{
+    sim::EventQueue eq;
+    sim::Signal sig(eq);
+    sig.notifyAll();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Signal, WaiterAddedAfterNotifyIsNotWoken)
+{
+    sim::EventQueue eq;
+    sim::Signal sig(eq);
+    int wakes = 0;
+    sig.notifyAll();
+    sim::Task t = waitOn(sig, &wakes);
+    t.start();
+    eq.run();
+    EXPECT_EQ(wakes, 0);
+    // Clean up: wake it twice so the task can finish before teardown.
+    sig.notifyAll();
+    eq.run();
+    sig.notifyAll();
+    eq.run();
+    EXPECT_TRUE(t.done());
+}

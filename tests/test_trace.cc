@@ -1,0 +1,123 @@
+/** @file Tests for the trace recorder and its system hookup. */
+
+#include <gtest/gtest.h>
+
+#include "cell/cell_system.hh"
+#include "test_util.hh"
+#include "trace/recorder.hh"
+
+using namespace cellbw;
+
+TEST(Recorder, StoresAndClearsRecords)
+{
+    trace::Recorder rec;
+    rec.dma({10, 20, 100, 0, spe::DmaDir::Get, 3, 1024, false, false});
+    rec.eib({10, 15, 40, 0, 2, 11, 10, 128});
+    EXPECT_EQ(rec.dmaRecords().size(), 1u);
+    EXPECT_EQ(rec.eibRecords().size(), 1u);
+    rec.clear();
+    EXPECT_TRUE(rec.dmaRecords().empty());
+    EXPECT_TRUE(rec.eibRecords().empty());
+}
+
+TEST(Recorder, CsvHasHeaderAndRows)
+{
+    trace::Recorder rec;
+    rec.dma({10, 20, 100, 2, spe::DmaDir::Put, 5, 4096, true, false});
+    std::string csv = rec.dmaCsv();
+    EXPECT_NE(csv.find("enqueued,issued,completed"), std::string::npos);
+    EXPECT_NE(csv.find("10,20,100,2,put,5,4096,1,0"), std::string::npos);
+
+    rec.eib({1, 2, 3, 1, 0, 4, 7, 128});
+    std::string ecsv = rec.eibCsv();
+    EXPECT_NE(ecsv.find("requested,granted,delivered"),
+              std::string::npos);
+    EXPECT_NE(ecsv.find("1,2,3,1,0,4,7,128"), std::string::npos);
+}
+
+TEST(Recorder, TimelineShowsLanesAndMarks)
+{
+    trace::Recorder rec;
+    rec.dma({0, 10, 500, 0, spe::DmaDir::Get, 0, 1024, false, false});
+    rec.dma({100, 150, 900, 1, spe::DmaDir::Put, 1, 1024, false, false});
+    std::string tl = rec.renderDmaTimeline(40);
+    EXPECT_NE(tl.find("spe0"), std::string::npos);
+    EXPECT_NE(tl.find("spe1"), std::string::npos);
+    EXPECT_NE(tl.find('G'), std::string::npos);
+    EXPECT_NE(tl.find('P'), std::string::npos);
+}
+
+TEST(Recorder, EmptyTimelineIsGraceful)
+{
+    trace::Recorder rec;
+    EXPECT_NE(rec.renderDmaTimeline().find("no DMA records"),
+              std::string::npos);
+}
+
+TEST(Tracing, SystemHookupCapturesARealRun)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    auto &rec = sys.enableTracing();
+
+    EffAddr buf = sys.malloc(64 * 1024);
+    auto prog_fn = [&]() -> sim::Task {
+        auto &s = sys.spe(0);
+        for (unsigned off = 0; off < 64 * 1024; off += 16 * 1024) {
+            co_await s.mfc().queueSpace();
+            s.mfc().get(off, buf + off, 16 * 1024, 2);
+        }
+        co_await s.mfc().tagWait(1u << 2);
+    };
+    sys.launch(prog_fn());
+    sys.run();
+
+    ASSERT_EQ(rec.dmaRecords().size(), 4u);
+    for (const auto &r : rec.dmaRecords()) {
+        EXPECT_EQ(r.spe, 0u);
+        EXPECT_EQ(r.tag, 2u);
+        EXPECT_EQ(r.bytes, 16u * 1024u);
+        EXPECT_LE(r.enqueued, r.issued);
+        EXPECT_LT(r.issued, r.completed);
+    }
+    // 64 KiB = 512 lines over the ring.
+    EXPECT_EQ(rec.eibRecords().size(), 512u);
+    for (const auto &r : rec.eibRecords()) {
+        EXPECT_LE(r.requested, r.granted);
+        EXPECT_LT(r.granted, r.delivered);
+        EXPECT_LT(r.ring, 4u);
+    }
+    EXPECT_NE(rec.renderDmaTimeline().find("spe0"), std::string::npos);
+}
+
+TEST(Recorder, ParaverExportHasHeaderAndStates)
+{
+    trace::Recorder rec;
+    rec.dma({0, 10, 500, 0, spe::DmaDir::Get, 0, 1024, false, false});
+    rec.dma({50, 60, 700, 2, spe::DmaDir::Put, 1, 2048, false, false});
+    // 1 tick = 0.476 ns at 2.1 GHz; use 1.0 for easy numbers.
+    std::string prv = rec.paraverExport(1.0);
+    EXPECT_EQ(prv.rfind("#Paraver", 0), 0u);
+    EXPECT_NE(prv.find(":700_ns:"), std::string::npos);
+    // GET on task 1: state 1 from 10 to 500.
+    EXPECT_NE(prv.find("1:1:1:1:1:10:500:1"), std::string::npos);
+    // PUT on task 3: state 2 from 60 to 700.
+    EXPECT_NE(prv.find("1:3:1:3:1:60:700:2"), std::string::npos);
+}
+
+TEST(Tracing, EnableTracingIsIdempotent)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    auto &a = sys.enableTracing();
+    auto &b = sys.enableTracing();
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(sys.recorder(), &a);
+}
+
+TEST(Tracing, OffByDefault)
+{
+    cell::CellConfig cfg;
+    cell::CellSystem sys(cfg, 1);
+    EXPECT_EQ(sys.recorder(), nullptr);
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared helpers for the cellbw test suite.
+ */
+
+#ifndef CELLBW_TESTS_TEST_UTIL_HH
+#define CELLBW_TESTS_TEST_UTIL_HH
+
+#include <vector>
+
+#include "cell/cell_system.hh"
+#include "sim/task.hh"
+
+namespace cellbw::test
+{
+
+/** Start @p task, drain the queue, and propagate any task exception. */
+inline void
+runToCompletion(sim::EventQueue &eq, sim::Task &task)
+{
+    task.start();
+    eq.run();
+    task.rethrow();
+}
+
+} // namespace cellbw::test
+
+#endif // CELLBW_TESTS_TEST_UTIL_HH

@@ -1,0 +1,167 @@
+/** @file Tests for the DMA workload generators. */
+
+#include <gtest/gtest.h>
+
+#include "core/dma_workloads.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+cell::CellConfig
+cfg()
+{
+    return cell::CellConfig{};
+}
+
+} // namespace
+
+TEST(Workloads, CopyStreamMovesMemoryElemMode)
+{
+    cell::CellSystem sys(cfg(), 1);
+    const std::uint64_t bytes = 256 * 1024;
+    EffAddr src = sys.malloc(bytes);
+    EffAddr dst = sys.malloc(bytes);
+    for (std::uint64_t i = 0; i < bytes; i += 4096) {
+        sys.memory().store().fill(src + i,
+                                  static_cast<std::uint8_t>(0x40 + (i >> 12)),
+                                  4096);
+    }
+    LsAddr ls = sys.spe(0).lsAlloc(128 * util::KiB);
+    sys.launch(core::dmaCopyStream(sys, 0, src, dst, bytes, 16 * 1024,
+                                   false, ls, 4));
+    sys.run();
+    for (std::uint64_t i = 0; i < bytes; i += 4096) {
+        EXPECT_EQ(sys.memory().store().byteAt(dst + i),
+                  static_cast<std::uint8_t>(0x40 + (i >> 12)));
+    }
+}
+
+TEST(Workloads, CopyStreamMovesMemoryListMode)
+{
+    cell::CellSystem sys(cfg(), 2);
+    const std::uint64_t bytes = 128 * 1024;
+    EffAddr src = sys.malloc(bytes);
+    EffAddr dst = sys.malloc(bytes);
+    sys.memory().store().fill(src, 0x5E, bytes);
+    LsAddr ls = sys.spe(0).lsAlloc(128 * util::KiB);
+    sys.launch(core::dmaCopyStream(sys, 0, src, dst, bytes, 2048, true,
+                                   ls, 4));
+    sys.run();
+    EXPECT_EQ(sys.memory().store().byteAt(dst), 0x5E);
+    EXPECT_EQ(sys.memory().store().byteAt(dst + bytes - 1), 0x5E);
+}
+
+TEST(Workloads, StreamMovesExactByteCount)
+{
+    cell::CellSystem sys(cfg(), 1);
+    const std::uint64_t bytes = 1 * util::MiB;
+    core::StreamSpec spec;
+    spec.speIndex = 0;
+    spec.dir = spe::DmaDir::Get;
+    spec.base = sys.malloc(bytes);
+    spec.totalBytes = bytes;
+    spec.elemBytes = 4096;
+    spec.lsBase = sys.spe(0).lsAlloc(64 * util::KiB);
+    sys.launch(core::dmaStream(sys, spec));
+    sys.run();
+    EXPECT_EQ(sys.spe(0).mfc().bytesTransferred(), bytes);
+    EXPECT_EQ(sys.spe(0).mfc().tagsPendingMask(), 0u);
+}
+
+TEST(Workloads, ListStreamMovesExactByteCount)
+{
+    cell::CellSystem sys(cfg(), 1);
+    const std::uint64_t bytes = 1 * util::MiB;
+    core::StreamSpec spec;
+    spec.speIndex = 0;
+    spec.dir = spe::DmaDir::Put;
+    spec.base = sys.malloc(bytes);
+    spec.totalBytes = bytes;
+    spec.elemBytes = 512;
+    spec.useList = true;
+    spec.lsBase = sys.spe(0).lsAlloc(64 * util::KiB);
+    sys.launch(core::dmaStream(sys, spec));
+    sys.run();
+    EXPECT_EQ(sys.spe(0).mfc().bytesTransferred(), bytes);
+    // 64 KiB region = two 32 KiB list commands in flight; each command
+    // carries 64 list elements of 512 B.
+    EXPECT_EQ(sys.spe(0).mfc().commandsCompleted(), bytes / (32 * 1024));
+}
+
+TEST(Workloads, MisalignedTotalIsFatal)
+{
+    cell::CellSystem sys(cfg(), 1);
+    core::StreamSpec spec;
+    spec.speIndex = 0;
+    spec.dir = spe::DmaDir::Get;
+    spec.base = sys.malloc(4096);
+    spec.totalBytes = 1000;     // not a multiple of elem
+    spec.elemBytes = 512;
+    sys.launch(core::dmaStream(sys, spec));
+    EXPECT_THROW(sys.run(), sim::FatalError);
+}
+
+TEST(Workloads, SyncEveryOneIsSlowerThanDelayed)
+{
+    auto run = [&](unsigned every) {
+        cell::CellSystem sys(cfg(), 3);
+        core::DuplexSpec d;
+        d.speIndex = 0;
+        d.getBase = sys.lsEa(1, 0);
+        d.putBase = sys.lsEa(1, 64 * 1024);
+        d.bytesPerDir = 512 * 1024;
+        d.elemBytes = 4096;
+        d.syncEvery = every;
+        d.getLsBase = 128 * 1024;
+        d.putLsBase = 0;
+        d.lsBytes = 64 * 1024;
+        d.eaWindow = 64 * 1024;
+        Tick t0 = sys.now();
+        sys.launch(core::dmaDuplexStream(sys, d));
+        sys.run();
+        return sys.now() - t0;
+    };
+    Tick delayed = run(0);
+    Tick each = run(1);
+    EXPECT_GT(each, 2 * delayed);
+}
+
+TEST(Workloads, DuplexMovesBothDirections)
+{
+    cell::CellSystem sys(cfg(), 4);
+    core::DuplexSpec d;
+    d.speIndex = 0;
+    d.getBase = sys.lsEa(1, 0);
+    d.putBase = sys.lsEa(1, 64 * 1024);
+    d.bytesPerDir = 256 * 1024;
+    d.elemBytes = 2048;
+    d.getLsBase = 128 * 1024;
+    d.putLsBase = 0;
+    d.lsBytes = 64 * 1024;
+    d.eaWindow = 64 * 1024;
+    sys.launch(core::dmaDuplexStream(sys, d));
+    sys.run();
+    EXPECT_EQ(sys.spe(0).mfc().bytesTransferred(), 512 * 1024u);
+}
+
+TEST(Workloads, DuplexListMode)
+{
+    cell::CellSystem sys(cfg(), 4);
+    core::DuplexSpec d;
+    d.speIndex = 0;
+    d.getBase = sys.lsEa(1, 0);
+    d.putBase = sys.lsEa(1, 64 * 1024);
+    d.bytesPerDir = 256 * 1024;
+    d.elemBytes = 256;
+    d.useList = true;
+    d.getLsBase = 128 * 1024;
+    d.putLsBase = 0;
+    d.lsBytes = 64 * 1024;
+    d.eaWindow = 64 * 1024;
+    sys.launch(core::dmaDuplexStream(sys, d));
+    sys.run();
+    EXPECT_EQ(sys.spe(0).mfc().bytesTransferred(), 512 * 1024u);
+}
