@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_affinity.dir/abl_affinity.cpp.o"
+  "CMakeFiles/abl_affinity.dir/abl_affinity.cpp.o.d"
+  "abl_affinity"
+  "abl_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

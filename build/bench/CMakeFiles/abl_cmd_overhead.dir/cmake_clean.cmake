@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cmd_overhead.dir/abl_cmd_overhead.cpp.o"
+  "CMakeFiles/abl_cmd_overhead.dir/abl_cmd_overhead.cpp.o.d"
+  "abl_cmd_overhead"
+  "abl_cmd_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cmd_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

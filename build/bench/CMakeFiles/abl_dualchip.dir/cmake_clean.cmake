@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dualchip.dir/abl_dualchip.cpp.o"
+  "CMakeFiles/abl_dualchip.dir/abl_dualchip.cpp.o.d"
+  "abl_dualchip"
+  "abl_dualchip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dualchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

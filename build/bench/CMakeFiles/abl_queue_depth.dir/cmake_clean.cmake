@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_depth.dir/abl_queue_depth.cpp.o"
+  "CMakeFiles/abl_queue_depth.dir/abl_queue_depth.cpp.o.d"
+  "abl_queue_depth"
+  "abl_queue_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_rings.cpp" "bench/CMakeFiles/abl_rings.dir/abl_rings.cpp.o" "gcc" "bench/CMakeFiles/abl_rings.dir/abl_rings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cellbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cellbw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/cellbw_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/eib/CMakeFiles/cellbw_eib.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/cellbw_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cellbw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppe/CMakeFiles/cellbw_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cellbw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rings.dir/abl_rings.cpp.o"
+  "CMakeFiles/abl_rings.dir/abl_rings.cpp.o.d"
+  "abl_rings"
+  "abl_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ppe_l2.dir/fig04_ppe_l2.cpp.o"
+  "CMakeFiles/fig04_ppe_l2.dir/fig04_ppe_l2.cpp.o.d"
+  "fig04_ppe_l2"
+  "fig04_ppe_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ppe_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

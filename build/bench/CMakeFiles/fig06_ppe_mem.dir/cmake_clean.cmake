@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ppe_mem.dir/fig06_ppe_mem.cpp.o"
+  "CMakeFiles/fig06_ppe_mem.dir/fig06_ppe_mem.cpp.o.d"
+  "fig06_ppe_mem"
+  "fig06_ppe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ppe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

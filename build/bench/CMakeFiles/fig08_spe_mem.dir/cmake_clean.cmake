@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_spe_mem.dir/fig08_spe_mem.cpp.o"
+  "CMakeFiles/fig08_spe_mem.dir/fig08_spe_mem.cpp.o.d"
+  "fig08_spe_mem"
+  "fig08_spe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

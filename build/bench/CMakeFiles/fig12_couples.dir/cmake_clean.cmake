@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_couples.dir/fig12_couples.cpp.o"
+  "CMakeFiles/fig12_couples.dir/fig12_couples.cpp.o.d"
+  "fig12_couples"
+  "fig12_couples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_couples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_couples_dist.dir/fig13_couples_dist.cpp.o"
+  "CMakeFiles/fig13_couples_dist.dir/fig13_couples_dist.cpp.o.d"
+  "fig13_couples_dist"
+  "fig13_couples_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_couples_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cycle.dir/fig15_cycle.cpp.o"
+  "CMakeFiles/fig15_cycle.dir/fig15_cycle.cpp.o.d"
+  "fig15_cycle"
+  "fig15_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

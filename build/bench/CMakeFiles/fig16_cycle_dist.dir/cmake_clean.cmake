@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cycle_dist.dir/fig16_cycle_dist.cpp.o"
+  "CMakeFiles/fig16_cycle_dist.dir/fig16_cycle_dist.cpp.o.d"
+  "fig16_cycle_dist"
+  "fig16_cycle_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cycle_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

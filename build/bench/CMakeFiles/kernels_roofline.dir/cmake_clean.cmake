@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_roofline.dir/kernels_roofline.cpp.o"
+  "CMakeFiles/kernels_roofline.dir/kernels_roofline.cpp.o.d"
+  "kernels_roofline"
+  "kernels_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

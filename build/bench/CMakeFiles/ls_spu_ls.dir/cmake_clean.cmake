@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_spu_ls.dir/ls_spu_ls.cpp.o"
+  "CMakeFiles/ls_spu_ls.dir/ls_spu_ls.cpp.o.d"
+  "ls_spu_ls"
+  "ls_spu_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_spu_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

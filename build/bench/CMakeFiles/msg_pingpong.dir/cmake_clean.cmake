@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_pingpong.dir/msg_pingpong.cpp.o"
+  "CMakeFiles/msg_pingpong.dir/msg_pingpong.cpp.o.d"
+  "msg_pingpong"
+  "msg_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_peaks.dir/tab01_peaks.cpp.o"
+  "CMakeFiles/tab01_peaks.dir/tab01_peaks.cpp.o.d"
+  "tab01_peaks"
+  "tab01_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

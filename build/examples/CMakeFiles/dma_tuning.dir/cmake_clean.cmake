@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_tuning.dir/dma_tuning.cpp.o"
+  "CMakeFiles/dma_tuning.dir/dma_tuning.cpp.o.d"
+  "dma_tuning"
+  "dma_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

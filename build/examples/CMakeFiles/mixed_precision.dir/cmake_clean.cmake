@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision.dir/mixed_precision.cpp.o"
+  "CMakeFiles/mixed_precision.dir/mixed_precision.cpp.o.d"
+  "mixed_precision"
+  "mixed_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

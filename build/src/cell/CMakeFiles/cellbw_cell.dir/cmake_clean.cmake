@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_cell.dir/cell_system.cc.o"
+  "CMakeFiles/cellbw_cell.dir/cell_system.cc.o.d"
+  "CMakeFiles/cellbw_cell.dir/config.cc.o"
+  "CMakeFiles/cellbw_cell.dir/config.cc.o.d"
+  "CMakeFiles/cellbw_cell.dir/stats_report.cc.o"
+  "CMakeFiles/cellbw_cell.dir/stats_report.cc.o.d"
+  "libcellbw_cell.a"
+  "libcellbw_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/cellbw_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/dma_workloads.cc" "src/core/CMakeFiles/cellbw_core.dir/dma_workloads.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/dma_workloads.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/cellbw_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/experiments.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/core/CMakeFiles/cellbw_core.dir/kernels.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/kernels.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cellbw_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/cellbw_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/cellbw_core.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/cellbw_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cellbw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellbw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eib/CMakeFiles/cellbw_eib.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/cellbw_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cellbw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppe/CMakeFiles/cellbw_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cellbw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_core.dir/advisor.cc.o"
+  "CMakeFiles/cellbw_core.dir/advisor.cc.o.d"
+  "CMakeFiles/cellbw_core.dir/dma_workloads.cc.o"
+  "CMakeFiles/cellbw_core.dir/dma_workloads.cc.o.d"
+  "CMakeFiles/cellbw_core.dir/experiments.cc.o"
+  "CMakeFiles/cellbw_core.dir/experiments.cc.o.d"
+  "CMakeFiles/cellbw_core.dir/kernels.cc.o"
+  "CMakeFiles/cellbw_core.dir/kernels.cc.o.d"
+  "CMakeFiles/cellbw_core.dir/report.cc.o"
+  "CMakeFiles/cellbw_core.dir/report.cc.o.d"
+  "CMakeFiles/cellbw_core.dir/runner.cc.o"
+  "CMakeFiles/cellbw_core.dir/runner.cc.o.d"
+  "libcellbw_core.a"
+  "libcellbw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

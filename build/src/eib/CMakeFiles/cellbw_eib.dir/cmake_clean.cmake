@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_eib.dir/eib.cc.o"
+  "CMakeFiles/cellbw_eib.dir/eib.cc.o.d"
+  "CMakeFiles/cellbw_eib.dir/ring.cc.o"
+  "CMakeFiles/cellbw_eib.dir/ring.cc.o.d"
+  "libcellbw_eib.a"
+  "libcellbw_eib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_eib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/cellbw_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/cellbw_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram_bank.cc" "src/mem/CMakeFiles/cellbw_mem.dir/dram_bank.cc.o" "gcc" "src/mem/CMakeFiles/cellbw_mem.dir/dram_bank.cc.o.d"
+  "/root/repo/src/mem/io_link.cc" "src/mem/CMakeFiles/cellbw_mem.dir/io_link.cc.o" "gcc" "src/mem/CMakeFiles/cellbw_mem.dir/io_link.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/cellbw_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/cellbw_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/page_allocator.cc" "src/mem/CMakeFiles/cellbw_mem.dir/page_allocator.cc.o" "gcc" "src/mem/CMakeFiles/cellbw_mem.dir/page_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cellbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_mem.dir/backing_store.cc.o"
+  "CMakeFiles/cellbw_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/cellbw_mem.dir/dram_bank.cc.o"
+  "CMakeFiles/cellbw_mem.dir/dram_bank.cc.o.d"
+  "CMakeFiles/cellbw_mem.dir/io_link.cc.o"
+  "CMakeFiles/cellbw_mem.dir/io_link.cc.o.d"
+  "CMakeFiles/cellbw_mem.dir/memory_system.cc.o"
+  "CMakeFiles/cellbw_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/cellbw_mem.dir/page_allocator.cc.o"
+  "CMakeFiles/cellbw_mem.dir/page_allocator.cc.o.d"
+  "libcellbw_mem.a"
+  "libcellbw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

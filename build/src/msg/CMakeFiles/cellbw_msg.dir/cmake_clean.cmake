@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_msg.dir/communicator.cc.o"
+  "CMakeFiles/cellbw_msg.dir/communicator.cc.o.d"
+  "libcellbw_msg.a"
+  "libcellbw_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellbw_msg.a"
+)

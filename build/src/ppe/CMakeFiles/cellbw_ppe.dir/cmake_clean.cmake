@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_ppe.dir/cache.cc.o"
+  "CMakeFiles/cellbw_ppe.dir/cache.cc.o.d"
+  "CMakeFiles/cellbw_ppe.dir/ppu.cc.o"
+  "CMakeFiles/cellbw_ppe.dir/ppu.cc.o.d"
+  "libcellbw_ppe.a"
+  "libcellbw_ppe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_ppe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_runtime.dir/offload.cc.o"
+  "CMakeFiles/cellbw_runtime.dir/offload.cc.o.d"
+  "CMakeFiles/cellbw_runtime.dir/software_cache.cc.o"
+  "CMakeFiles/cellbw_runtime.dir/software_cache.cc.o.d"
+  "libcellbw_runtime.a"
+  "libcellbw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cellbw_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cellbw_sim.dir/logging.cc.o"
+  "CMakeFiles/cellbw_sim.dir/logging.cc.o.d"
+  "libcellbw_sim.a"
+  "libcellbw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spe/local_store.cc" "src/spe/CMakeFiles/cellbw_spe.dir/local_store.cc.o" "gcc" "src/spe/CMakeFiles/cellbw_spe.dir/local_store.cc.o.d"
+  "/root/repo/src/spe/mailbox.cc" "src/spe/CMakeFiles/cellbw_spe.dir/mailbox.cc.o" "gcc" "src/spe/CMakeFiles/cellbw_spe.dir/mailbox.cc.o.d"
+  "/root/repo/src/spe/mfc.cc" "src/spe/CMakeFiles/cellbw_spe.dir/mfc.cc.o" "gcc" "src/spe/CMakeFiles/cellbw_spe.dir/mfc.cc.o.d"
+  "/root/repo/src/spe/spe.cc" "src/spe/CMakeFiles/cellbw_spe.dir/spe.cc.o" "gcc" "src/spe/CMakeFiles/cellbw_spe.dir/spe.cc.o.d"
+  "/root/repo/src/spe/spu.cc" "src/spe/CMakeFiles/cellbw_spe.dir/spu.cc.o" "gcc" "src/spe/CMakeFiles/cellbw_spe.dir/spu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cellbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellbw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cellbw_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

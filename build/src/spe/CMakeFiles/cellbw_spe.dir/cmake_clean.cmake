@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_spe.dir/local_store.cc.o"
+  "CMakeFiles/cellbw_spe.dir/local_store.cc.o.d"
+  "CMakeFiles/cellbw_spe.dir/mailbox.cc.o"
+  "CMakeFiles/cellbw_spe.dir/mailbox.cc.o.d"
+  "CMakeFiles/cellbw_spe.dir/mfc.cc.o"
+  "CMakeFiles/cellbw_spe.dir/mfc.cc.o.d"
+  "CMakeFiles/cellbw_spe.dir/spe.cc.o"
+  "CMakeFiles/cellbw_spe.dir/spe.cc.o.d"
+  "CMakeFiles/cellbw_spe.dir/spu.cc.o"
+  "CMakeFiles/cellbw_spe.dir/spu.cc.o.d"
+  "libcellbw_spe.a"
+  "libcellbw_spe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

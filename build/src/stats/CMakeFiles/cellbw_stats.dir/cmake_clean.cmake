@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_stats.dir/ascii_chart.cc.o"
+  "CMakeFiles/cellbw_stats.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/cellbw_stats.dir/distribution.cc.o"
+  "CMakeFiles/cellbw_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/cellbw_stats.dir/table.cc.o"
+  "CMakeFiles/cellbw_stats.dir/table.cc.o.d"
+  "libcellbw_stats.a"
+  "libcellbw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_trace.dir/recorder.cc.o"
+  "CMakeFiles/cellbw_trace.dir/recorder.cc.o.d"
+  "libcellbw_trace.a"
+  "libcellbw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

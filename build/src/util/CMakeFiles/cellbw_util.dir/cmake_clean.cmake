@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellbw_util.dir/options.cc.o"
+  "CMakeFiles/cellbw_util.dir/options.cc.o.d"
+  "CMakeFiles/cellbw_util.dir/strings.cc.o"
+  "CMakeFiles/cellbw_util.dir/strings.cc.o.d"
+  "libcellbw_util.a"
+  "libcellbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellbw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_system.dir/test_cell_system.cc.o"
+  "CMakeFiles/test_cell_system.dir/test_cell_system.cc.o.d"
+  "test_cell_system"
+  "test_cell_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

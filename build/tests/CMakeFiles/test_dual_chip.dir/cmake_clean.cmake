@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_chip.dir/test_dual_chip.cc.o"
+  "CMakeFiles/test_dual_chip.dir/test_dual_chip.cc.o.d"
+  "test_dual_chip"
+  "test_dual_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eib.dir/test_eib.cc.o"
+  "CMakeFiles/test_eib.dir/test_eib.cc.o.d"
+  "test_eib"
+  "test_eib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_store.dir/test_local_store.cc.o"
+  "CMakeFiles/test_local_store.dir/test_local_store.cc.o.d"
+  "test_local_store"
+  "test_local_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfc.dir/test_mfc.cc.o"
+  "CMakeFiles/test_mfc.dir/test_mfc.cc.o.d"
+  "test_mfc"
+  "test_mfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

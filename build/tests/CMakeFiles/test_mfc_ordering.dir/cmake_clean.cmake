@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfc_ordering.dir/test_mfc_ordering.cc.o"
+  "CMakeFiles/test_mfc_ordering.dir/test_mfc_ordering.cc.o.d"
+  "test_mfc_ordering"
+  "test_mfc_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfc_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

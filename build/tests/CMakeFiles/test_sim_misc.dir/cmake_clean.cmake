@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_misc.dir/test_sim_misc.cc.o"
+  "CMakeFiles/test_sim_misc.dir/test_sim_misc.cc.o.d"
+  "test_sim_misc"
+  "test_sim_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

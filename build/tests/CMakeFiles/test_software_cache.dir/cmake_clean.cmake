@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_software_cache.dir/test_software_cache.cc.o"
+  "CMakeFiles/test_software_cache.dir/test_software_cache.cc.o.d"
+  "test_software_cache"
+  "test_software_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_software_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

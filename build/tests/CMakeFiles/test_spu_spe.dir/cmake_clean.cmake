@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spu_spe.dir/test_spu_spe.cc.o"
+  "CMakeFiles/test_spu_spe.dir/test_spu_spe.cc.o.d"
+  "test_spu_spe"
+  "test_spu_spe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spu_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

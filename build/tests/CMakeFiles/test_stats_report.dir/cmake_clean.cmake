@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_report.dir/test_stats_report.cc.o"
+  "CMakeFiles/test_stats_report.dir/test_stats_report.cc.o.d"
+  "test_stats_report"
+  "test_stats_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_lib.dir/test_util_lib.cc.o"
+  "CMakeFiles/test_util_lib.dir/test_util_lib.cc.o.d"
+  "test_util_lib"
+  "test_util_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
