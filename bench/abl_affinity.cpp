@@ -42,7 +42,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             double peak = 8 * b.cfg.rampPeakGBps();
             table.addRow({cell::toString(aff),
                           mode == core::SpeSpeMode::Cycle ? "cycle"

@@ -46,7 +46,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             series.push_back(d.mean());
             table.addRow({std::to_string(overhead), core::elemLabel(e),
                           stats::Table::num(d.mean())});

@@ -58,7 +58,7 @@ main(int argc, char **argv)
         auto d = core::repeatRuns(cfg, b.repeat,
                                   [&](cell::CellSystem &sys) {
             return core::runSpeSpe(sys, sc);
-        });
+        }, b.par);
         table.addRow({row.name, std::to_string(row.spes),
                       stats::Table::num(d.mean()),
                       stats::Table::num(d.min()),

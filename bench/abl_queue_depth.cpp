@@ -39,7 +39,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             table.addRow({std::to_string(depth),
                           k ? std::to_string(k) : "all",
                           stats::Table::num(d.mean())});

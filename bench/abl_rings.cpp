@@ -36,7 +36,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             double peak = 8 * b.cfg.rampPeakGBps();
             table.addRow({std::to_string(rings),
                           mode == core::SpeSpeMode::Cycle ? "cycle"

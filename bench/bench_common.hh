@@ -32,6 +32,7 @@ struct BenchSetup
     util::Options opts;
     cell::CellConfig cfg;
     core::RepeatSpec repeat;
+    core::ParallelSpec par;
     std::uint64_t bytesPerSpe = 0;
     bool csv = false;
 
@@ -42,6 +43,10 @@ struct BenchSetup
         opts.addUint("runs", 10,
                      "placement-randomized repetitions per point");
         opts.addUint("seed", 42, "base placement seed");
+        opts.addUint("jobs", 0,
+                     "worker threads for the seed sweep (0 = one per "
+                     "hardware thread; results are identical for any "
+                     "value)");
         opts.addBool("csv", false, "also emit CSV after the table");
         opts.addBool("quick", false, "fewer runs and bytes (CI mode)");
         opts.addBytes("bytes-per-spe", 4 * util::MiB,
@@ -58,6 +63,7 @@ struct BenchSetup
         cfg = cell::CellConfig::fromOptions(opts);
         repeat.runs = static_cast<unsigned>(opts.getUint("runs"));
         repeat.seed = opts.getUint("seed");
+        par.jobs = static_cast<unsigned>(opts.getUint("jobs"));
         bytesPerSpe = opts.getBytes("bytes-per-spe");
         csv = opts.getBool("csv");
         if (opts.getBool("quick")) {

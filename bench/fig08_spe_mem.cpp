@@ -54,7 +54,7 @@ main(int argc, char **argv)
                 auto d = core::repeatRuns(b.cfg, b.repeat,
                                           [&](cell::CellSystem &sys) {
                     return core::runSpeMem(sys, mc);
-                });
+                }, b.par);
                 series.push_back(d.mean());
                 table.addRow({core::toString(op), std::to_string(n),
                               core::elemLabel(e),

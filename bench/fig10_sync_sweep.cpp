@@ -48,7 +48,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(b.cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             series.push_back(d.mean());
             table.addRow({k ? std::to_string(k) : "all",
                           core::elemLabel(e),

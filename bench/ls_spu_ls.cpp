@@ -42,7 +42,7 @@ main(int argc, char **argv)
             auto d = core::repeatRuns(b.cfg, once,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpuLs(sys, lc);
-            });
+            }, b.par);
             table.addRow({core::toString(op), util::format("%uB", e),
                           stats::Table::num(d.mean())});
             chart.add(util::format("%s %2uB", core::toString(op), e),

@@ -50,7 +50,7 @@ runPpeFigure(BenchSetup &b, const char *figure, const char *level,
                 auto d = core::repeatRuns(b.cfg, once,
                                           [&](cell::CellSystem &sys) {
                     return core::runPpeStream(sys, cfg);
-                });
+                }, b.par);
                 series.push_back(d.mean());
                 table.addRow({core::toString(op),
                               std::to_string(threads),

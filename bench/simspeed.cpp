@@ -9,6 +9,7 @@
 
 #include "cell/cell_system.hh"
 #include "core/experiments.hh"
+#include "core/runner.hh"
 #include "sim/event_queue.hh"
 
 using namespace cellbw;
@@ -65,6 +66,33 @@ BM_SpePairTransfer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SpePairTransfer);
+
+/**
+ * The paper's 10-seed placement sweep, the unit of work every figure
+ * binary repeats per data point.  Arg = --jobs; /1 vs /4 measures the
+ * parallel-runner scaling (output is bit-identical for any jobs value).
+ */
+void
+BM_SeedSweep(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    cell::CellConfig cfg;
+    core::RepeatSpec spec;          // 10 runs, seeds 42..51
+    core::ParallelSpec par{jobs};
+    for (auto _ : state) {
+        auto d = core::repeatRuns(cfg, spec, [](cell::CellSystem &sys) {
+            core::SpeSpeConfig sc;
+            sc.numSpes = 8;
+            sc.elemBytes = 4096;
+            sc.bytesPerStream = 1 * util::MiB;
+            return core::runSpeSpe(sys, sc);
+        }, par);
+        benchmark::DoNotOptimize(d.mean());
+    }
+    state.SetItemsProcessed(state.iterations() * spec.runs);
+}
+BENCHMARK(BM_SeedSweep)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_PpeL1Stream(benchmark::State &state)

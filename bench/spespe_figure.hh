@@ -55,7 +55,7 @@ runSpeSpeSweep(BenchSetup &b, const char *figure, core::SpeSpeMode mode)
                 auto d = core::repeatRuns(b.cfg, b.repeat,
                                           [&](cell::CellSystem &sys) {
                     return core::runSpeSpe(sys, sc);
-                });
+                }, b.par);
                 series.push_back(d.mean());
                 table.addRow({use_list ? "DMA-list" : "DMA-elem",
                               std::to_string(n), core::elemLabel(e),
@@ -105,7 +105,7 @@ runSpeSpeDistribution(BenchSetup &b, const char *figure,
             auto d = core::repeatRuns(b.cfg, b.repeat,
                                       [&](cell::CellSystem &sys) {
                 return core::runSpeSpe(sys, sc);
-            });
+            }, b.par);
             mins.push_back(d.min());
             meds.push_back(d.median());
             maxs.push_back(d.max());

@@ -35,7 +35,7 @@ main(int argc, char **argv)
         core::RepeatSpec once{1, b.repeat.seed};
         auto d = core::repeatRuns(b.cfg, once, [&](cell::CellSystem &s) {
             return core::runSpuLs(s, lc);
-        });
+        }, b.par);
         add("SPU <-> LS (16B load)", b.cfg.lsPeakGBps(), d.mean());
     }
     // PPE -> L1, 8 B loads.
@@ -45,7 +45,7 @@ main(int argc, char **argv)
         core::RepeatSpec once{1, b.repeat.seed};
         auto d = core::repeatRuns(b.cfg, once, [&](cell::CellSystem &s) {
             return core::runPpeStream(s, pc);
-        });
+        }, b.par);
         add("PPU <- L1 (8B load)", 16.0 * b.cfg.clock.cpuHz / 1e9,
             d.mean());
     }
@@ -56,7 +56,7 @@ main(int argc, char **argv)
         core::RepeatSpec once{1, b.repeat.seed};
         auto d = core::repeatRuns(b.cfg, once, [&](cell::CellSystem &s) {
             return core::runPpeStream(s, pc);
-        });
+        }, b.par);
         add("PPU <- memory (16B load)", b.cfg.rampPeakGBps(), d.mean());
     }
     // 1 SPE GET from memory.
@@ -67,7 +67,7 @@ main(int argc, char **argv)
         auto d = core::repeatRuns(b.cfg, b.repeat,
                                   [&](cell::CellSystem &s) {
             return core::runSpeMem(s, mc);
-        });
+        }, b.par);
         add("1 SPE GET <- memory", b.cfg.rampPeakGBps(), d.mean());
     }
     // 4 SPEs GET from memory (both banks).
@@ -78,7 +78,7 @@ main(int argc, char **argv)
         auto d = core::repeatRuns(b.cfg, b.repeat,
                                   [&](cell::CellSystem &s) {
             return core::runSpeMem(s, mc);
-        });
+        }, b.par);
         add("4 SPEs GET <- memory (MIC+IOIF)",
             b.cfg.rampPeakGBps() + 7.0, d.mean());
     }
@@ -91,7 +91,7 @@ main(int argc, char **argv)
         auto d = core::repeatRuns(b.cfg, b.repeat,
                                   [&](cell::CellSystem &s) {
             return core::runSpeSpe(s, sc);
-        });
+        }, b.par);
         add("SPE pair GET+PUT (4KiB)", b.cfg.pairPeakGBps(), d.mean());
     }
     // 8-SPE cycle.
@@ -104,7 +104,7 @@ main(int argc, char **argv)
         auto d = core::repeatRuns(b.cfg, b.repeat,
                                   [&](cell::CellSystem &s) {
             return core::runSpeSpe(s, sc);
-        });
+        }, b.par);
         add("8-SPE cycle GET+PUT (4KiB)", 8 * b.cfg.rampPeakGBps(),
             d.mean());
     }

@@ -1,17 +1,83 @@
 #include "core/runner.hh"
 
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
 namespace cellbw::core
 {
 
+namespace
+{
+
+double
+runOne(const cell::CellConfig &cfg, std::uint64_t seed,
+       const ExperimentBody &body)
+{
+    cell::CellSystem sys(cfg, seed);
+    return body(sys);
+}
+
+} // namespace
+
+unsigned
+ParallelSpec::resolveJobs(unsigned runs) const
+{
+    unsigned j = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+    if (j == 0)
+        j = 1;
+    return std::min(j, runs);
+}
+
 stats::Distribution
 repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
-           const ExperimentBody &body)
+           const ExperimentBody &body, const ParallelSpec &par)
 {
     stats::Distribution dist;
-    for (unsigned r = 0; r < spec.runs; ++r) {
-        cell::CellSystem sys(cfg, spec.seed + r);
-        dist.add(body(sys));
+    const unsigned jobs = par.resolveJobs(spec.runs);
+
+    if (jobs <= 1) {
+        for (unsigned r = 0; r < spec.runs; ++r)
+            dist.add(runOne(cfg, spec.seed + r, body));
+        return dist;
     }
+
+    // One slot per run, claimed by atomic counter; workers write only
+    // their own slots, so the only shared mutable state is the counter.
+    std::vector<double> results(spec.runs, 0.0);
+    std::atomic<unsigned> next{0};
+    std::exception_ptr firstError;
+    std::atomic<bool> failed{false};
+
+    auto worker = [&] {
+        for (;;) {
+            const unsigned r = next.fetch_add(1, std::memory_order_relaxed);
+            if (r >= spec.runs || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                results[r] = runOne(cfg, spec.seed + r, body);
+            } catch (...) {
+                if (!failed.exchange(true))
+                    firstError = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (failed.load())
+        std::rethrow_exception(firstError);
+
+    // Merge in seed order: bit-identical to the serial loop above.
+    for (unsigned r = 0; r < spec.runs; ++r)
+        dist.add(results[r]);
     return dist;
 }
 

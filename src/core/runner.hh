@@ -7,6 +7,13 @@
  * layout, we run all our experiments 10 times to test different logical
  * to physical SPE mappings" — the paper, Section 3.  repeatRuns() does
  * exactly that: N fresh systems, N placement seeds, one Distribution.
+ *
+ * The N runs are completely independent — each owns a private
+ * CellSystem (event queue, RNG, memory model) — so repeatRuns() fans
+ * them out over a worker-thread pool.  Samples are merged in seed order
+ * regardless of which worker finished first, so the resulting
+ * Distribution is bit-identical to a serial sweep: --jobs only changes
+ * wall-clock time, never results.
  */
 
 #ifndef CELLBW_CORE_RUNNER_HH
@@ -29,15 +36,38 @@ struct RepeatSpec
     std::uint64_t seed = 42;
 };
 
+/** How to spread the repeated runs across host threads. */
+struct ParallelSpec
+{
+    /**
+     * Worker threads for the seed sweep; 0 means
+     * std::thread::hardware_concurrency().  1 runs inline with no
+     * threads spawned.
+     */
+    unsigned jobs = 0;
+
+    /** The worker count actually used for @p runs repetitions. */
+    unsigned resolveJobs(unsigned runs) const;
+
+    static ParallelSpec serial() { return ParallelSpec{1}; }
+};
+
 using ExperimentBody = std::function<double(cell::CellSystem &)>;
 
 /**
  * Run @p body once per placement seed on a freshly constructed system
  * and collect the per-run GB/s samples.
+ *
+ * With @p par.jobs != 1 the runs execute concurrently, one CellSystem
+ * per worker; @p body must therefore not mutate state shared between
+ * invocations (all in-tree bodies only read their config and return a
+ * bandwidth).  Output order is deterministic: sample i always comes
+ * from seed + i.
  */
 stats::Distribution repeatRuns(const cell::CellConfig &cfg,
                                const RepeatSpec &spec,
-                               const ExperimentBody &body);
+                               const ExperimentBody &body,
+                               const ParallelSpec &par = {});
 
 } // namespace cellbw::core
 

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace cellbw::sim
@@ -11,28 +13,96 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     if (when < now_)
         panic("event scheduled in the past: %llu < %llu",
               (unsigned long long)when, (unsigned long long)now_);
-    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+    Entry e{when, nextSeq_++, std::move(cb)};
+    if (inWindow(when))
+        pushBucket(std::move(e));
+    else
+        overflow_.push(std::move(e));
+    ++pending_;
 }
 
 void
-EventQueue::dispatchOne()
+EventQueue::pushBucket(Entry e)
 {
-    // Move the callback out before popping so that the callback may
-    // schedule new events (which mutates the queue) safely.
-    Entry e = std::move(const_cast<Entry &>(queue_.top()));
-    queue_.pop();
-    now_ = e.when;
-    ++processed_;
-    e.cb();
+    const std::size_t idx = static_cast<std::size_t>(e.when % kWindow);
+    buckets_[idx].push_back(std::move(e));
+    occupied_[idx / 64] |= std::uint64_t(1) << (idx % 64);
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    now_ = t;
+    // Pull every overflow event that the advance brought inside the
+    // window.  Heap order is (when, seq), so same-tick entries arrive in
+    // schedule order, and they arrive before any direct scheduleAt() can
+    // append to those buckets — see the FIFO note in the header.
+    while (!overflow_.empty() && inWindow(overflow_.top().when)) {
+        Entry e = std::move(const_cast<Entry &>(overflow_.top()));
+        overflow_.pop();
+        pushBucket(std::move(e));
+    }
+}
+
+Tick
+EventQueue::nextBucketTick() const
+{
+    const std::size_t start = static_cast<std::size_t>(now_ % kWindow);
+    std::size_t w = start / 64;
+    // Bits below `start` in the first word belong to the far end of the
+    // ring; mask them so the scan begins at now().  They are rechecked
+    // (with the correct wrapped delta) when the scan comes around.
+    std::uint64_t word = occupied_[w] &
+                         (~std::uint64_t(0) << (start % 64));
+    for (std::size_t scanned = 0; scanned <= kWords; ++scanned) {
+        if (word) {
+            const std::size_t idx =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+            const std::size_t delta = (idx + kWindow - start) % kWindow;
+            return now_ + delta;
+        }
+        w = (w + 1) % kWords;
+        word = occupied_[w];
+    }
+    return maxTick;
+}
+
+std::uint64_t
+EventQueue::dispatchTick(Tick t)
+{
+    auto &bucket = buckets_[static_cast<std::size_t>(t % kWindow)];
+    std::uint64_t n = 0;
+    // Indexed loop: a callback may schedule another event for this same
+    // tick, which appends to (and may reallocate) this bucket; the new
+    // event is then fired this tick, in FIFO order.
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+        // Move the callback out before invoking so the append above
+        // cannot invalidate what we are executing.
+        Entry e = std::move(bucket[i]);
+        --pending_;
+        ++processed_;
+        ++n;
+        e.cb();
+    }
+    bucket.clear();
+    const std::size_t idx = static_cast<std::size_t>(t % kWindow);
+    occupied_[idx / 64] &= ~(std::uint64_t(1) << (idx % 64));
+    return n;
 }
 
 std::uint64_t
 EventQueue::run()
 {
     std::uint64_t n = 0;
-    while (!queue_.empty()) {
-        dispatchOne();
-        ++n;
+    while (pending_ > 0) {
+        const Tick t = nextBucketTick();
+        if (t == maxTick) {
+            // Ring drained; jump straight to the earliest far event.
+            advanceTo(overflow_.top().when);
+            continue;
+        }
+        advanceTo(t);
+        n += dispatchTick(t);
     }
     return n;
 }
@@ -41,12 +111,21 @@ std::uint64_t
 EventQueue::runUntil(Tick when)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.top().when <= when) {
-        dispatchOne();
-        ++n;
+    while (pending_ > 0) {
+        const Tick t = nextBucketTick();
+        if (t == maxTick) {
+            if (overflow_.top().when > when)
+                break;
+            advanceTo(overflow_.top().when);
+            continue;
+        }
+        if (t > when)
+            break;
+        advanceTo(t);
+        n += dispatchTick(t);
     }
     if (now_ < when)
-        now_ = when;
+        advanceTo(when);
     return n;
 }
 

@@ -5,16 +5,40 @@
  * One global tick = one CPU cycle of the modeled 2.1 GHz Cell.  Events
  * scheduled for the same tick fire in FIFO (schedule) order, which makes
  * the simulation deterministic for a fixed RNG seed.
+ *
+ * Implementation: a two-level ladder queue tuned for the short delays
+ * the simulator overwhelmingly schedules (next-cycle retries, DMA
+ * completions a few hundred cycles out).
+ *
+ *  - Near-future events — within kWindow ticks of now() — live in a
+ *    ring of per-tick buckets indexed by `when % kWindow`.  Scheduling
+ *    and dispatching them is O(1); an occupancy bitmap (one bit per
+ *    bucket, scanned with countr_zero) finds the next non-empty tick
+ *    without walking empty buckets one by one.
+ *  - Far-future events overflow into a conventional (when, seq) min-heap
+ *    and migrate into the ring as time advances.
+ *
+ * Callbacks are util::InlineFunction: captures up to 48 bytes are stored
+ * inline in the bucket entry, so the schedule path performs no heap
+ * allocation for typical simulator events.
+ *
+ * FIFO correctness across the two levels: every time now() advances, all
+ * overflow events that fell inside the new window are migrated (in
+ * (when, seq) heap order) *before* any callback runs.  Hence at any
+ * instant where scheduleAt() can run, the overflow heap only holds
+ * events >= now() + kWindow, and bucket entries are appended in strictly
+ * increasing seq order — same-tick FIFO is preserved without sorting.
  */
 
 #ifndef CELLBW_SIM_EVENT_QUEUE_HH
 #define CELLBW_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "util/inline_function.hh"
 #include "util/types.hh"
 
 namespace cellbw::sim
@@ -23,7 +47,7 @@ namespace cellbw::sim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = util::InlineFunction<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -57,13 +81,20 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick when);
 
-    bool empty() const { return queue_.empty(); }
-    std::size_t pending() const { return queue_.size(); }
+    bool empty() const { return pending_ == 0; }
+    std::size_t pending() const { return pending_; }
 
     /** Total events processed over the queue's lifetime. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
+    /** Ticks covered by the near-future bucket ring. */
+    static constexpr Tick window() { return kWindow; }
+
   private:
+    /** Near-future horizon; power of two so `when % kWindow` is a mask. */
+    static constexpr std::size_t kWindow = 4096;
+    static constexpr std::size_t kWords = kWindow / 64;
+
     struct Entry
     {
         Tick when;
@@ -82,12 +113,31 @@ class EventQueue
         }
     };
 
-    void dispatchOne();
+    bool inWindow(Tick when) const { return when - now_ < kWindow; }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    void pushBucket(Entry e);
+
+    /** Advance now() to @p t and pull newly-near overflow events in. */
+    void advanceTo(Tick t);
+
+    /**
+     * Earliest tick with a bucketed event, or maxTick when the ring is
+     * empty.  Only valid between dispatches (buckets < now() are clear).
+     */
+    Tick nextBucketTick() const;
+
+    /** Fire every event in the (non-empty) bucket for tick @p t. */
+    std::uint64_t dispatchTick(Tick t);
+
+    std::array<std::vector<Entry>, kWindow> buckets_;
+    std::array<std::uint64_t, kWords> occupied_{};
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> overflow_;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
+    std::size_t pending_ = 0;
 };
 
 } // namespace cellbw::sim

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -10,7 +11,10 @@ namespace cellbw::sim
 namespace
 {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic so parallel seed-sweep workers can read the level while the
+// main thread owns it (ThreadSanitizer-clean); relaxed is enough, the
+// level is advisory.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -33,13 +37,13 @@ vformat(const char *fmt, va_list ap)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -66,7 +70,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -78,7 +82,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Info)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -90,7 +94,7 @@ inform(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Debug)
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -115,9 +115,10 @@ TEST(Runner, RunsExactlyNTimes)
     cell::CellConfig cfg;
     int calls = 0;
     core::RepeatSpec spec{5, 7};
+    // The body mutates `calls`, so force the serial path.
     auto d = core::repeatRuns(cfg, spec, [&](cell::CellSystem &) {
         return static_cast<double>(++calls);
-    });
+    }, core::ParallelSpec::serial());
     EXPECT_EQ(calls, 5);
     EXPECT_EQ(d.count(), 5u);
     EXPECT_DOUBLE_EQ(d.min(), 1.0);
@@ -129,10 +130,11 @@ TEST(Runner, SeedsProducePlacementVariety)
     cell::CellConfig cfg;
     core::RepeatSpec spec{6, 11};
     std::vector<std::vector<std::uint32_t>> placements;
+    // The body appends to `placements`, so force the serial path.
     core::repeatRuns(cfg, spec, [&](cell::CellSystem &sys) {
         placements.push_back(sys.placement());
         return 0.0;
-    });
+    }, core::ParallelSpec::serial());
     bool any_different = false;
     for (std::size_t i = 1; i < placements.size(); ++i)
         any_different |= placements[i] != placements[0];

@@ -119,7 +119,7 @@ TEST(Ring, GrantsAndBusyAccounting)
 
 TEST(RingDeathTest, MoreThanHalfwayIsIllegal)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Ring r(0, RingDir::Clockwise);
     EXPECT_DEATH(r.reserve(0, 7, 0, 16, 2), "illegal");
     EXPECT_DEATH(r.reserve(3, 3, 0, 16, 2), "illegal");
@@ -267,7 +267,7 @@ TEST_F(EibFixture, ZeroRingsIsFatal)
 
 TEST_F(EibFixture, BadRampsPanic)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     auto eib = make();
     EXPECT_DEATH(eib->transfer(0, 12, 128, [] {}), "bad ramp");
     EXPECT_DEATH(eib->transfer(3, 3, 128, [] {}), "self");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -108,9 +110,118 @@ TEST(EventQueue, ProcessedCountAccumulates)
     EXPECT_EQ(eq.eventsProcessed(), 8u);
 }
 
+TEST(EventQueue, FarFutureEventsBeyondTheBucketWindow)
+{
+    // Events past the near-future ring land in the overflow level and
+    // must still fire in timestamp order.
+    sim::EventQueue eq;
+    const Tick w = sim::EventQueue::window();
+    std::vector<Tick> order;
+    eq.schedule(3 * w + 5, [&] { order.push_back(eq.now()); });
+    eq.schedule(10, [&] { order.push_back(eq.now()); });
+    eq.schedule(w + 1, [&] { order.push_back(eq.now()); });
+    eq.schedule(7 * w, [&] { order.push_back(eq.now()); });
+    EXPECT_EQ(eq.pending(), 4u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Tick>{10, w + 1, 3 * w + 5, 7 * w}));
+    EXPECT_EQ(eq.now(), 7 * w);
+}
+
+TEST(EventQueue, SameTickFifoAcrossTheWindowBoundary)
+{
+    // Two events at the same far tick T: both overflow, and must fire
+    // in schedule order after migrating into the ring together.
+    sim::EventQueue eq;
+    const Tick t = 5 * sim::EventQueue::window() + 17;
+    std::vector<int> order;
+    eq.scheduleAt(t, [&] { order.push_back(1); });
+    eq.scheduleAt(t, [&] { order.push_back(2); });
+    eq.scheduleAt(t, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, MigratedEventFiresBeforeLaterDirectScheduleAtSameTick)
+{
+    // e1 is scheduled far in the future (overflow).  An intermediate
+    // event brings T inside the window and schedules e2 for the same
+    // tick T.  e1 was scheduled first and must keep firing first.
+    sim::EventQueue eq;
+    const Tick w = sim::EventQueue::window();
+    const Tick t = 2 * w + 100;
+    std::vector<int> order;
+    eq.scheduleAt(t, [&] { order.push_back(1); });       // far: overflow
+    eq.scheduleAt(2 * w, [&] {                           // brings T near
+        eq.scheduleAt(t, [&] { order.push_back(2); });   // direct: bucket
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunUntilJumpKeepsFifoForFormerlyFarTicks)
+{
+    // runUntil() advances now() past the point where a far event's tick
+    // enters the window; a direct schedule at that tick afterwards must
+    // still fire after the earlier (migrated) event.
+    sim::EventQueue eq;
+    const Tick w = sim::EventQueue::window();
+    const Tick t = 2 * w;
+    std::vector<int> order;
+    eq.scheduleAt(t, [&] { order.push_back(1); });
+    EXPECT_EQ(eq.runUntil(t - 10), 0u);
+    EXPECT_EQ(eq.now(), t - 10);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.scheduleAt(t, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LargeCapturesFireCorrectly)
+{
+    // Captures wider than the inline window take the heap path inside
+    // InlineFunction; behaviour must be identical.
+    sim::EventQueue eq;
+    struct Wide
+    {
+        std::uint64_t payload[16];
+    } wide{};
+    wide.payload[15] = 99;
+    std::uint64_t seen = 0;
+    eq.schedule(5, [wide, &seen] { seen = wide.payload[15]; });
+    eq.run();
+    EXPECT_EQ(seen, 99u);
+}
+
+TEST(EventQueue, MoveOnlyCallbackCapture)
+{
+    sim::EventQueue eq;
+    auto p = std::make_unique<int>(41);
+    int out = 0;
+    eq.schedule(1, [p = std::move(p), &out] { out = *p + 1; });
+    eq.run();
+    EXPECT_EQ(out, 42);
+}
+
+TEST(EventQueue, ManyTicksSpreadOverManyWindows)
+{
+    // Stress the ring-wrap and migration logic with a deterministic,
+    // irregular schedule far wider than one window.
+    sim::EventQueue eq;
+    const Tick w = sim::EventQueue::window();
+    std::uint64_t sum = 0, expected = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        Tick when = (i * 97) % (4 * w);
+        expected += when;
+        eq.scheduleAt(when, [&sum, &eq] { sum += eq.now(); });
+    }
+    EXPECT_EQ(eq.run(), 1000u);
+    EXPECT_EQ(sum, expected);
+    EXPECT_TRUE(eq.empty());
+}
+
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     sim::EventQueue eq;
     eq.schedule(10, [] {});
     eq.run();

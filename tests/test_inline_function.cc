@@ -1,0 +1,227 @@
+/** @file Unit tests for util::InlineFunction (the event-queue callback). */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/inline_function.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+using Fn = util::InlineFunction<void()>;
+using IntFn = util::InlineFunction<int(int)>;
+
+/** Payload with an exact size, for straddling the inline boundary. */
+template <std::size_t N>
+struct Blob
+{
+    std::array<unsigned char, N> bytes{};
+};
+
+} // namespace
+
+TEST(InlineFunction, DefaultConstructedIsEmpty)
+{
+    Fn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    Fn g = nullptr;
+    EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesAndPassesArguments)
+{
+    IntFn f = [](int x) { return x * 2 + 1; };
+    EXPECT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(20), 41);
+}
+
+TEST(InlineFunction, MutatesCapturedReference)
+{
+    int hits = 0;
+    Fn f = [&hits] { ++hits; };
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks)
+{
+    auto p = std::make_unique<int>(99);
+    int seen = 0;
+    Fn f = [p = std::move(p), &seen] { seen = *p; };
+    // A move-only capture makes the lambda itself move-only;
+    // std::function could not hold it at all.
+    Fn g = std::move(f);
+    g();
+    EXPECT_EQ(seen, 99);
+}
+
+TEST(InlineFunction, CaptureAtInlineCapacityStaysInline)
+{
+    Blob<Fn::inlineCapacity> blob;
+    blob.bytes[0] = 7;
+    unsigned char out = 0;
+    Fn f = [blob, &out]() mutable { out = blob.bytes[0]; };
+    // blob + reference exceeds the window; build one that just fits:
+    static unsigned char sink;
+    Blob<Fn::inlineCapacity - sizeof(void *)> fits;
+    fits.bytes[0] = 9;
+    Fn g = [fits, psink = &sink] { *psink = fits.bytes[0]; };
+    EXPECT_TRUE(g.isInline());
+    g();
+    EXPECT_EQ(sink, 9);
+    f();
+    EXPECT_EQ(out, 7);
+}
+
+TEST(InlineFunction, CaptureOverInlineCapacityGoesToHeapAndStillWorks)
+{
+    Blob<Fn::inlineCapacity + 1> big;
+    big.bytes[Fn::inlineCapacity] = 5;
+    static unsigned char sink2;
+    Fn f = [big, out = &sink2] { *out = big.bytes[Fn::inlineCapacity]; };
+    EXPECT_FALSE(f.isInline());
+    f();
+    EXPECT_EQ(sink2, 5);
+}
+
+TEST(InlineFunction, SizesStraddlingTheBoundary)
+{
+    // One under, exactly at, and one over the inline window; all must
+    // behave identically apart from where the capture lives.
+    static int total;
+    total = 0;
+
+    Blob<Fn::inlineCapacity - 1> under;
+    under.bytes[0] = 1;
+    Fn a = [under] { total += under.bytes[0]; };
+    EXPECT_TRUE(a.isInline());
+
+    Blob<Fn::inlineCapacity> exact;
+    exact.bytes[0] = 2;
+    Fn b = [exact] { total += exact.bytes[0]; };
+    EXPECT_TRUE(b.isInline());
+
+    Blob<Fn::inlineCapacity + 1> over;
+    over.bytes[0] = 4;
+    Fn c = [over] { total += over.bytes[0]; };
+    EXPECT_FALSE(c.isInline());
+
+    a();
+    b();
+    c();
+    EXPECT_EQ(total, 7);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipAndEmptiesSource)
+{
+    int hits = 0;
+    Fn f = [&hits] { ++hits; };
+    Fn g = std::move(f);
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_TRUE(static_cast<bool>(g));
+    g();
+    EXPECT_EQ(hits, 1);
+
+    Fn h;
+    h = std::move(g);
+    EXPECT_FALSE(static_cast<bool>(g));
+    h();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestructorRunsExactlyOnceAfterMoves)
+{
+    static int destroyed;
+    destroyed = 0;
+    struct Probe
+    {
+        bool armed = true;
+        Probe() = default;
+        Probe(Probe &&o) noexcept : armed(o.armed) { o.armed = false; }
+        Probe(const Probe &) = default;
+        ~Probe()
+        {
+            if (armed)
+                ++destroyed;
+        }
+        void operator()() const {}
+    };
+    {
+        Fn f = Probe{};
+        Fn g = std::move(f);
+        Fn h = std::move(g);
+        h();
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, DestructorRunsForHeapStoredCallable)
+{
+    static int destroyed;
+    destroyed = 0;
+    struct BigProbe
+    {
+        Blob<Fn::inlineCapacity * 2> pad;
+        bool armed = true;
+        BigProbe() = default;
+        BigProbe(BigProbe &&o) noexcept : pad(o.pad), armed(o.armed)
+        {
+            o.armed = false;
+        }
+        BigProbe(const BigProbe &) = default;
+        ~BigProbe()
+        {
+            if (armed)
+                ++destroyed;
+        }
+        void operator()() const {}
+    };
+    {
+        Fn f = BigProbe{};
+        EXPECT_FALSE(f.isInline());
+        Fn g = std::move(f);
+        g();
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, ReassignmentDestroysPreviousTarget)
+{
+    static int destroyed;
+    destroyed = 0;
+    struct Probe
+    {
+        bool armed = true;
+        Probe() = default;
+        Probe(Probe &&o) noexcept : armed(o.armed) { o.armed = false; }
+        ~Probe()
+        {
+            if (armed)
+                ++destroyed;
+        }
+        void operator()() const {}
+    };
+    Fn f = Probe{};
+    f = Fn([] {});
+    EXPECT_EQ(destroyed, 1);
+    f();
+}
+
+TEST(InlineFunction, HoldsAStdFunction)
+{
+    // The memory/EIB layers hand std::function<void()> completions to
+    // the queue; wrapping one must keep working (and fit inline).
+    int hits = 0;
+    std::function<void()> sf = [&hits] { ++hits; };
+    Fn f = sf;
+    EXPECT_TRUE(f.isInline());
+    f();
+    EXPECT_EQ(hits, 1);
+}
