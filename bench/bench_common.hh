@@ -18,6 +18,7 @@
 
 #include "cell/config.hh"
 #include "core/report.hh"
+#include "sim/logging.hh"
 #include "core/runner.hh"
 #include "stats/ascii_chart.hh"
 #include "stats/table.hh"
@@ -60,7 +61,16 @@ struct BenchSetup
     {
         if (!opts.parse(argc, argv))
             return false;
-        cfg = cell::CellConfig::fromOptions(opts);
+        // Cross-flag config validation (e.g. fault rates summing past
+        // 1) throws FatalError; report it like any other bad flag
+        // instead of letting it terminate the process.
+        try {
+            cfg = cell::CellConfig::fromOptions(opts);
+        } catch (const sim::FatalError &e) {
+            std::fprintf(stderr, "%s: %s\n", opts.prog().c_str(),
+                         e.what());
+            return false;
+        }
         repeat.runs = static_cast<unsigned>(opts.getUint("runs"));
         repeat.seed = opts.getUint("seed");
         par.jobs = static_cast<unsigned>(opts.getUint("jobs"));

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The recoverable MFC fault model in action: we run the same offload
+ * batch under increasing injected DMA fault rates and watch the
+ * runtime's retry-with-backoff path repair every drop and corruption.
+ * Checked mode (CellConfig::verify) cross-checks every completed
+ * transfer against the backing store, so "repaired" is proven
+ * byte-exact, not assumed.  The fault sequence is drawn from a seeded
+ * per-MFC RNG: same seed, same faults, same makespan.
+ */
+
+#include <cstdio>
+
+#include "runtime/offload.hh"
+#include "util/strings.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+struct Result
+{
+    std::uint64_t injected;
+    std::uint64_t faults;
+    std::uint64_t retries;
+    double gbps;
+    double seconds;
+    cell::CellSystem::VerifyStats verify;
+};
+
+Result
+runBatch(double dropRate, double corruptRate, std::uint64_t faultSeed)
+{
+    cell::CellConfig cfg;
+    cfg.spe.mfc.faults.dropRate = dropRate;
+    cfg.spe.mfc.faults.corruptRate = corruptRate;
+    cfg.spe.mfc.faults.seed = faultSeed;
+    cfg.verify = true;                      // checked mode: every
+                                            // transfer cross-checked
+    cell::CellSystem sys(cfg, /*placementSeed=*/1);
+
+    runtime::OffloadParams params;
+    params.workers = 4;
+    runtime::OffloadRuntime rt(sys, params);
+
+    const unsigned tasks = 24;
+    const std::uint32_t bytes = 128 * 1024;
+    std::vector<EffAddr> outs;
+    for (unsigned t = 0; t < tasks; ++t) {
+        EffAddr in = sys.malloc(bytes);
+        EffAddr out = sys.malloc(bytes);
+        sys.memory().store().fill(in, static_cast<std::uint8_t>(t + 1),
+                                  bytes);
+        outs.push_back(out);
+        rt.submit({in, out, bytes, 64,
+                   [](std::uint8_t *d, std::uint32_t n) {
+                       for (std::uint32_t i = 0; i < n; ++i)
+                           d[i] ^= 0x5A;
+                   }});
+    }
+    rt.start();
+    sys.run();
+
+    // Every output byte must be correct despite the injected faults.
+    for (unsigned t = 0; t < tasks; ++t) {
+        auto expect = static_cast<std::uint8_t>((t + 1) ^ 0x5A);
+        if (sys.memory().store().byteAt(outs[t]) != expect ||
+            sys.memory().store().byteAt(outs[t] + bytes - 1) != expect) {
+            std::fprintf(stderr, "task %u output corrupted\n", t);
+            std::exit(1);
+        }
+    }
+
+    Result r{};
+    for (unsigned i = 0; i < sys.numSpes(); ++i) {
+        const auto &mfc = sys.spe(i).mfc();
+        r.injected += mfc.dropsInjected() + mfc.corruptionsInjected() +
+                      mfc.delaysInjected();
+    }
+    for (const auto &w : rt.stats().worker) {
+        r.faults += w.faults;
+        r.retries += w.retries;
+    }
+    r.gbps = rt.throughputGBps();
+    r.seconds = sys.seconds();
+    r.verify = sys.verifyStats();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Recoverable MFC faults: 24 tasks x 128 KiB, 4 workers, "
+                "checked mode on\n\n");
+    std::printf("%12s %9s %7s %8s %10s %10s %8s\n", "drop/corrupt",
+                "injected", "faults", "retries", "checked", "diverge",
+                "GB/s");
+
+    for (double rate : {0.0, 0.01, 0.03, 0.10}) {
+        Result r = runBatch(rate, rate, /*faultSeed=*/7);
+        std::printf("%5.0f%%/%4.0f%% %9llu %7llu %8llu %10llu %10llu "
+                    "%8.2f\n",
+                    rate * 100, rate * 100,
+                    static_cast<unsigned long long>(r.injected),
+                    static_cast<unsigned long long>(r.faults),
+                    static_cast<unsigned long long>(r.retries),
+                    static_cast<unsigned long long>(
+                        r.verify.transfersChecked),
+                    static_cast<unsigned long long>(
+                        r.verify.divergences),
+                    r.gbps);
+        if (r.verify.divergences != 0) {
+            std::fprintf(stderr, "verify FAILED: %s\n",
+                         r.verify.firstDivergence.c_str());
+            std::exit(1);
+        }
+    }
+
+    // Same fault seed, same fault sequence — to the tick.
+    Result a = runBatch(0.05, 0.05, 21);
+    Result b = runBatch(0.05, 0.05, 21);
+    Result c = runBatch(0.05, 0.05, 22);
+    std::printf("\nseed 21 twice: %llu/%llu injected, %.3f/%.3f us "
+                "(%s)\n",
+                static_cast<unsigned long long>(a.injected),
+                static_cast<unsigned long long>(b.injected),
+                a.seconds * 1e6, b.seconds * 1e6,
+                (a.injected == b.injected && a.seconds == b.seconds)
+                    ? "identical"
+                    : "MISMATCH");
+    std::printf("seed 22:       %llu injected, %.3f us (different "
+                "draw)\n",
+                static_cast<unsigned long long>(c.injected),
+                c.seconds * 1e6);
+
+    std::printf("\nEvery dropped or corrupted DMA surfaced as a per-tag "
+                "MFC error, was re-issued with simulated-time backoff, "
+                "and landed byte-exact — bandwidth degrades gracefully "
+                "instead of the run aborting.\n");
+    return 0;
+}

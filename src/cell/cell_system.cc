@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "util/align.hh"
 #include "util/strings.hh"
 
 namespace cellbw::cell
@@ -28,15 +29,26 @@ CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
                                       &memory_->store());
 
     buildPlacement(placementSeed);
+    // Each run draws its own fault sequence: the run's placement seed
+    // is folded into the configured base fault seed (the per-SPE mix
+    // happens inside the MFC).
+    spe::SpeParams sp = cfg_.spe;
+    sp.mfc.faults.seed ^= placementSeed * 0x9E3779B97F4A7C15ull;
     for (unsigned i = 0; i < cfg_.numSpes; ++i) {
         auto s = std::make_unique<spe::Spe>(
-            util::format("spe%u", i), *eq_, cfg_.clock, cfg_.spe, i);
+            util::format("spe%u", i), *eq_, cfg_.clock, sp, i);
         s->setPhysicalSpe(placement_[i],
                           eib::speRamp(placement_[i] %
                                        eib::numPhysicalSpes));
         s->mfc().setLineHandler([this](spe::LineRequest &&req) {
             routeLine(std::move(req));
         });
+        if (cfg_.verify) {
+            s->mfc().setCompletionHook(
+                [this](const spe::Mfc::Completion &done) {
+                    verifyCompletion(done);
+                });
+        }
         spes_.push_back(std::move(s));
     }
 }
@@ -225,6 +237,8 @@ CellSystem::routeMemory(spe::LineRequest &&req)
                 Tick done_at = s->ls().reservePort(r.bytes);
                 std::uint8_t buf[spe::lineBytes];
                 memory_->store().read(r.ea, buf, r.bytes);
+                if (r.corrupt)
+                    buf[0] ^= 0xA5;
                 s->ls().write(r.lsa, buf, r.bytes);
                 eq_->scheduleAt(done_at, std::move(r.done));
             });
@@ -279,6 +293,8 @@ CellSystem::routeMemory(spe::LineRequest &&req)
                                 dram, link, crossing, bank]() mutable {
                 std::uint8_t buf[spe::lineBytes];
                 s->ls().read(req.lsa, buf, req.bytes);
+                if (req.corrupt)
+                    buf[0] ^= 0xA5;
                 memory_->store().write(req.ea, buf, req.bytes);
                 auto write_bank = [dram](spe::LineRequest &&r) {
                     std::uint32_t bytes = r.bytes;
@@ -377,6 +393,8 @@ CellSystem::routeLocalStore(spe::LineRequest &&req)
                 Tick done_at = dst_spe->ls().reservePort(r.bytes);
                 std::uint8_t buf[spe::lineBytes];
                 src_spe->ls().read(src_lsa, buf, r.bytes);
+                if (r.corrupt)
+                    buf[0] ^= 0xA5;
                 dst_spe->ls().write(dst_lsa, buf, r.bytes);
                 eq_->scheduleAt(done_at, std::move(r.done));
             };
@@ -417,6 +435,65 @@ CellSystem::routeLocalStore(spe::LineRequest &&req)
             });
         });
     });
+}
+
+/** Read @p bytes at @p ea from wherever it lives: an SPE's LS aperture
+ *  or the main-memory backing store. */
+void
+CellSystem::readEa(EffAddr ea, std::uint8_t *buf, std::uint32_t bytes)
+{
+    if (!isLsEa(ea)) {
+        memory_->store().read(ea, buf, bytes);
+        return;
+    }
+    EffAddr rel = ea - lsEaBase;
+    auto idx = static_cast<unsigned>(rel / lsEaStride);
+    auto off = static_cast<LsAddr>(rel % lsEaStride);
+    if (idx >= spes_.size())
+        sim::fatal("verify: EA 0x%llx maps to SPE %u, which does not "
+                   "exist", (unsigned long long)ea, idx);
+    spes_[idx]->ls().read(off, buf, bytes);
+}
+
+void
+CellSystem::verifyCompletion(const spe::Mfc::Completion &done)
+{
+    if (done.fault != spe::MfcError::None) {
+        // A dropped or corrupted command is *expected* to diverge; it
+        // reported its error status and recovery is the program's job.
+        ++verifyStats_.faultedSkipped;
+        return;
+    }
+    auto &ls = spes_[done.speIndex]->ls();
+    LsAddr lsa = done.lsa;
+    std::vector<std::uint8_t> ls_buf, ea_buf;
+    for (const auto &seg : *done.segs) {
+        if (done.isList)
+            lsa = static_cast<LsAddr>(util::roundUp(lsa, 16));
+        ls_buf.resize(seg.size);
+        ea_buf.resize(seg.size);
+        ls.read(lsa, ls_buf.data(), seg.size);
+        readEa(seg.ea, ea_buf.data(), seg.size);
+        if (ls_buf != ea_buf) {
+            std::uint32_t i = 0;
+            while (i < seg.size && ls_buf[i] == ea_buf[i])
+                ++i;
+            ++verifyStats_.divergences;
+            if (verifyStats_.firstDivergence.empty()) {
+                verifyStats_.firstDivergence = util::format(
+                    "tick %llu spe%u tag %u %s%s: LS 0x%x vs EA 0x%llx "
+                    "diverge at byte %u of %u (ls=0x%02x ea=0x%02x)",
+                    (unsigned long long)now(), done.speIndex, done.tag,
+                    done.dir == spe::DmaDir::Get ? "get" : "put",
+                    done.isList ? "-list" : "", lsa,
+                    (unsigned long long)seg.ea, i, seg.size, ls_buf[i],
+                    ea_buf[i]);
+            }
+        }
+        verifyStats_.bytesChecked += seg.size;
+        lsa += seg.size;
+    }
+    ++verifyStats_.transfersChecked;
 }
 
 } // namespace cellbw::cell

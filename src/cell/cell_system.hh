@@ -95,6 +95,28 @@ class CellSystem
     /** The recorder, or nullptr when tracing is off. */
     trace::Recorder *recorder() { return recorder_.get(); }
 
+    /** @name Checked mode (config.verify / --verify).
+     *
+     *  Every completed non-faulted DMA command is cross-checked
+     *  end-to-end: the LS bytes and the backing-store bytes of each
+     *  transferred segment must agree once the command reports done.
+     *  Faulted commands (dropped/corrupted) are *expected* to diverge
+     *  and are skipped — recovery is the program's job. */
+    /** @{ */
+    struct VerifyStats
+    {
+        std::uint64_t transfersChecked = 0;
+        std::uint64_t bytesChecked = 0;
+        std::uint64_t divergences = 0;
+        std::uint64_t faultedSkipped = 0;
+        /** Diagnostics of the first divergence seen, empty if none. */
+        std::string firstDivergence;
+    };
+
+    bool verifying() const { return cfg_.verify; }
+    const VerifyStats &verifyStats() const { return verifyStats_; }
+    /** @} */
+
     Tick now() const { return eq_->now(); }
 
     /** Seconds of simulated time elapsed since construction. */
@@ -118,6 +140,8 @@ class CellSystem
     void routeLine(spe::LineRequest &&req);
     void routeMemory(spe::LineRequest &&req);
     void routeLocalStore(spe::LineRequest &&req);
+    void verifyCompletion(const spe::Mfc::Completion &done);
+    void readEa(EffAddr ea, std::uint8_t *buf, std::uint32_t bytes);
 
     CellConfig cfg_;
     std::unique_ptr<sim::EventQueue> eq_;
@@ -128,6 +152,7 @@ class CellSystem
     std::vector<std::uint32_t> placement_;   // logical -> physical SPE
     std::vector<sim::Task> programs_;
     std::unique_ptr<trace::Recorder> recorder_;
+    VerifyStats verifyStats_;
 };
 
 } // namespace cellbw::cell

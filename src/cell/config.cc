@@ -107,6 +107,18 @@ CellConfig::registerOptions(util::Options &opts)
                  "pin each flow to one EIB ring (vs per-packet choice)");
     opts.addString("affinity", "random",
                    "SPE placement policy: random|linear|paired");
+    opts.addDouble("fault-drop-rate", 0.0,
+                   "P(a DMA command is silently dropped)");
+    opts.addDouble("fault-corrupt-rate", 0.0,
+                   "P(a DMA command's payload is corrupted in flight)");
+    opts.addDouble("fault-delay-rate", 0.0,
+                   "P(a DMA command's completion is delayed)");
+    opts.addDouble("fault-delay-ns", 950.0,
+                   "extra completion latency of a delayed command, ns");
+    opts.addUint("fault-seed", 1,
+                 "base seed of the fault-injection generators");
+    opts.addBool("verify", false,
+                 "cross-check every DMA against the backing store");
 }
 
 CellConfig
@@ -159,6 +171,19 @@ CellConfig::fromOptions(const util::Options &opts)
 
     cfg.eib.flowPinning = opts.getBool("flow-pinning");
     cfg.affinity = affinityFromString(opts.getString("affinity"));
+
+    auto &faults = cfg.spe.mfc.faults;
+    faults.dropRate = opts.getDouble("fault-drop-rate");
+    faults.corruptRate = opts.getDouble("fault-corrupt-rate");
+    faults.delayRate = opts.getDouble("fault-delay-rate");
+    faults.delayTicks = cfg.clock.fromNs(opts.getDouble("fault-delay-ns"));
+    faults.seed = opts.getUint("fault-seed");
+    if (faults.dropRate < 0.0 || faults.corruptRate < 0.0 ||
+        faults.delayRate < 0.0 ||
+        faults.dropRate + faults.corruptRate + faults.delayRate > 1.0) {
+        sim::fatal("--fault-*-rate values must be >= 0 and sum to <= 1");
+    }
+    cfg.verify = opts.getBool("verify");
     return cfg;
 }
 

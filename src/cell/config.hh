@@ -59,6 +59,13 @@ struct CellConfig
 
     AffinityPolicy affinity = AffinityPolicy::Random;
 
+    /**
+     * Checked mode: cross-check every completed DMA command against the
+     * backing store and count divergences (--verify).  Fault-injection
+     * knobs live in spe.mfc.faults (--fault-* flags).
+     */
+    bool verify = false;
+
     /** Construct the defaults, derived quantities filled in. */
     CellConfig();
 

@@ -17,7 +17,8 @@ statsReport(CellSystem &sys)
     // Per-SPE MFC activity.
     {
         stats::Table t({"spe", "phys", "ramp", "cmds", "lines", "bytes",
-                        "DMA GB/s", "LS bytes"});
+                        "DMA GB/s", "LS bytes", "faults"});
+        std::uint64_t drops = 0, corruptions = 0, delays = 0;
         for (unsigned i = 0; i < sys.numSpes(); ++i) {
             auto &s = sys.spe(i);
             double gbps = secs > 0.0
@@ -30,9 +31,35 @@ statsReport(CellSystem &sys)
                       std::to_string(s.mfc().linesSent()),
                       util::bytesToString(s.mfc().bytesTransferred()),
                       stats::Table::num(gbps),
-                      util::bytesToString(s.ls().bytesAccessed())});
+                      util::bytesToString(s.ls().bytesAccessed()),
+                      std::to_string(s.mfc().commandsFaulted())});
+            drops += s.mfc().dropsInjected();
+            corruptions += s.mfc().corruptionsInjected();
+            delays += s.mfc().delaysInjected();
         }
         out += t.render();
+        if (drops + corruptions + delays > 0) {
+            out += util::format(
+                "fault injection: %llu drops, %llu corruptions, "
+                "%llu delays\n",
+                (unsigned long long)drops,
+                (unsigned long long)corruptions,
+                (unsigned long long)delays);
+        }
+    }
+
+    // Checked-mode verdict.
+    if (sys.verifying()) {
+        const auto &v = sys.verifyStats();
+        out += util::format(
+            "verify: %llu transfers (%s) checked, %llu divergences, "
+            "%llu faulted skipped\n",
+            (unsigned long long)v.transfersChecked,
+            util::bytesToString(v.bytesChecked).c_str(),
+            (unsigned long long)v.divergences,
+            (unsigned long long)v.faultedSkipped);
+        if (!v.firstDivergence.empty())
+            out += "  first divergence: " + v.firstDivergence + "\n";
     }
 
     // EIB rings, per chip.

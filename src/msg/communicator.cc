@@ -87,6 +87,8 @@ Communicator::send(unsigned self, unsigned dst, LsAddr lsa,
                 sys_.lsEa(dst, p.slotBase + slot * params_.slotBytes),
                 bytes, 7);
         co_await mfc.tagWait(1u << 7);
+        if (mfc.tagFaultCount(7))
+            co_await recoverDma(self, 7);
 
         co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
         p.queue.push_back(std::make_shared<Descriptor>(
@@ -149,6 +151,8 @@ Communicator::recv(unsigned self, unsigned src, LsAddr lsa,
                     8);
         }
         co_await mfc.tagWait(1u << 8);
+        if (mfc.tagFaultCount(8))
+            co_await recoverDma(self, 8);
         stored->consumed = true;
         p.queue.pop_front();
         co_await sim::Delay{sys_.eventQueue(), params_.notifyLatency};
@@ -156,6 +160,48 @@ Communicator::recv(unsigned self, unsigned src, LsAddr lsa,
     }
     if (outBytes)
         *outBytes = d.bytes;
+}
+
+/**
+ * Repair a tag group whose payload DMA completed with fault status:
+ * re-issue each faulted command verbatim (the sender's buffer and the
+ * eager slot are both still live, so transfers are idempotent) after a
+ * backoff that doubles per attempt, bounded by params.maxDmaRetries.
+ */
+sim::Task
+Communicator::recoverDma(unsigned rank, unsigned tag)
+{
+    auto &mfc = sys_.spe(rank).mfc();
+    for (unsigned attempt = 0;; ++attempt) {
+        auto faults = mfc.takeFaults(tag);
+        if (faults.empty())
+            co_return;
+        dmaFaults_ += faults.size();
+        for (const auto &f : faults) {
+            if (!spe::isTransient(f.code)) {
+                sim::fatal("communicator rank %u: unrecoverable MFC "
+                           "fault '%s' on tag %u", rank,
+                           spe::toString(f.code), tag);
+            }
+        }
+        if (attempt >= params_.maxDmaRetries) {
+            sim::fatal("communicator rank %u: tag %u still faulted "
+                       "after %u retries", rank, tag,
+                       params_.maxDmaRetries);
+        }
+        co_await sim::Delay{sys_.eventQueue(),
+                            params_.retryBackoff
+                                << std::min(attempt, 16u)};
+        for (const auto &f : faults) {
+            ++dmaRetries_;
+            co_await mfc.queueSpace();
+            if (f.dir == spe::DmaDir::Get)
+                mfc.get(f.lsa, f.segs[0].ea, f.segs[0].size, f.tag);
+            else
+                mfc.put(f.lsa, f.segs[0].ea, f.segs[0].size, f.tag);
+        }
+        co_await mfc.tagWait(1u << tag);
+    }
 }
 
 sim::Task

@@ -50,6 +50,12 @@ struct CommunicatorParams
 
     /** Modeled latency of a control notification (mailbox write). */
     Tick notifyLatency = 200;
+
+    /** Max re-issues of a transiently faulted DMA before fatal. */
+    unsigned maxDmaRetries = 8;
+
+    /** Base retry backoff, ticks; doubles with each failed attempt. */
+    Tick retryBackoff = 1000;
 };
 
 class Communicator
@@ -97,6 +103,10 @@ class Communicator
     std::uint64_t eagerMessages() const { return eagerCount_; }
     std::uint64_t rendezvousMessages() const { return rndvCount_; }
     std::uint64_t bytesSent() const { return bytesSent_; }
+    /** Payload DMAs that completed with a transient fault. */
+    std::uint64_t dmaFaults() const { return dmaFaults_; }
+    /** Payload DMAs re-issued to recover from those faults. */
+    std::uint64_t dmaRetries() const { return dmaRetries_; }
     /** @} */
 
   private:
@@ -123,6 +133,7 @@ class Communicator
     };
 
     Pair &pair(unsigned src, unsigned dst);
+    sim::Task recoverDma(unsigned rank, unsigned tag);
 
     cell::CellSystem &sys_;
     CommunicatorParams params_;
@@ -137,6 +148,8 @@ class Communicator
     std::uint64_t eagerCount_ = 0;
     std::uint64_t rndvCount_ = 0;
     std::uint64_t bytesSent_ = 0;
+    std::uint64_t dmaFaults_ = 0;
+    std::uint64_t dmaRetries_ = 0;
 };
 
 } // namespace cellbw::msg

@@ -43,13 +43,18 @@ OffloadRuntime::start()
     stats_.worker.resize(params_.workers);
     stats_.firstDispatch = sys_.now();
 
-    buf0_.resize(params_.workers);
-    buf1_.resize(params_.workers);
+    in0_.resize(params_.workers);
+    in1_.resize(params_.workers);
+    out0_.resize(params_.workers);
+    out1_.resize(params_.workers);
     for (unsigned w = 0; w < params_.workers; ++w) {
         auto &s = sys_.spe(w);
-        buf0_[w] = s.lsAlloc(params_.chunkBytes);
-        buf1_[w] = params_.doubleBuffer ? s.lsAlloc(params_.chunkBytes)
-                                        : buf0_[w];
+        in0_[w] = s.lsAlloc(params_.chunkBytes);
+        out0_[w] = s.lsAlloc(params_.chunkBytes);
+        in1_[w] = params_.doubleBuffer ? s.lsAlloc(params_.chunkBytes)
+                                       : in0_[w];
+        out1_[w] = params_.doubleBuffer ? s.lsAlloc(params_.chunkBytes)
+                                        : out0_[w];
         sys_.launch(worker(w));
     }
     sys_.launch(dispatcher());
@@ -78,7 +83,12 @@ OffloadRuntime::processTask(unsigned w, const OffloadTask &task,
     const std::uint32_t chunk = params_.chunkBytes;
     const std::uint64_t n =
         util::divCeil(task.bytes, chunk);
-    const LsAddr bufs[2] = {buf0_[w], buf1_[w]};
+    const LsAddr in[2] = {in0_[w], in1_[w]};
+    const LsAddr out[2] = {out0_[w], out1_[w]};
+    // GETs and PUTs get distinct tag groups per buffer slot, so a
+    // faulted transfer can be identified and re-issued on its own.
+    auto get_tag = [](unsigned slot) { return slot; };
+    auto put_tag = [](unsigned slot) { return 2 + slot; };
 
     auto chunk_size = [&](std::uint64_t c) {
         return static_cast<std::uint32_t>(
@@ -87,7 +97,7 @@ OffloadRuntime::processTask(unsigned w, const OffloadTask &task,
 
     // Prefetch chunk 0.
     co_await mfc.queueSpace();
-    mfc.get(bufs[0], task.input, chunk_size(0), 0);
+    mfc.get(in[0], task.input, chunk_size(0), get_tag(0));
 
     std::vector<std::uint8_t> scratch(chunk);
     for (std::uint64_t c = 0; c < n; ++c) {
@@ -99,35 +109,99 @@ OffloadRuntime::processTask(unsigned w, const OffloadTask &task,
         // so the transfer overlaps this chunk's compute.
         if (params_.doubleBuffer && c + 1 < n) {
             co_await mfc.queueSpace();
-            mfc.get(bufs[nxt], task.input + (c + 1) * chunk,
-                    chunk_size(c + 1), nxt);
+            mfc.get(in[nxt], task.input + (c + 1) * chunk,
+                    chunk_size(c + 1), get_tag(nxt));
         }
-        // The tag also covers the previous PUT from this buffer, so
-        // waiting here both lands the input and frees the buffer.
-        co_await mfc.tagWait(1u << cur);
+        // Land this chunk's input, repairing any faulted GET, and wait
+        // out the previous PUT from this slot so its out buffer may be
+        // overwritten (the PUT's retry window closes here).
+        co_await mfc.tagWait(1u << get_tag(cur));
+        if (mfc.tagFaultCount(get_tag(cur)))
+            co_await recoverTag(w, get_tag(cur), ws);
+        co_await mfc.tagWait(1u << put_tag(cur));
+        if (mfc.tagFaultCount(put_tag(cur)))
+            co_await recoverTag(w, put_tag(cur), ws);
 
         std::uint32_t bytes = chunk_size(c);
-        s.ls().read(bufs[cur], scratch.data(), bytes);
+        s.ls().read(in[cur], scratch.data(), bytes);
         task.kernel(scratch.data(), bytes);
-        s.ls().write(bufs[cur], scratch.data(), bytes);
+        s.ls().write(out[cur], scratch.data(), bytes);
         co_await s.spu().cycles(task.computeCyclesPerKiB *
                                 util::divCeil(bytes, util::KiB));
 
         co_await mfc.queueSpace();
-        mfc.put(bufs[cur], task.output + c * chunk, bytes, cur);
+        mfc.put(out[cur], task.output + c * chunk, bytes, put_tag(cur));
         if (!params_.doubleBuffer) {
-            co_await mfc.tagWait(1u << cur);
+            co_await mfc.tagWait(1u << put_tag(cur));
+            if (mfc.tagFaultCount(put_tag(cur)))
+                co_await recoverTag(w, put_tag(cur), ws);
             if (c + 1 < n) {
                 co_await mfc.queueSpace();
-                mfc.get(bufs[0], task.input + (c + 1) * chunk,
-                        chunk_size(c + 1), 0);
+                mfc.get(in[0], task.input + (c + 1) * chunk,
+                        chunk_size(c + 1), get_tag(0));
             }
         }
         ws.bytesIn += bytes;
         ws.bytesOut += bytes;
         ++ws.chunks;
     }
-    co_await mfc.tagWait((1u << 0) | (1u << 1));
+    // Drain every outstanding transfer, repairing stragglers.
+    co_await mfc.tagWait((1u << get_tag(0)) | (1u << get_tag(1)) |
+                         (1u << put_tag(0)) | (1u << put_tag(1)));
+    for (unsigned slot = 0; slot < 2; ++slot) {
+        if (mfc.tagFaultCount(get_tag(slot)))
+            co_await recoverTag(w, get_tag(slot), ws);
+        if (mfc.tagFaultCount(put_tag(slot)))
+            co_await recoverTag(w, put_tag(slot), ws);
+    }
+}
+
+/**
+ * Repair a tag group that completed with fault status: re-issue each
+ * faulted command verbatim (transfers are idempotent) after a backoff
+ * that doubles with every failed attempt, up to params.maxRetries.
+ * Validation faults are permanent — re-issuing cannot help — so they
+ * stay fatal.
+ */
+sim::Task
+OffloadRuntime::recoverTag(unsigned w, unsigned tag, WorkerStats &ws)
+{
+    auto &mfc = sys_.spe(w).mfc();
+    for (unsigned attempt = 0;; ++attempt) {
+        auto faults = mfc.takeFaults(tag);
+        if (faults.empty())
+            co_return;
+        for (const auto &f : faults) {
+            ++ws.faults;
+            if (!spe::isTransient(f.code)) {
+                sim::fatal("offload worker %u: unrecoverable MFC fault "
+                           "'%s' on tag %u", w, spe::toString(f.code),
+                           tag);
+            }
+        }
+        if (attempt >= params_.maxRetries) {
+            sim::fatal("offload worker %u: tag %u still faulted after "
+                       "%u retries", w, tag, params_.maxRetries);
+        }
+        co_await sim::Delay{sys_.eventQueue(),
+                            params_.retryBackoff
+                                << std::min(attempt, 16u)};
+        for (const auto &f : faults) {
+            ++ws.retries;
+            co_await mfc.queueSpace();
+            if (f.isList) {
+                if (f.dir == spe::DmaDir::Get)
+                    mfc.getList(f.lsa, f.segs, f.tag);
+                else
+                    mfc.putList(f.lsa, f.segs, f.tag);
+            } else if (f.dir == spe::DmaDir::Get) {
+                mfc.get(f.lsa, f.segs[0].ea, f.segs[0].size, f.tag);
+            } else {
+                mfc.put(f.lsa, f.segs[0].ea, f.segs[0].size, f.tag);
+            }
+        }
+        co_await mfc.tagWait(1u << tag);
+    }
 }
 
 sim::Task

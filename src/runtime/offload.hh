@@ -65,6 +65,12 @@ struct OffloadParams
      * paper (and Williams et al.) assume double buffering.
      */
     bool doubleBuffer = true;
+
+    /** Max re-issues of a transiently faulted transfer before fatal. */
+    unsigned maxRetries = 8;
+
+    /** Base retry backoff, ticks; doubles with each failed attempt. */
+    Tick retryBackoff = 1000;
 };
 
 class OffloadRuntime
@@ -85,6 +91,10 @@ class OffloadRuntime
         std::uint64_t bytesIn = 0;
         std::uint64_t bytesOut = 0;
         Tick busyTicks = 0;
+        /** MFC faults observed (dropped/corrupted transfers). */
+        std::uint64_t faults = 0;
+        /** Transfers re-issued to recover from those faults. */
+        std::uint64_t retries = 0;
     };
 
     struct Stats
@@ -110,11 +120,15 @@ class OffloadRuntime
     sim::Task worker(unsigned w);
     sim::Task processTask(unsigned w, const OffloadTask &task,
                           WorkerStats &ws);
+    sim::Task recoverTag(unsigned w, unsigned tag, WorkerStats &ws);
 
     cell::CellSystem &sys_;
     OffloadParams params_;
     std::vector<OffloadTask> tasks_;
-    std::vector<LsAddr> buf0_, buf1_;
+    // Separate input and output LS buffers per slot: a PUT's source
+    // data must survive in the LS until its retry window closes, so
+    // the kernel may not transform it in place.
+    std::vector<LsAddr> in0_, in1_, out0_, out1_;
     bool started_ = false;
     Stats stats_;
 };

@@ -28,6 +28,36 @@ enum class DmaDir
     Put,    ///< local store -> effective address
 };
 
+/**
+ * Why an MFC command failed.  Recoverable faults surface as per-tag
+ * status the program polls (Mfc::tagFaultMask / takeFaults) instead of
+ * killing the process, mirroring the MFC_FIR/error-status registers of
+ * real hardware.
+ *
+ * Validation errors are permanent: re-issuing the same command fails
+ * the same way.  Dropped/Corrupted are transient injected faults; a
+ * retry of the identical command may succeed.
+ */
+enum class MfcError : std::uint8_t
+{
+    None = 0,
+    InvalidSize,    ///< size not 1/2/4/8 or multiple of 16, or > 16 KB
+    Misaligned,     ///< LS/EA alignment rules violated
+    LsOverrun,      ///< transfer runs past the end of the local store
+    BadList,        ///< list with 0 or > maxListElements elements
+    Dropped,        ///< injected: command lost, no data moved
+    Corrupted,      ///< injected: data moved but damaged in flight
+};
+
+const char *toString(MfcError e);
+
+/** True for faults where re-issuing the same command can succeed. */
+constexpr bool
+isTransient(MfcError e)
+{
+    return e == MfcError::Dropped || e == MfcError::Corrupted;
+}
+
 /** One element of a DMA list (mfc_getl / mfc_putl). */
 struct ListElement
 {
@@ -62,6 +92,8 @@ struct LineRequest
     EffAddr ea;
     LsAddr lsa;
     std::uint32_t bytes;
+    /** Injected fault: the router damages this line's payload. */
+    bool corrupt = false;
     std::function<void()> done; ///< invoked when the line has landed
 };
 

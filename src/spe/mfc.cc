@@ -8,14 +8,44 @@
 namespace cellbw::spe
 {
 
+const char *
+toString(MfcError e)
+{
+    switch (e) {
+      case MfcError::None:
+        return "none";
+      case MfcError::InvalidSize:
+        return "invalid-size";
+      case MfcError::Misaligned:
+        return "misaligned";
+      case MfcError::LsOverrun:
+        return "ls-overrun";
+      case MfcError::BadList:
+        return "bad-list";
+      case MfcError::Dropped:
+        return "dropped";
+      case MfcError::Corrupted:
+        return "corrupted";
+    }
+    return "?";
+}
+
 Mfc::Mfc(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
          const MfcParams &params, unsigned speIndex)
     : sim::SimObject(std::move(name), eq), clock_(clock), params_(params),
-      speIndex_(speIndex)
+      speIndex_(speIndex),
+      faultRng_(params.faults.seed + 0x9E3779B97F4A7C15ull * speIndex),
+      faultsEnabled_(params.faults.enabled())
 {
     if (params_.queueDepth == 0 || params_.memoryTokens == 0 ||
         params_.lsLines == 0) {
         sim::fatal("%s: queue depth and line windows must be positive",
+                   this->name().c_str());
+    }
+    const auto &f = params_.faults;
+    if (f.dropRate < 0.0 || f.corruptRate < 0.0 || f.delayRate < 0.0 ||
+        f.dropRate + f.corruptRate + f.delayRate > 1.0) {
+        sim::fatal("%s: fault rates must be >= 0 and sum to <= 1",
                    this->name().c_str());
     }
 }
@@ -30,38 +60,40 @@ Mfc::tagsPendingMask() const
     return mask;
 }
 
-void
+MfcError
 Mfc::validate(LsAddr lsa, const std::vector<ListElement> &segs,
               bool isList) const
 {
-    if (isList) {
-        if (segs.empty() || segs.size() > maxListElements) {
-            sim::fatal("%s: DMA list must have 1..%u elements, got %zu",
-                       name().c_str(), maxListElements, segs.size());
-        }
-    }
+    if (isList && (segs.empty() || segs.size() > maxListElements))
+        return MfcError::BadList;
     LsAddr cursor = lsa;
     for (const auto &seg : segs) {
         if (isList)
             cursor = static_cast<LsAddr>(util::roundUp(cursor, 16));
-        if (!util::isValidDmaSize(seg.size)) {
-            sim::fatal("%s: invalid DMA transfer size %u", name().c_str(),
-                       seg.size);
-        }
-        if (!util::isValidDmaAlignment(cursor, seg.ea, seg.size)) {
-            sim::fatal("%s: misaligned DMA (lsa=0x%x ea=0x%llx size=%u)",
-                       name().c_str(), cursor,
-                       (unsigned long long)seg.ea, seg.size);
-        }
+        if (!util::isValidDmaSize(seg.size))
+            return MfcError::InvalidSize;
+        if (!util::isValidDmaAlignment(cursor, seg.ea, seg.size))
+            return MfcError::Misaligned;
         cursor += seg.size;
-        if (cursor > params_.lsSize) {
-            sim::fatal("%s: DMA overruns the %u-byte local store",
-                       name().c_str(), params_.lsSize);
-        }
+        if (cursor > params_.lsSize)
+            return MfcError::LsOverrun;
     }
+    return MfcError::None;
 }
 
 void
+Mfc::recordFault(DmaDir dir, bool isList, bool proxy, LsAddr lsa,
+                 std::vector<ListElement> segs, unsigned tag,
+                 MfcError code)
+{
+    sim::debugLog("%s: MFC fault on tag %u: %s", name().c_str(), tag,
+                  toString(code));
+    faultLog_.push_back({tag, dir, isList, proxy, lsa, std::move(segs),
+                         code, curTick()});
+    ++commandsFaulted_;
+}
+
+bool
 Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
              std::vector<ListElement> segs, unsigned tag, Order order,
              bool proxy)
@@ -80,7 +112,12 @@ Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
     }
     if (!handler_)
         sim::fatal("%s: no DMA line handler installed", name().c_str());
-    validate(lsa, segs, isList);
+    if (MfcError err = validate(lsa, segs, isList); err != MfcError::None) {
+        // Recoverable rejection: nothing enters the queue, the error is
+        // latched on the tag group for the program to poll.
+        recordFault(dir, isList, proxy, lsa, std::move(segs), tag, err);
+        return false;
+    }
 
     Command c;
     c.dir = dir;
@@ -88,11 +125,27 @@ Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
     c.isList = isList;
     c.isProxy = proxy;
     c.order = order;
+    c.lsaStart = lsa;
     c.lsaCursor = lsa;
     c.enqueuedAt = curTick();
     for (const auto &seg : segs)
         c.totalBytes += seg.size;
     c.segs = std::move(segs);
+    if (faultsEnabled_) {
+        const auto &f = params_.faults;
+        double u = faultRng_.uniformReal();
+        if (u < f.dropRate) {
+            c.injected = MfcError::Dropped;
+            ++dropsInjected_;
+        } else if (u < f.dropRate + f.corruptRate) {
+            c.injected = MfcError::Corrupted;
+            c.corruptPending = true;
+            ++corruptionsInjected_;
+        } else if (u < f.dropRate + f.corruptRate + f.delayRate) {
+            c.extraDelay = f.delayTicks;
+            ++delaysInjected_;
+        }
+    }
     queue_.push_back(std::move(c));
     if (proxy)
         ++proxyCount_;
@@ -100,48 +153,92 @@ Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
         ++spuCount_;
     ++tagPending_[tag];
     scheduleIssue();
+    return true;
 }
 
-void
+bool
 Mfc::proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
               Order order)
 {
-    enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order, true);
+    return enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order,
+                   true);
 }
 
-void
+bool
 Mfc::proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
               Order order)
 {
-    enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order, true);
+    return enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order,
+                   true);
 }
 
-void
+bool
 Mfc::get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
          Order order)
 {
-    enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order);
+    return enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order);
 }
 
-void
+bool
 Mfc::put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
          Order order)
 {
-    enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order);
+    return enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order);
 }
 
-void
+bool
 Mfc::getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
              Order order)
 {
-    enqueue(DmaDir::Get, true, lsa, std::move(list), tag, order);
+    return enqueue(DmaDir::Get, true, lsa, std::move(list), tag, order);
 }
 
-void
+bool
 Mfc::putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
              Order order)
 {
-    enqueue(DmaDir::Put, true, lsa, std::move(list), tag, order);
+    return enqueue(DmaDir::Put, true, lsa, std::move(list), tag, order);
+}
+
+std::uint32_t
+Mfc::tagFaultMask() const
+{
+    std::uint32_t mask = 0;
+    for (const auto &f : faultLog_)
+        mask |= 1u << f.tag;
+    return mask;
+}
+
+unsigned
+Mfc::tagFaultCount(unsigned tag) const
+{
+    unsigned n = 0;
+    for (const auto &f : faultLog_)
+        if (f.tag == tag)
+            ++n;
+    return n;
+}
+
+std::vector<Mfc::FaultRecord>
+Mfc::takeFaults(unsigned tag)
+{
+    std::vector<FaultRecord> out;
+    auto it = faultLog_.begin();
+    while (it != faultLog_.end()) {
+        if (it->tag == tag) {
+            out.push_back(std::move(*it));
+            it = faultLog_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+void
+Mfc::clearFaults()
+{
+    faultLog_.clear();
 }
 
 bool
@@ -198,8 +295,15 @@ Mfc::finishIssue(Command *c)
 {
     c->issued = true;
     c->issuedAt = curTick();
-    activePool_.push_back(c);
     issueInProgress_ = false;
+    if (c->injected == MfcError::Dropped) {
+        // The command occupied the issue engine but its lines are lost:
+        // it completes immediately with error status and no data moved.
+        c->allLinesIssued = true;
+        commandComplete(c);
+    } else {
+        activePool_.push_back(c);
+    }
     scheduleIssue();
     tryIssueLines();
 }
@@ -239,6 +343,11 @@ Mfc::tryIssueLines()
         req.ea = seg.ea + c->segOffset;
         req.lsa = c->lsaCursor;
         req.bytes = chunk;
+        if (c->corruptPending) {
+            // An injected corruption damages one line of the command.
+            req.corrupt = true;
+            c->corruptPending = false;
+        }
         req.done = [this, c, chunk, is_ls] { lineDone(c, chunk, is_ls); };
 
         c->segOffset += chunk;
@@ -282,11 +391,34 @@ Mfc::lineDone(Command *c, std::uint32_t bytes, bool isLs)
 void
 Mfc::commandComplete(Command *c)
 {
+    if (c->extraDelay > 0) {
+        // Injected delay: the transfer is done but completion (and with
+        // it the tag status update) arrives late.
+        Tick d = c->extraDelay;
+        c->extraDelay = 0;
+        eventQueue().schedule(d, [this, c] { finalizeCompletion(c); });
+        return;
+    }
+    finalizeCompletion(c);
+}
+
+void
+Mfc::finalizeCompletion(Command *c)
+{
     c->done = true;
+    if (c->injected != MfcError::None) {
+        recordFault(c->dir, c->isList, c->isProxy, c->lsaStart, c->segs,
+                    c->tag, c->injected);
+    }
     if (recorder_) {
         recorder_->dma({c->enqueuedAt, c->issuedAt, curTick(),
                         speIndex_, c->dir, c->tag, c->totalBytes,
-                        c->isList, c->isProxy});
+                        c->isList, c->isProxy, c->injected});
+    }
+    if (completionHook_) {
+        completionHook_({speIndex_, c->tag, c->dir, c->isList,
+                         c->isProxy, c->lsaStart, &c->segs,
+                         c->injected});
     }
     if (tagPending_[c->tag] == 0)
         sim::panic("%s: tag %u underflow", name().c_str(), c->tag);

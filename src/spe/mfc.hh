@@ -30,17 +30,49 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <vector>
 
 #include "sim/clock.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "spe/dma_types.hh"
 #include "trace/recorder.hh"
 
 namespace cellbw::spe
 {
+
+/**
+ * Injectable fault source: each accepted command independently draws
+ * one fate from a seeded per-MFC generator.  All rates zero (the
+ * default) means the generator is never consulted, so runs are
+ * bit-identical to a build without the fault model.
+ */
+struct MfcFaultParams
+{
+    /** P(command is silently lost; completes with MfcError::Dropped). */
+    double dropRate = 0.0;
+
+    /** P(payload damaged in flight; completes with MfcError::Corrupted). */
+    double corruptRate = 0.0;
+
+    /** P(completion is late by delayTicks; no error status). */
+    double delayRate = 0.0;
+
+    /** Extra completion latency for delayed commands. */
+    Tick delayTicks = 2000;
+
+    /** Base seed; the CellSystem mixes in the run seed and SPE index. */
+    std::uint64_t seed = 1;
+
+    bool
+    enabled() const
+    {
+        return dropRate > 0.0 || corruptRate > 0.0 || delayRate > 0.0;
+    }
+};
 
 struct MfcParams
 {
@@ -73,6 +105,9 @@ struct MfcParams
 
     /** Local-store size used for address validation. */
     std::uint32_t lsSize = 256 * 1024;
+
+    /** Fault injection; inert with the default all-zero rates. */
+    MfcFaultParams faults;
 };
 
 class Mfc : public sim::SimObject
@@ -98,42 +133,106 @@ class Mfc : public sim::SimObject
     /** @name Command issue (mirrors mfc_get / mfc_put / mfc_getl /
      *        mfc_putl and the fence/barrier forms mfc_getf, mfc_putb,
      *        ...).  fatal()s when the queue is full: await
-     *        queueSpace() first, as real code must poll for space. */
+     *        queueSpace() first, as real code must poll for space.
+     *
+     *        A command that fails CBEA validation (bad size, bad
+     *        alignment, LS overrun, bad list) is *rejected*, not
+     *        fatal: the call returns false, nothing enters the queue,
+     *        and a FaultRecord with the error code is latched on the
+     *        command's tag group (poll tagFaultMask / takeFaults). */
     /** @{ */
-    void get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+    bool get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
              Order order = Order::None);
-    void put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
+    bool put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
              Order order = Order::None);
-    void getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+    bool getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
                  Order order = Order::None);
-    void putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
+    bool putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
                  Order order = Order::None);
 
     /** mfc_getf / mfc_getb / mfc_putf / mfc_putb. */
-    void
+    bool
     getf(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
     {
-        get(lsa, ea, size, tag, Order::Fence);
+        return get(lsa, ea, size, tag, Order::Fence);
     }
 
-    void
+    bool
     getb(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
     {
-        get(lsa, ea, size, tag, Order::Barrier);
+        return get(lsa, ea, size, tag, Order::Barrier);
     }
 
-    void
+    bool
     putf(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
     {
-        put(lsa, ea, size, tag, Order::Fence);
+        return put(lsa, ea, size, tag, Order::Fence);
     }
 
-    void
+    bool
     putb(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag)
     {
-        put(lsa, ea, size, tag, Order::Barrier);
+        return put(lsa, ea, size, tag, Order::Barrier);
     }
     /** @} */
+
+    /** @name Fault status.
+     *
+     *  Every rejected or injected-fault command leaves a FaultRecord
+     *  carrying the full command descriptor, so a recovery layer can
+     *  re-issue it verbatim (transfers are idempotent).  A faulted
+     *  command still *completes* for tag-group accounting — tagWait
+     *  never deadlocks on it — but moves no (or damaged) data. */
+    /** @{ */
+    struct FaultRecord
+    {
+        unsigned tag;
+        DmaDir dir;
+        bool isList;
+        bool isProxy;
+        LsAddr lsa;                     ///< original LS start address
+        std::vector<ListElement> segs;  ///< original element list
+        MfcError code;
+        Tick at;                        ///< tick the fault was latched
+    };
+
+    /** Bitmask of tag groups with unconsumed fault records. */
+    std::uint32_t tagFaultMask() const;
+
+    /** Unconsumed fault records for @p tag. */
+    unsigned tagFaultCount(unsigned tag) const;
+
+    /** Remove and return the fault records latched on @p tag. */
+    std::vector<FaultRecord> takeFaults(unsigned tag);
+
+    /** Drop all latched fault records (mfc_write_tag_status ack). */
+    void clearFaults();
+    /** @} */
+
+    /**
+     * Hook invoked at every command completion (after the data has
+     * landed) with the original command descriptor and its fault
+     * status.  The CellSystem's --verify mode uses this to cross-check
+     * transfers end-to-end; nullptr disables.
+     */
+    struct Completion
+    {
+        unsigned speIndex;
+        unsigned tag;
+        DmaDir dir;
+        bool isList;
+        bool isProxy;
+        LsAddr lsa;                         ///< original LS start
+        const std::vector<ListElement> *segs;
+        MfcError fault;
+    };
+
+    using CompletionHook = std::function<void(const Completion &)>;
+
+    void setCompletionHook(CompletionHook hook)
+    {
+        completionHook_ = std::move(hook);
+    }
 
     /** @name Proxy commands: DMA issued on this MFC by the PPE (or
      *        another SPE) through the memory-mapped problem-state
@@ -141,9 +240,9 @@ class Mfc : public sim::SimObject
      *        with SPU commands but have their own 8-entry queue
      *        (CBEA MFC proxy command queue). */
     /** @{ */
-    void proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size,
+    bool proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size,
                   unsigned tag, Order order = Order::None);
-    void proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size,
+    bool proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size,
                   unsigned tag, Order order = Order::None);
 
     unsigned
@@ -272,6 +371,14 @@ class Mfc : public sim::SimObject
     std::uint64_t bytesTransferred() const { return bytesTransferred_; }
     std::uint64_t commandsCompleted() const { return commandsCompleted_; }
     std::uint64_t linesSent() const { return linesSent_; }
+    /** Commands rejected by validation or completed with a fault. */
+    std::uint64_t commandsFaulted() const { return commandsFaulted_; }
+    std::uint64_t dropsInjected() const { return dropsInjected_; }
+    std::uint64_t corruptionsInjected() const
+    {
+        return corruptionsInjected_;
+    }
+    std::uint64_t delaysInjected() const { return delaysInjected_; }
     /** @} */
 
     unsigned speIndex() const { return speIndex_; }
@@ -284,6 +391,7 @@ class Mfc : public sim::SimObject
         bool isList;
         bool isProxy = false;
         Order order;
+        LsAddr lsaStart;        ///< original LS address, for hooks/faults
         LsAddr lsaCursor;
         std::vector<ListElement> segs;
         // Progress through segs.
@@ -296,21 +404,31 @@ class Mfc : public sim::SimObject
         Tick enqueuedAt = 0;
         Tick issuedAt = 0;
         std::uint32_t totalBytes = 0;
+        /** Injected fate, drawn at enqueue (None = clean command). */
+        MfcError injected = MfcError::None;
+        /** Extra completion latency for an injected delay. */
+        Tick extraDelay = 0;
+        /** Corruption is applied to exactly one line. */
+        bool corruptPending = false;
     };
 
-    void enqueue(DmaDir dir, bool isList, LsAddr lsa,
+    bool enqueue(DmaDir dir, bool isList, LsAddr lsa,
                  std::vector<ListElement> segs, unsigned tag,
                  Order order, bool proxy = false);
 
     /** Tag-group ordering: may @p c pass the issue engine now? */
     bool issuable(const Command &c) const;
-    void validate(LsAddr lsa, const std::vector<ListElement> &segs,
-                  bool isList) const;
+    MfcError validate(LsAddr lsa, const std::vector<ListElement> &segs,
+                      bool isList) const;
+    void recordFault(DmaDir dir, bool isList, bool proxy, LsAddr lsa,
+                     std::vector<ListElement> segs, unsigned tag,
+                     MfcError code);
     void scheduleIssue();
     void finishIssue(Command *c);
     void tryIssueLines();
     void lineDone(Command *c, std::uint32_t bytes, bool isLs);
     void commandComplete(Command *c);
+    void finalizeCompletion(Command *c);
     void wakeWaiters();
 
     sim::ClockSpec clock_;
@@ -343,6 +461,15 @@ class Mfc : public sim::SimObject
     std::uint64_t bytesTransferred_ = 0;
     std::uint64_t commandsCompleted_ = 0;
     std::uint64_t linesSent_ = 0;
+
+    sim::Rng faultRng_;
+    bool faultsEnabled_ = false;
+    std::vector<FaultRecord> faultLog_;
+    CompletionHook completionHook_;
+    std::uint64_t commandsFaulted_ = 0;
+    std::uint64_t dropsInjected_ = 0;
+    std::uint64_t corruptionsInjected_ = 0;
+    std::uint64_t delaysInjected_ = 0;
 };
 
 } // namespace cellbw::spe

@@ -64,7 +64,8 @@ void
 Distribution::add(double v)
 {
     samples_.push_back(v);
-    dirty_ = true;
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), v),
+                   v);
 }
 
 void
@@ -72,17 +73,6 @@ Distribution::reset()
 {
     samples_.clear();
     sorted_.clear();
-    dirty_ = false;
-}
-
-void
-Distribution::ensureSorted() const
-{
-    if (dirty_ || sorted_.size() != samples_.size()) {
-        sorted_ = samples_;
-        std::sort(sorted_.begin(), sorted_.end());
-        dirty_ = false;
-    }
 }
 
 double
@@ -111,14 +101,12 @@ Distribution::stddev() const
 double
 Distribution::min() const
 {
-    ensureSorted();
     return sorted_.empty() ? 0.0 : sorted_.front();
 }
 
 double
 Distribution::max() const
 {
-    ensureSorted();
     return sorted_.empty() ? 0.0 : sorted_.back();
 }
 
@@ -135,7 +123,6 @@ Distribution::quantile(double q) const
         return 0.0;
     if (q < 0.0 || q > 1.0)
         sim::fatal("quantile %g out of [0,1]", q);
-    ensureSorted();
     if (sorted_.size() == 1)
         return sorted_.front();
     double pos = q * static_cast<double>(sorted_.size() - 1);

@@ -65,12 +65,14 @@ class Distribution
     const std::vector<double> &samples() const { return samples_; }
 
   private:
-    /** Sort cache maintained lazily. */
-    void ensureSorted() const;
-
     std::vector<double> samples_;
-    mutable std::vector<double> sorted_;
-    mutable bool dirty_ = false;
+    /**
+     * Sorted copy maintained eagerly by add().  Eager insertion keeps
+     * every const accessor genuinely read-only, so concurrent readers
+     * (the parallel seed-sweep runner) need no locking — a lazy
+     * sort-on-demand cache mutated under const was a data race.
+     */
+    std::vector<double> sorted_;
 };
 
 } // namespace cellbw::stats

@@ -35,6 +35,8 @@ struct DmaRecord
     std::uint32_t bytes;
     bool isList;
     bool isProxy;
+    /** Fault the command completed with (None for a clean transfer). */
+    spe::MfcError fault = spe::MfcError::None;
 };
 
 /** One data packet's trip over an EIB ring. */

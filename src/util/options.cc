@@ -73,14 +73,21 @@ Options::assign(const std::string &name, const std::string &value)
     }
     Opt &o = it->second;
     try {
-        // Validate eagerly so errors surface at parse time.
+        // Validate eagerly so errors surface at parse time.  The
+        // strict parsers reject signs and trailing garbage; a bare
+        // std::stoull would wrap "-1" to UINT64_MAX and accept "8x".
         switch (o.kind) {
           case Kind::Uint:
-            (void)std::stoull(value);
+            (void)parseUint64(value);
             break;
-          case Kind::Double:
-            (void)std::stod(value);
+          case Kind::Double: {
+            std::string v = trim(value);
+            size_t pos = 0;
+            (void)std::stod(v, &pos);
+            if (pos != v.size())
+                throw std::invalid_argument("trailing garbage");
             break;
+          }
           case Kind::Bytes:
             (void)parseByteSize(value);
             break;
@@ -175,7 +182,7 @@ Options::find(const std::string &name, Kind kind) const
 std::uint64_t
 Options::getUint(const std::string &name) const
 {
-    return std::stoull(find(name, Kind::Uint).value);
+    return parseUint64(find(name, Kind::Uint).value);
 }
 
 double

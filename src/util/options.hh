@@ -74,6 +74,9 @@ class Options
     /** Positional (non-option) arguments, in order. */
     const std::vector<std::string> &positional() const { return positional_; }
 
+    /** Program name, for caller-side error messages. */
+    const std::string &prog() const { return prog_; }
+
   private:
     enum class Kind { Uint, Double, Bool, String, Bytes };
 

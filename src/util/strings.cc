@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "util/types.hh"
@@ -79,23 +80,43 @@ bytesToString(std::uint64_t bytes)
 }
 
 std::uint64_t
+parseUint64(const std::string &raw)
+{
+    std::string s = trim(raw);
+    // std::stoull quietly accepts a sign ("-1" wraps to UINT64_MAX);
+    // require the string to start with a digit instead.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        throw std::invalid_argument("not a non-negative integer: " + raw);
+    size_t pos = 0;
+    unsigned long long v = std::stoull(s, &pos);    // may throw out_of_range
+    if (pos != s.size())
+        throw std::invalid_argument("trailing garbage in integer: " + raw);
+    return v;
+}
+
+std::uint64_t
 parseByteSize(const std::string &raw)
 {
     std::string s = toLower(trim(raw));
-    if (s.empty())
-        throw std::invalid_argument("empty byte size");
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        throw std::invalid_argument("bad byte size: " + raw);
     size_t pos = 0;
-    unsigned long long v = std::stoull(s, &pos);
+    unsigned long long v = std::stoull(s, &pos);    // may throw out_of_range
     std::string suffix = trim(s.substr(pos));
+    std::uint64_t mult;
     if (suffix.empty() || suffix == "b")
-        return v;
-    if (suffix == "k" || suffix == "kb" || suffix == "kib")
-        return v * KiB;
-    if (suffix == "m" || suffix == "mb" || suffix == "mib")
-        return v * MiB;
-    if (suffix == "g" || suffix == "gb" || suffix == "gib")
-        return v * GiB;
-    throw std::invalid_argument("bad byte-size suffix: " + raw);
+        mult = 1;
+    else if (suffix == "k" || suffix == "kb" || suffix == "kib")
+        mult = KiB;
+    else if (suffix == "m" || suffix == "mb" || suffix == "mib")
+        mult = MiB;
+    else if (suffix == "g" || suffix == "gb" || suffix == "gib")
+        mult = GiB;
+    else
+        throw std::invalid_argument("bad byte-size suffix: " + raw);
+    if (mult > 1 && v > std::numeric_limits<std::uint64_t>::max() / mult)
+        throw std::out_of_range("byte size overflows 64 bits: " + raw);
+    return v * mult;
 }
 
 } // namespace cellbw::util

@@ -32,7 +32,18 @@ std::string toLower(std::string s);
  */
 std::string bytesToString(std::uint64_t bytes);
 
-/** Parse "128", "4K"/"4KiB", "2M", "1G" style sizes. Throws on garbage. */
+/**
+ * Strict non-negative integer parse: rejects signs (no silent -1 ->
+ * UINT64_MAX wrap), trailing garbage, and out-of-range values.
+ * Surrounding whitespace is tolerated.  Throws std::invalid_argument /
+ * std::out_of_range.
+ */
+std::uint64_t parseUint64(const std::string &s);
+
+/**
+ * Parse "128", "4K"/"4KiB", "2M", "1G" style sizes.  Throws on
+ * garbage, negative values, and sizes that overflow 64 bits.
+ */
 std::uint64_t parseByteSize(const std::string &s);
 
 } // namespace cellbw::util

@@ -182,8 +182,9 @@ TEST(CellSystem, ProgramExceptionsPropagateFromRun)
     cell::CellSystem sys(cfg, 1);
     auto bad = [](cell::CellSystem &s) -> sim::Task {
         co_await sim::Delay{s.eventQueue(), 5};
-        // Misaligned DMA raises FatalError inside the coroutine.
-        s.spe(0).mfc().get(4, 0x10000, 128, 0);
+        // An out-of-range tag raises FatalError inside the coroutine
+        // (a validation failure would merely latch a fault record).
+        s.spe(0).mfc().get(0, 0x10000, 128, 99);
     };
     sys.launch(bad(sys));
     EXPECT_THROW(sys.run(), sim::FatalError);

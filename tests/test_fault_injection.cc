@@ -1,0 +1,183 @@
+/**
+ * @file
+ * End-to-end tests of the recoverable MFC fault model: injected
+ * drops/corruptions are repaired by the offload runtime's and the
+ * communicator's retry paths, --verify cross-checks every transfer
+ * against the backing store, and the fault sequence is seed-stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "msg/communicator.hh"
+#include "runtime/offload.hh"
+#include "test_util.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+runtime::Kernel
+xorKernel(std::uint8_t key)
+{
+    return [key](std::uint8_t *d, std::uint32_t n) {
+        for (std::uint32_t i = 0; i < n; ++i)
+            d[i] ^= key;
+    };
+}
+
+struct FaultFixture : public ::testing::Test
+{
+    cell::CellConfig cfg;
+
+    struct BatchResult
+    {
+        std::uint64_t faults = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t injected = 0;
+        Tick makespan = 0;
+    };
+
+    /** Offload a batch of XOR tasks and check every output byte. */
+    BatchResult
+    runBatch(unsigned workers, unsigned tasks, std::uint32_t bytes,
+             std::uint64_t seed = 1)
+    {
+        cell::CellSystem sys(cfg, seed);
+        runtime::OffloadParams params;
+        params.workers = workers;
+        runtime::OffloadRuntime rt(sys, params);
+
+        std::vector<EffAddr> outs;
+        for (unsigned t = 0; t < tasks; ++t) {
+            EffAddr in = sys.malloc(bytes);
+            EffAddr out = sys.malloc(bytes);
+            sys.memory().store().fill(
+                in, static_cast<std::uint8_t>(t + 1), bytes);
+            outs.push_back(out);
+            rt.submit({in, out, bytes, 64, xorKernel(0x33)});
+        }
+        rt.start();
+        sys.run();
+
+        EXPECT_EQ(rt.stats().tasksCompleted, tasks);
+        for (unsigned t = 0; t < tasks; ++t) {
+            auto expect = static_cast<std::uint8_t>((t + 1) ^ 0x33);
+            for (std::uint32_t off : {0u, bytes / 2, bytes - 1}) {
+                EXPECT_EQ(sys.memory().store().byteAt(outs[t] + off),
+                          expect)
+                    << "task " << t << " offset " << off;
+            }
+        }
+        if (sys.verifying()) {
+            EXPECT_EQ(sys.verifyStats().divergences, 0u)
+                << sys.verifyStats().firstDivergence;
+            EXPECT_GT(sys.verifyStats().transfersChecked, 0u);
+        }
+
+        BatchResult r;
+        for (const auto &w : rt.stats().worker) {
+            r.faults += w.faults;
+            r.retries += w.retries;
+        }
+        for (unsigned i = 0; i < sys.numSpes(); ++i) {
+            r.injected += sys.spe(i).mfc().dropsInjected() +
+                          sys.spe(i).mfc().corruptionsInjected() +
+                          sys.spe(i).mfc().delaysInjected();
+        }
+        r.makespan = rt.stats().makespan();
+        return r;
+    }
+};
+
+} // namespace
+
+TEST_F(FaultFixture, OffloadSurvivesDropsAndCorruptionsUnderVerify)
+{
+    cfg.spe.mfc.faults.dropRate = 0.03;
+    cfg.spe.mfc.faults.corruptRate = 0.03;
+    cfg.spe.mfc.faults.seed = 11;
+    cfg.verify = true;
+    auto r = runBatch(4, 12, 96 * 1024);
+    // With ~400 commands at 6% fault probability, faults certainly
+    // occurred and every one was repaired by a retry.
+    EXPECT_GT(r.faults, 0u);
+    EXPECT_GE(r.retries, r.faults);
+}
+
+TEST_F(FaultFixture, DelaysAloneNeedNoRetries)
+{
+    cfg.spe.mfc.faults.delayRate = 0.2;
+    cfg.verify = true;
+    auto r = runBatch(2, 6, 64 * 1024);
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_EQ(r.faults, 0u);        // a late completion is not an error
+    EXPECT_EQ(r.retries, 0u);
+}
+
+TEST_F(FaultFixture, DisabledInjectionIsCleanAndRetryFree)
+{
+    cfg.verify = true;
+    auto r = runBatch(4, 8, 64 * 1024);
+    EXPECT_EQ(r.injected, 0u);
+    EXPECT_EQ(r.faults, 0u);
+    EXPECT_EQ(r.retries, 0u);
+}
+
+TEST_F(FaultFixture, SameSeedReproducesTheFaultSequence)
+{
+    cfg.spe.mfc.faults.dropRate = 0.05;
+    cfg.spe.mfc.faults.corruptRate = 0.05;
+    auto a = runBatch(4, 8, 64 * 1024, 3);
+    auto b = runBatch(4, 8, 64 * 1024, 3);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.makespan, b.makespan);
+
+    // A different run seed draws a different fault sequence.
+    auto c = runBatch(4, 8, 64 * 1024, 4);
+    EXPECT_TRUE(a.injected != c.injected || a.makespan != c.makespan);
+}
+
+TEST_F(FaultFixture, MessagePassingRetriesFaultedTransfers)
+{
+    cfg.spe.mfc.faults.dropRate = 0.1;
+    cfg.spe.mfc.faults.corruptRate = 0.1;
+    cfg.spe.mfc.faults.seed = 5;
+    cfg.verify = true;
+    cell::CellSystem sys(cfg, 1);
+    msg::Communicator comm(sys, 2);
+    const std::uint32_t eager_bytes = 1024;     // eager protocol
+    const std::uint32_t rndv_bytes = 32 * 1024; // rendezvous protocol
+    LsAddr src = sys.spe(0).lsAlloc(rndv_bytes);
+    LsAddr dst = sys.spe(1).lsAlloc(rndv_bytes);
+    sys.spe(0).ls().fill(src, 0x5A, rndv_bytes);
+
+    auto sender = [&]() -> sim::Task {
+        for (int i = 0; i < 8; ++i) {
+            co_await comm.send(0, 1, src, eager_bytes);
+            co_await comm.send(0, 1, src, rndv_bytes);
+        }
+    };
+    auto receiver = [&]() -> sim::Task {
+        for (int i = 0; i < 8; ++i) {
+            co_await comm.recv(1, 0, dst, rndv_bytes, nullptr);
+            co_await comm.recv(1, 0, dst, rndv_bytes, nullptr);
+            EXPECT_EQ(sys.spe(1).ls().byteAt(dst), 0x5A);
+            EXPECT_EQ(sys.spe(1).ls().byteAt(dst + rndv_bytes - 1),
+                      0x5A);
+        }
+    };
+    sys.launch(sender());
+    sys.launch(receiver());
+    sys.run();
+    // At a 20% fault rate over ~50 payload DMAs, retries certainly
+    // happened — and every payload still arrived intact.
+    EXPECT_GT(comm.dmaFaults(), 0u);
+    EXPECT_GE(comm.dmaRetries(), comm.dmaFaults());
+    EXPECT_EQ(sys.verifyStats().divergences, 0u)
+        << sys.verifyStats().firstDivergence;
+}

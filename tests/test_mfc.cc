@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -260,27 +261,177 @@ TEST_F(MfcFixture, ListLsCursorAdvancesContiguously)
 TEST_F(MfcFixture, ValidationRejectsBadCommands)
 {
     auto mfc = make();
+    // A rejected command returns false and latches the error on its
+    // tag group instead of killing the run; the program can poll it.
     // Bad sizes.
-    EXPECT_THROW(mfc->get(0, 0x10000, 0, 0), sim::FatalError);
-    EXPECT_THROW(mfc->get(0, 0x10000, 3, 0), sim::FatalError);
-    EXPECT_THROW(mfc->get(0, 0x10000, 100, 0), sim::FatalError);
-    EXPECT_THROW(mfc->get(0, 0x10000, 32 * 1024, 0), sim::FatalError);
+    EXPECT_FALSE(mfc->get(0, 0x10000, 0, 0));
+    EXPECT_FALSE(mfc->get(0, 0x10000, 3, 0));
+    EXPECT_FALSE(mfc->get(0, 0x10000, 100, 0));
+    EXPECT_FALSE(mfc->get(0, 0x10000, 32 * 1024, 0));
     // Bad alignment.
-    EXPECT_THROW(mfc->get(8, 0x10000, 128, 0), sim::FatalError);
-    EXPECT_THROW(mfc->get(0, 0x10004, 128, 0), sim::FatalError);
-    // Bad tag.
+    EXPECT_FALSE(mfc->get(8, 0x10000, 128, 1));
+    EXPECT_FALSE(mfc->get(0, 0x10004, 128, 1));
+    // Bad tag numbers stay fatal: that is a program bug, not a
+    // recoverable transfer fault.
     EXPECT_THROW(mfc->get(0, 0x10000, 128, 32), sim::FatalError);
     // LS overrun.
-    EXPECT_THROW(mfc->get(256 * 1024 - 64, 0x10000, 128, 0),
-                 sim::FatalError);
+    EXPECT_FALSE(mfc->get(256 * 1024 - 64, 0x10000, 128, 2));
     // Bad lists.
-    EXPECT_THROW(mfc->getList(0, {}, 0), sim::FatalError);
+    EXPECT_FALSE(mfc->getList(0, {}, 3));
     std::vector<spe::ListElement> toobig(2049, {0x10000, 16});
-    EXPECT_THROW(mfc->getList(0, toobig, 0), sim::FatalError);
+    EXPECT_FALSE(mfc->getList(0, toobig, 3));
     // Nothing leaked into the queue.
     EXPECT_EQ(mfc->queueFree(), params.queueDepth);
     eq.run();
     EXPECT_TRUE(router.lines.empty());
+
+    // Each rejection left a fault record on its tag group.
+    EXPECT_EQ(mfc->commandsFaulted(), 9u);
+    EXPECT_EQ(mfc->tagFaultMask(), 0b1111u);
+    EXPECT_EQ(mfc->tagFaultCount(0), 4u);
+    EXPECT_EQ(mfc->tagFaultCount(1), 2u);
+    EXPECT_EQ(mfc->tagFaultCount(2), 1u);
+    EXPECT_EQ(mfc->tagFaultCount(3), 2u);
+    auto size_faults = mfc->takeFaults(0);
+    ASSERT_EQ(size_faults.size(), 4u);
+    for (const auto &f : size_faults) {
+        EXPECT_EQ(f.code, spe::MfcError::InvalidSize);
+        EXPECT_FALSE(spe::isTransient(f.code));
+    }
+    auto align_faults = mfc->takeFaults(1);
+    ASSERT_EQ(align_faults.size(), 2u);
+    EXPECT_EQ(align_faults[0].code, spe::MfcError::Misaligned);
+    auto overrun_faults = mfc->takeFaults(2);
+    ASSERT_EQ(overrun_faults.size(), 1u);
+    EXPECT_EQ(overrun_faults[0].code, spe::MfcError::LsOverrun);
+    EXPECT_EQ(overrun_faults[0].lsa, 256u * 1024 - 64);
+    ASSERT_EQ(overrun_faults[0].segs.size(), 1u);
+    EXPECT_EQ(overrun_faults[0].segs[0].ea, 0x10000u);
+    auto list_faults = mfc->takeFaults(3);
+    ASSERT_EQ(list_faults.size(), 2u);
+    EXPECT_EQ(list_faults[0].code, spe::MfcError::BadList);
+    // All consumed.
+    EXPECT_EQ(mfc->tagFaultMask(), 0u);
+}
+
+TEST_F(MfcFixture, RejectionDoesNotDisturbPendingCommands)
+{
+    auto mfc = make();
+    EXPECT_TRUE(mfc->get(0, 0x10000, 1024, 5));
+    EXPECT_FALSE(mfc->get(0, 0x20000, 100, 5));   // rejected, same tag
+    Tick done_at = 0;
+    sim::Task w = waitTags(*mfc, 1u << 5, &done_at, eq);
+    w.start();
+    eq.run();
+    // The good command completed normally; the bad one is latched.
+    EXPECT_EQ(mfc->commandsCompleted(), 1u);
+    EXPECT_EQ(mfc->bytesTransferred(), 1024u);
+    EXPECT_EQ(mfc->tagFaultCount(5), 1u);
+    EXPECT_EQ(mfc->takeFaults(5)[0].code, spe::MfcError::InvalidSize);
+}
+
+TEST_F(MfcFixture, InjectedDropCompletesWithErrorAndNoData)
+{
+    params.faults.dropRate = 1.0;
+    params.faults.seed = 42;
+    auto mfc = make();
+    EXPECT_TRUE(mfc->get(0, 0x10000, 1024, 4));
+    Tick done_at = 0;
+    sim::Task w = waitTags(*mfc, 1u << 4, &done_at, eq);
+    w.start();
+    eq.run();                       // tagWait must not deadlock
+    EXPECT_TRUE(router.lines.empty());  // no data moved
+    EXPECT_EQ(mfc->dropsInjected(), 1u);
+    EXPECT_EQ(mfc->queueFree(), params.queueDepth);
+    auto faults = mfc->takeFaults(4);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].code, spe::MfcError::Dropped);
+    EXPECT_TRUE(spe::isTransient(faults[0].code));
+    // The record carries the full descriptor for verbatim re-issue.
+    EXPECT_EQ(faults[0].lsa, 0u);
+    ASSERT_EQ(faults[0].segs.size(), 1u);
+    EXPECT_EQ(faults[0].segs[0].ea, 0x10000u);
+    EXPECT_EQ(faults[0].segs[0].size, 1024u);
+}
+
+TEST_F(MfcFixture, InjectedCorruptionMarksOneLine)
+{
+    params.faults.corruptRate = 1.0;
+    auto mfc = make();
+    EXPECT_TRUE(mfc->put(0, 0x10000, 1024, 6));
+    eq.run();
+    ASSERT_EQ(router.lines.size(), 8u);
+    unsigned corrupted = 0;
+    for (const auto &l : router.lines)
+        corrupted += l.corrupt ? 1 : 0;
+    EXPECT_EQ(corrupted, 1u);       // exactly one line damaged
+    EXPECT_EQ(mfc->corruptionsInjected(), 1u);
+    auto faults = mfc->takeFaults(6);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].code, spe::MfcError::Corrupted);
+}
+
+TEST_F(MfcFixture, InjectedDelayPostponesCompletionOnly)
+{
+    params.faults.delayRate = 1.0;
+    params.faults.delayTicks = 5000;
+    auto mfc = make();
+
+    Tick base_done = 0;
+    {
+        // Reference run without injection.
+        spe::MfcParams clean = params;
+        clean.faults = {};
+        MockRouter r2{eq};
+        auto m2 = std::make_unique<spe::Mfc>("m2", eq, clock, clean, 0);
+        m2->setLineHandler(std::ref(r2));
+        m2->get(0, 0x10000, 1024, 0);
+        sim::Task w2 = waitTags(*m2, 1u << 0, &base_done, eq);
+        w2.start();
+        eq.run();
+    }
+
+    EXPECT_TRUE(mfc->get(0, 0x10000, 1024, 0));
+    Tick done_at = 0;
+    sim::Task w = waitTags(*mfc, 1u << 0, &done_at, eq);
+    w.start();
+    eq.run();
+    EXPECT_EQ(mfc->delaysInjected(), 1u);
+    // All data still moves, completion is late, and no error latches.
+    EXPECT_EQ(mfc->bytesTransferred(), 1024u);
+    EXPECT_GE(done_at, base_done + 5000);
+    EXPECT_EQ(mfc->tagFaultMask(), 0u);
+}
+
+TEST_F(MfcFixture, FaultSequenceIsSeedReproducible)
+{
+    params.faults.dropRate = 0.3;
+    params.faults.seed = 7;
+
+    auto run_one = [&](std::uint64_t seed) {
+        sim::EventQueue q;
+        MockRouter r{q};
+        spe::MfcParams p = params;
+        p.faults.seed = seed;
+        auto m = std::make_unique<spe::Mfc>("m", q, clock, p, 0);
+        m->setLineHandler(std::ref(r));
+        std::vector<bool> dropped;
+        for (unsigned i = 0; i < 8; ++i) {
+            m->get(0, 0x10000, 128, i % spe::numTags);
+            q.run();
+            dropped.push_back(m->takeFaults(i % spe::numTags).size() >
+                              0);
+        }
+        return dropped;
+    };
+
+    auto a = run_one(7);
+    auto b = run_one(7);
+    auto c = run_one(8);
+    EXPECT_EQ(a, b);                // same seed, same fate sequence
+    EXPECT_NE(a, c);                // different seed diverges
+    EXPECT_TRUE(std::count(a.begin(), a.end(), true) > 0);
+    EXPECT_TRUE(std::count(a.begin(), a.end(), false) > 0);
 }
 
 TEST_F(MfcFixture, IssueOverheadSerializesCommands)

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "sim/logging.hh"
 #include "stats/ascii_chart.hh"
 #include "stats/distribution.hh"
@@ -109,6 +113,36 @@ TEST(Distribution, AddAfterQueryResorts)
     EXPECT_DOUBLE_EQ(d.max(), 20.0);
     d.add(5.0);
     EXPECT_DOUBLE_EQ(d.min(), 5.0);
+}
+
+TEST(Distribution, ConcurrentConstReadsAreSafe)
+{
+    // The const accessors must be genuinely read-only: the lazy
+    // sort-on-demand cache used to mutate mutable state under const,
+    // racing when the parallel seed-sweep runner read one Distribution
+    // from several threads.  Run many concurrent readers; under TSan
+    // this fails loudly if any accessor writes shared state.
+    stats::Distribution d;
+    for (int i = 99; i >= 0; --i)
+        d.add(static_cast<double>(i));
+
+    std::atomic<int> errors{0};
+    std::vector<std::thread> readers;
+    readers.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+        readers.emplace_back([&d, &errors] {
+            for (int i = 0; i < 1000; ++i) {
+                if (d.min() != 0.0 || d.max() != 99.0 ||
+                    d.median() != 49.5 ||
+                    d.quantile(0.25) != 24.75) {
+                    ++errors;
+                }
+            }
+        });
+    }
+    for (auto &r : readers)
+        r.join();
+    EXPECT_EQ(errors.load(), 0);
 }
 
 TEST(Table, RendersAlignedColumns)

@@ -41,6 +41,26 @@ TEST(StatsReport, CountersReflectARun)
               2u * util::MiB);
 }
 
+TEST(StatsReport, ReportsFaultInjectionAndVerifyVerdict)
+{
+    cell::CellConfig cfg;
+    cfg.spe.mfc.faults.dropRate = 0.2;
+    cfg.spe.mfc.faults.seed = 9;
+    cfg.verify = true;
+    cell::CellSystem sys(cfg, 1);
+    core::SpeMemConfig mc;
+    mc.numSpes = 2;
+    mc.bytesPerSpe = 1 * util::MiB;
+    core::runSpeMem(sys, mc);
+
+    std::string rep = cell::statsReport(sys);
+    EXPECT_NE(rep.find("faults"), std::string::npos);       // column
+    EXPECT_NE(rep.find("fault injection:"), std::string::npos);
+    EXPECT_NE(rep.find("drops"), std::string::npos);
+    EXPECT_NE(rep.find("verify:"), std::string::npos);
+    EXPECT_NE(rep.find("0 divergences"), std::string::npos);
+}
+
 TEST(StatsReport, ListsBothChips)
 {
     cell::CellConfig cfg;

@@ -57,6 +57,39 @@ TEST(Strings, ParseByteSize)
     EXPECT_THROW(util::parseByteSize(""), std::invalid_argument);
 }
 
+TEST(Strings, ParseByteSizeRejectsNegativeAndOverflow)
+{
+    // A sign must not wrap through stoull to a huge positive size.
+    EXPECT_THROW(util::parseByteSize("-1"), std::invalid_argument);
+    EXPECT_THROW(util::parseByteSize("-4K"), std::invalid_argument);
+    EXPECT_THROW(util::parseByteSize("+4K"), std::invalid_argument);
+    // The suffix multiplication must not overflow silently.
+    EXPECT_THROW(util::parseByteSize("99999999999999999999"),
+                 std::out_of_range);
+    EXPECT_THROW(util::parseByteSize("18446744073709551615K"),
+                 std::out_of_range);
+    EXPECT_THROW(util::parseByteSize("17179869184G"), std::out_of_range);
+    // Near the edge but representable.
+    EXPECT_EQ(util::parseByteSize("17179869183G"),
+              17179869183ull * util::GiB);
+}
+
+TEST(Strings, ParseUint64IsStrict)
+{
+    EXPECT_EQ(util::parseUint64("0"), 0u);
+    EXPECT_EQ(util::parseUint64(" 42 "), 42u);
+    EXPECT_EQ(util::parseUint64("18446744073709551615"),
+              18446744073709551615ull);
+    EXPECT_THROW(util::parseUint64("-1"), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64("+1"), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64("12abc"), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64("1 2"), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64(""), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64("abc"), std::invalid_argument);
+    EXPECT_THROW(util::parseUint64("18446744073709551616"),
+                 std::out_of_range);
+}
+
 TEST(Align, IsPow2)
 {
     EXPECT_FALSE(util::isPow2(0));
@@ -151,6 +184,29 @@ TEST(Options, NoPrefixClearsBool)
     const char *argv[] = {"prog", "--no-csv"};
     ASSERT_TRUE(o.parse(2, argv));
     EXPECT_FALSE(o.getBool("csv"));
+}
+
+TEST(Options, RejectsNegativeGarbageAndOverflowValues)
+{
+    auto fails = [](const char *arg) {
+        Options o("prog", "desc");
+        o.addUint("count", 5, "a count");
+        o.addDouble("rate", 1.5, "a rate");
+        o.addBytes("size", 4096, "a size");
+        const char *argv[] = {"prog", arg};
+        return !o.parse(2, argv);
+    };
+    // A negative uint must not wrap to 2^64-1 via stoull.
+    EXPECT_TRUE(fails("--count=-1"));
+    // Trailing garbage must not be silently ignored.
+    EXPECT_TRUE(fails("--count=8x"));
+    EXPECT_TRUE(fails("--count=1 2"));
+    EXPECT_TRUE(fails("--rate=1.5mbps"));
+    EXPECT_TRUE(fails("--rate="));
+    // Out-of-range values must fail at parse time.
+    EXPECT_TRUE(fails("--count=18446744073709551616"));
+    EXPECT_TRUE(fails("--size=-4K"));
+    EXPECT_TRUE(fails("--size=17179869184G"));
 }
 
 TEST(Options, UnknownOptionFailsParse)
