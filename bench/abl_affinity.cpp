@@ -57,5 +57,5 @@ main(int argc, char **argv)
     b.emit(table);
     std::printf("note: deterministic policies have zero min-max spread "
                 "— the whole Figure 13/16 variance is placement.\n");
-    return 0;
+    return b.finish();
 }

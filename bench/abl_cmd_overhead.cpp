@@ -57,5 +57,5 @@ main(int argc, char **argv)
     }
     b.emit(table);
     std::fputs(chart.render().c_str(), stdout);
-    return 0;
+    return b.finish();
 }

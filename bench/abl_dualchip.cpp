@@ -68,5 +68,5 @@ main(int argc, char **argv)
     std::printf("reference: chip-local pair peak %.1f GB/s per couple; "
                 "a cross-chip couple is capped by the IOIF at ~7 GB/s "
                 "per direction\n", b.cfg.pairPeakGBps());
-    return 0;
+    return b.finish();
 }

@@ -47,5 +47,5 @@ main(int argc, char **argv)
     }
     b.emit(table);
     std::printf("reference: pair peak %.1f GB/s\n", b.cfg.pairPeakGBps());
-    return 0;
+    return b.finish();
 }

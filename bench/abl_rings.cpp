@@ -49,5 +49,5 @@ main(int argc, char **argv)
         }
     }
     b.emit(table);
-    return 0;
+    return b.finish();
 }

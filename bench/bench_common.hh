@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cell/config.hh"
+#include "core/json_report.hh"
 #include "core/report.hh"
 #include "sim/logging.hh"
 #include "core/runner.hh"
@@ -37,6 +38,10 @@ struct BenchSetup
     std::uint64_t bytesPerSpe = 0;
     bool csv = false;
 
+    /** --json target path; empty when no JSON report was requested. */
+    std::string jsonPath;
+    core::JsonReport json;
+
     BenchSetup(std::string prog, std::string description)
         : opts(std::move(prog), std::move(description))
     {
@@ -49,6 +54,9 @@ struct BenchSetup
                      "hardware thread; results are identical for any "
                      "value)");
         opts.addBool("csv", false, "also emit CSV after the table");
+        opts.addString("json", "",
+                       "write a machine-readable JSON report (config, "
+                       "per-point results, metrics) to this file");
         opts.addBool("quick", false, "fewer runs and bytes (CI mode)");
         opts.addBytes("bytes-per-spe", 4 * util::MiB,
                       "bytes each SPE/thread/stream moves (weak scaling; "
@@ -76,6 +84,9 @@ struct BenchSetup
         par.jobs = static_cast<unsigned>(opts.getUint("jobs"));
         bytesPerSpe = opts.getBytes("bytes-per-spe");
         csv = opts.getBool("csv");
+        jsonPath = opts.getString("json");
+        if (!jsonPath.empty())
+            repeat.metrics = &json.metrics();
         if (opts.getBool("quick")) {
             repeat.runs = std::min(repeat.runs, 3u);
             bytesPerSpe = std::min<std::uint64_t>(bytesPerSpe,
@@ -85,8 +96,9 @@ struct BenchSetup
     }
 
     void
-    header(const char *figure, const char *what) const
+    header(const char *figure, const char *what)
     {
+        json.setBench(opts.prog(), figure, what);
         std::printf("== %s: %s ==\n", figure, what);
         std::printf("   machine: %.1f GHz Cell blade, %u EIB rings, "
                     "ramp peak %.1f GB/s, %u runs/point, %s per "
@@ -97,13 +109,35 @@ struct BenchSetup
     }
 
     void
-    emit(const stats::Table &table) const
+    emit(const stats::Table &table, const std::string &name = "results")
     {
         std::fputs(table.render().c_str(), stdout);
         if (csv) {
             std::printf("\n-- CSV --\n%s", table.renderCsv().c_str());
         }
         std::printf("\n");
+        if (!jsonPath.empty())
+            json.addTable(name, table);
+    }
+
+    /**
+     * Write the --json report, if one was requested.  Call once, after
+     * the last emit().  @return the process exit code (0, or 1 when the
+     * report could not be written).
+     */
+    int
+    finish()
+    {
+        if (jsonPath.empty())
+            return 0;
+        json.setConfig(opts);
+        if (!json.writeFile(jsonPath)) {
+            std::fprintf(stderr, "%s: cannot write %s\n",
+                         opts.prog().c_str(), jsonPath.c_str());
+            return 1;
+        }
+        std::printf("json report written to %s\n", jsonPath.c_str());
+        return 0;
     }
 };
 

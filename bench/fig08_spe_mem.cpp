@@ -72,5 +72,5 @@ main(int argc, char **argv)
     std::printf("reference: one bank ramp peak %.1f GB/s, MIC+IOIF "
                 "aggregate %.1f GB/s\n",
                 b.cfg.rampPeakGBps(), b.cfg.rampPeakGBps() + 7.0);
-    return 0;
+    return b.finish();
 }

@@ -63,5 +63,5 @@ main(int argc, char **argv)
     std::fputs(chart.render().c_str(), stdout);
     std::printf("\nreference: pair peak (concurrent GET+PUT) %.1f GB/s\n",
                 b.cfg.pairPeakGBps());
-    return 0;
+    return b.finish();
 }

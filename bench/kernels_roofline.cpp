@@ -102,5 +102,5 @@ main(int argc, char **argv)
 
     std::printf("low-intensity kernels pin the memory roof; the blocked "
                 "matmul escapes it and approaches the compute roof.\n");
-    return 0;
+    return b.finish();
 }

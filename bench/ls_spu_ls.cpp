@@ -53,5 +53,5 @@ main(int argc, char **argv)
     std::fputs(chart.render().c_str(), stdout);
     std::printf("\nreference: LS port peak %.1f GB/s (16 B per CPU "
                 "cycle)\n", b.cfg.lsPeakGBps());
-    return 0;
+    return b.finish();
 }

@@ -97,5 +97,5 @@ main(int argc, char **argv)
     std::printf("\nreference: one-way ramp peak %.1f GB/s; the eager->"
                 "rendezvous switch sits at %u bytes\n",
                 b.cfg.rampPeakGBps(), 2048u);
-    return 0;
+    return b.finish();
 }

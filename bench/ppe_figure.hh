@@ -67,7 +67,7 @@ runPpeFigure(BenchSetup &b, const char *figure, const char *level,
     }
     std::printf("reference: PPU<->L1 link peak %.1f GB/s\n",
                 16.0 * b.cfg.clock.cpuHz / 1e9);
-    return 0;
+    return b.finish();
 }
 
 } // namespace cellbw::bench

@@ -73,7 +73,7 @@ runSpeSpeSweep(BenchSetup &b, const char *figure, core::SpeSpeMode mode)
                 "GB/s\n",
                 peakFor(b, mode, 2), peakFor(b, mode, 4),
                 peakFor(b, mode, 8));
-    return 0;
+    return b.finish();
 }
 
 /** Figures 13 / 16: 8-SPE min/max/median/mean across placements. */
@@ -125,7 +125,7 @@ runSpeSpeDistribution(BenchSetup &b, const char *figure,
     }
     std::printf("reference: 8-SPE peak %.1f GB/s; the spread is pure "
                 "physical-placement luck\n", peakFor(b, mode, 8));
-    return 0;
+    return b.finish();
 }
 
 } // namespace cellbw::bench

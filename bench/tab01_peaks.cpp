@@ -110,5 +110,5 @@ main(int argc, char **argv)
     }
 
     b.emit(table);
-    return 0;
+    return b.finish();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 #include "util/align.hh"
 #include "util/strings.hh"
 
@@ -161,6 +162,7 @@ CellSystem::enableTracing()
 {
     if (!recorder_) {
         recorder_ = std::make_unique<trace::Recorder>();
+        recorder_->setCapacity(cfg_.traceCapacity);
         for (auto &s : spes_)
             s->mfc().setRecorder(recorder_.get());
         for (unsigned c = 0; c < eibs_.size(); ++c)
@@ -246,7 +248,7 @@ CellSystem::routeMemory(spe::LineRequest &&req)
         eq_->schedule(cmd, [this, req = std::move(req), far_eib, dram,
                             link, crossing, spe_chip,
                             deliver = std::move(deliver)]() mutable {
-            dram->access(req.bytes, false,
+            dram->access(req.ea, req.bytes, false,
                         [this, req = std::move(req), far_eib, link,
                          crossing, spe_chip,
                          deliver = std::move(deliver)]() mutable {
@@ -298,7 +300,7 @@ CellSystem::routeMemory(spe::LineRequest &&req)
                 memory_->store().write(req.ea, buf, req.bytes);
                 auto write_bank = [dram](spe::LineRequest &&r) {
                     std::uint32_t bytes = r.bytes;
-                    dram->access(bytes, true, std::move(r.done));
+                    dram->access(r.ea, bytes, true, std::move(r.done));
                 };
                 if (!crossing) {
                     write_bank(std::move(req));
@@ -494,6 +496,25 @@ CellSystem::verifyCompletion(const spe::Mfc::Completion &done)
         lsa += seg.size;
     }
     ++verifyStats_.transfersChecked;
+}
+
+void
+CellSystem::snapshotMetrics(stats::MetricsRegistry &reg) const
+{
+    reg.counter("sim.runs").increment();
+    reg.counter("sim.ticks").add(eq_->now());
+    for (unsigned c = 0; c < eibs_.size(); ++c)
+        eibs_[c]->registerMetrics(reg, util::format("eib%u", c));
+    memory_->registerMetrics(reg, "mem");
+    ppu_->registerMetrics(reg, "ppe");
+    for (unsigned s = 0; s < spes_.size(); ++s) {
+        spes_[s]->mfc().registerMetrics(
+            reg, util::format("spe%u.mfc", s));
+    }
+    if (recorder_) {
+        reg.counter("trace.dma_dropped").add(recorder_->dmaDropped());
+        reg.counter("trace.eib_dropped").add(recorder_->eibDropped());
+    }
 }
 
 } // namespace cellbw::cell

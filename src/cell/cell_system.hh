@@ -31,6 +31,11 @@
 #include "sim/task.hh"
 #include "trace/recorder.hh"
 
+namespace cellbw::stats
+{
+class MetricsRegistry;
+} // namespace cellbw::stats
+
 namespace cellbw::cell
 {
 
@@ -94,6 +99,16 @@ class CellSystem
 
     /** The recorder, or nullptr when tracing is off. */
     trace::Recorder *recorder() { return recorder_.get(); }
+
+    /**
+     * Accumulate every component's utilization counters into @p reg
+     * (EIB rings, DRAM banks, MFC queues, PPE caches, plus `sim.runs`
+     * and `sim.ticks`).  Counters *add* into @p reg, so snapshotting
+     * several runs into one registry yields across-run totals; all
+     * accumulation is commutative, keeping parallel seed sweeps
+     * deterministic.  Call after run().
+     */
+    void snapshotMetrics(stats::MetricsRegistry &reg) const;
 
     /** @name Checked mode (config.verify / --verify).
      *

@@ -119,6 +119,8 @@ CellConfig::registerOptions(util::Options &opts)
                  "base seed of the fault-injection generators");
     opts.addBool("verify", false,
                  "cross-check every DMA against the backing store");
+    opts.addUint("trace-capacity", 0,
+                 "max retained trace records per kind (0 = unbounded)");
 }
 
 CellConfig
@@ -184,6 +186,7 @@ CellConfig::fromOptions(const util::Options &opts)
         sim::fatal("--fault-*-rate values must be >= 0 and sum to <= 1");
     }
     cfg.verify = opts.getBool("verify");
+    cfg.traceCapacity = opts.getUint("trace-capacity");
     return cfg;
 }
 

@@ -66,6 +66,13 @@ struct CellConfig
      */
     bool verify = false;
 
+    /**
+     * Bound on the trace recorder's retained records per record kind
+     * (--trace-capacity); oldest records are evicted beyond it.
+     * 0 keeps everything.
+     */
+    std::uint64_t traceCapacity = 0;
+
     /** Construct the defaults, derived quantities filled in. */
     CellConfig();
 

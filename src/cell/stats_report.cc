@@ -1,5 +1,7 @@
 #include "cell/stats_report.hh"
 
+#include <algorithm>
+
 #include "stats/table.hh"
 #include "util/strings.hh"
 
@@ -38,6 +40,24 @@ statsReport(CellSystem &sys)
             delays += s.mfc().delaysInjected();
         }
         out += t.render();
+        // Queue occupancy, from the per-command depth histogram.
+        std::uint64_t cmds = 0, depth_sum = 0;
+        std::size_t peak = 0;
+        for (unsigned i = 0; i < sys.numSpes(); ++i) {
+            const auto &h = sys.spe(i).mfc().queueDepthHist();
+            for (std::size_t d = 0; d < h.size(); ++d) {
+                if (!h[d])
+                    continue;
+                cmds += h[d];
+                depth_sum += d * h[d];
+                peak = std::max(peak, d);
+            }
+        }
+        if (cmds > 0) {
+            out += util::format(
+                "mfc queues: mean depth %.1f, peak %zu\n",
+                static_cast<double>(depth_sum) / cmds, peak);
+        }
         if (drops + corruptions + delays > 0) {
             out += util::format(
                 "fault injection: %llu drops, %llu corruptions, "
@@ -89,22 +109,29 @@ statsReport(CellSystem &sys)
     // Memory system.
     {
         auto &m = sys.memory();
-        stats::Table t({"component", "bytes", "GB/s", "refresh stalls"});
+        stats::Table t({"component", "bytes", "GB/s", "row hit%",
+                        "conflicts", "refresh stalls"});
         for (unsigned b = 0; b < 2; ++b) {
+            auto &bank = m.bank(b);
             double gbps = secs > 0.0
-                              ? m.bank(b).bytesServiced() / secs / 1e9
+                              ? bank.bytesServiced() / secs / 1e9
                               : 0.0;
+            std::uint64_t rows = bank.rowHits() + bank.rowConflicts();
             t.addRow({util::format("bank%u", b),
-                      util::bytesToString(m.bank(b).bytesServiced()),
+                      util::bytesToString(bank.bytesServiced()),
                       stats::Table::num(gbps),
-                      std::to_string(m.bank(b).refreshStalls())});
+                      rows ? stats::Table::num(100.0 * bank.rowHits()
+                                               / rows, 1)
+                           : "-",
+                      std::to_string(bank.queueConflicts()),
+                      std::to_string(bank.refreshStalls())});
         }
         std::uint64_t io =
             m.ioLink().bytesSent(mem::IoLink::Dir::Outbound) +
             m.ioLink().bytesSent(mem::IoLink::Dir::Inbound);
         t.addRow({"ioif (both dirs)", util::bytesToString(io),
                   stats::Table::num(secs > 0.0 ? io / secs / 1e9 : 0.0),
-                  "-"});
+                  "-", "-", "-"});
         out += "\n";
         out += t.render();
     }

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Machine-readable bench reports (the --json flag).
+ *
+ * Every bench that opts in emits one JSON document per invocation with
+ * a stable shape, so downstream tooling (plot scripts, CI validators,
+ * regression trackers) can consume any bench uniformly:
+ *
+ * @code
+ *   {
+ *     "schema": "cellbw-bench-v1",
+ *     "bench": "fig08_spe_mem",
+ *     "figure": "Fig. 8",
+ *     "description": "SPE<->memory DMA bandwidth",
+ *     "config": { "cpu-ghz": 2.1, "spes": 8, ... },
+ *     "points": [ { "table": "results", "spes": 1, "GB/s": 9.8 }, ... ],
+ *     "metrics": { "eib0.ring0.grants": 1234, ... }
+ *   }
+ * @endcode
+ *
+ * `config` carries every registered command-line option with its final
+ * (post-parse) value, typed: uints/doubles/bytes as numbers, bools as
+ * booleans, strings as strings.  `points` flattens each emitted result
+ * table row into one object keyed by column header; cells that parse
+ * fully as numbers become JSON numbers.  `metrics` is the accumulated
+ * stats::MetricsRegistry snapshot across all runs of all points.
+ */
+
+#ifndef CELLBW_CORE_JSON_REPORT_HH
+#define CELLBW_CORE_JSON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/metrics.hh"
+#include "stats/table.hh"
+#include "util/options.hh"
+
+namespace cellbw::core
+{
+
+class JsonReport
+{
+  public:
+    /** Identify the producing bench (shown in the document header). */
+    void setBench(std::string bench, std::string figure,
+                  std::string description);
+
+    /** Capture the final config: every option with its parsed value. */
+    void setConfig(const util::Options &opts);
+
+    /**
+     * Append @p table's rows to `points`, each tagged with
+     * @p tableName (benches emitting several tables stay
+     * distinguishable downstream).
+     */
+    void addTable(const std::string &tableName, const stats::Table &table);
+
+    /** The registry the seed sweep accumulates into. */
+    stats::MetricsRegistry &metrics() { return metrics_; }
+    const stats::MetricsRegistry &metrics() const { return metrics_; }
+
+    /** Render the complete document. */
+    std::string render() const;
+
+    /** Write render() to @p path; false (errno set) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Point
+    {
+        std::string table;
+        std::vector<std::string> headers;
+        std::vector<std::string> cells;
+    };
+
+    std::string bench_;
+    std::string figure_;
+    std::string description_;
+    std::vector<util::Options::OptionInfo> config_;
+    std::vector<Point> points_;
+    stats::MetricsRegistry metrics_;
+};
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_JSON_REPORT_HH

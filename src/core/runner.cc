@@ -12,11 +12,14 @@ namespace
 {
 
 double
-runOne(const cell::CellConfig &cfg, std::uint64_t seed,
-       const ExperimentBody &body)
+runOne(const cell::CellConfig &cfg, const RepeatSpec &spec,
+       std::uint64_t seed, const ExperimentBody &body)
 {
     cell::CellSystem sys(cfg, seed);
-    return body(sys);
+    double sample = body(sys);
+    if (spec.metrics)
+        sys.snapshotMetrics(*spec.metrics);
+    return sample;
 }
 
 } // namespace
@@ -39,7 +42,7 @@ repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
 
     if (jobs <= 1) {
         for (unsigned r = 0; r < spec.runs; ++r)
-            dist.add(runOne(cfg, spec.seed + r, body));
+            dist.add(runOne(cfg, spec, spec.seed + r, body));
         return dist;
     }
 
@@ -56,7 +59,7 @@ repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
             if (r >= spec.runs || failed.load(std::memory_order_relaxed))
                 return;
             try {
-                results[r] = runOne(cfg, spec.seed + r, body);
+                results[r] = runOne(cfg, spec, spec.seed + r, body);
             } catch (...) {
                 if (!failed.exchange(true))
                     firstError = std::current_exception();

@@ -24,6 +24,11 @@
 #include "cell/cell_system.hh"
 #include "stats/distribution.hh"
 
+namespace cellbw::stats
+{
+class MetricsRegistry;
+} // namespace cellbw::stats
+
 namespace cellbw::core
 {
 
@@ -34,6 +39,14 @@ struct RepeatSpec
 
     /** Base seed; run i uses seed + i. */
     std::uint64_t seed = 42;
+
+    /**
+     * When set, every run's CellSystem::snapshotMetrics() accumulates
+     * into this registry after its body returns.  The registry's
+     * counters are atomic and accumulation is commutative, so the
+     * totals are identical for any --jobs value.
+     */
+    stats::MetricsRegistry *metrics = nullptr;
 };
 
 /** How to spread the repeated runs across host threads. */

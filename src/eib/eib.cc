@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 #include "util/align.hh"
+#include "util/strings.hh"
 
 namespace cellbw::eib
 {
@@ -117,6 +119,18 @@ Eib::transfer(RampPos src, RampPos dst, std::uint32_t bytes,
                         best->index(), src, dst, bytes});
     }
     eventQueue().scheduleAt(arrival, std::move(onDone));
+}
+
+void
+Eib::registerMetrics(stats::MetricsRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.counter(prefix + ".packets").add(packets_);
+    reg.counter(prefix + ".bytes_moved").add(bytesMoved_);
+    reg.counter(prefix + ".contention_ticks").add(contentionTicks_);
+    for (unsigned i = 0; i < rings_.size(); ++i)
+        rings_[i]->registerMetrics(reg,
+                                   prefix + util::format(".ring%u", i));
 }
 
 } // namespace cellbw::eib

@@ -90,6 +90,14 @@ class Eib : public sim::SimObject
     double rampPeakGBps() const;
     /** @} */
 
+    /**
+     * Accumulate this bus's utilization counters (packets, bytes,
+     * contention) and each ring's grants/occupancy into @p reg under
+     * `<prefix>.*` / `<prefix>.ring<i>.*`.
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     sim::ClockSpec clock_;
     EibParams params_;

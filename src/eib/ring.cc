@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 
 namespace cellbw::eib
 {
@@ -46,6 +47,14 @@ Ring::reserve(RampPos src, RampPos dst, Tick start, Tick dur, Tick hopLat)
     });
     ++grants_;
     busyTicks_ += dur;
+}
+
+void
+Ring::registerMetrics(stats::MetricsRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.counter(prefix + ".grants").add(grants_);
+    reg.counter(prefix + ".busy_ticks").add(busyTicks_);
 }
 
 } // namespace cellbw::eib

@@ -13,10 +13,16 @@
 #define CELLBW_EIB_RING_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "eib/topology.hh"
 #include "util/types.hh"
+
+namespace cellbw::stats
+{
+class MetricsRegistry;
+}
 
 namespace cellbw::eib
 {
@@ -54,6 +60,14 @@ class Ring
 
     std::uint64_t grants() const { return grants_; }
     Tick busyTicks() const { return busyTicks_; }
+
+    /**
+     * Accumulate this ring's utilization counters into @p reg under
+     * `<prefix>.grants` / `<prefix>.busy_ticks` (grant count and the
+     * summed segment-occupancy duration behind it).
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     /**

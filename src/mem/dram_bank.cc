@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 
 namespace cellbw::mem
 {
@@ -62,7 +63,8 @@ DramBank::reserve(Tick earliest, Tick service)
 }
 
 void
-DramBank::access(std::uint32_t bytes, [[maybe_unused]] bool isWrite,
+DramBank::access(EffAddr ea, std::uint32_t bytes,
+                 [[maybe_unused]] bool isWrite,
                  std::function<void()> onDone)
 {
     // Reads and writes currently share the same completion latency
@@ -72,6 +74,17 @@ DramBank::access(std::uint32_t bytes, [[maybe_unused]] bool isWrite,
         static_cast<Tick>(std::ceil(bytes / params_.bytesPerTick));
     if (service == 0)
         service = 1;
+    ++accesses_;
+    if (freeAt_ > curTick())
+        ++queueConflicts_;
+    std::uint64_t row =
+        params_.rowBytes ? ea / params_.rowBytes : 0;
+    if (rowOpen_ && row == openRow_)
+        ++rowHits_;
+    else
+        ++rowConflicts_;
+    openRow_ = row;
+    rowOpen_ = true;
     Tick service_end = reserve(curTick(), service);
     bytesServiced_ += bytes;
     // Reads return data after the array access; writes are acknowledged
@@ -80,6 +93,18 @@ DramBank::access(std::uint32_t bytes, [[maybe_unused]] bool isWrite,
     // measures PUT ~= GET for a single SPE).
     Tick completion = service_end + params_.accessLatency;
     eventQueue().scheduleAt(completion, std::move(onDone));
+}
+
+void
+DramBank::registerMetrics(stats::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.counter(prefix + ".bytes").add(bytesServiced_);
+    reg.counter(prefix + ".accesses").add(accesses_);
+    reg.counter(prefix + ".row_hits").add(rowHits_);
+    reg.counter(prefix + ".row_conflicts").add(rowConflicts_);
+    reg.counter(prefix + ".queue_conflicts").add(queueConflicts_);
+    reg.counter(prefix + ".refresh_stalls").add(refreshStalls_);
 }
 
 } // namespace cellbw::mem

@@ -17,9 +17,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "sim/clock.hh"
 #include "sim/sim_object.hh"
+#include "util/types.hh"
+
+namespace cellbw::stats
+{
+class MetricsRegistry;
+}
 
 namespace cellbw::mem
 {
@@ -37,6 +44,14 @@ struct DramBankParams
 
     /** Bank unavailable this long at each refresh point. */
     Tick refreshDuration = 512;
+
+    /**
+     * Row (page) granularity for the row-hit/row-conflict utilization
+     * counters.  Purely observational: a hit/conflict changes no
+     * timing, it explains where the sustained-below-peak gap comes
+     * from.  XDR devices activate 2 KiB rows.
+     */
+    std::uint64_t rowBytes = 2048;
 };
 
 /**
@@ -51,11 +66,21 @@ class DramBank : public sim::SimObject
              const DramBankParams &params);
 
     /**
-     * Enqueue an access of @p bytes.  @p onDone fires at the completion
-     * tick (data available for reads / accepted for writes).
+     * Enqueue an access of @p bytes at effective address @p ea.
+     * @p onDone fires at the completion tick (data available for reads
+     * / accepted for writes).  @p ea only feeds the row-hit/conflict
+     * counters; timing depends on bytes alone.
      */
-    void access(std::uint32_t bytes, bool isWrite,
+    void access(EffAddr ea, std::uint32_t bytes, bool isWrite,
                 std::function<void()> onDone);
+
+    /** Address-less convenience overload (counts as row address 0). */
+    void
+    access(std::uint32_t bytes, bool isWrite,
+           std::function<void()> onDone)
+    {
+        access(0, bytes, isWrite, std::move(onDone));
+    }
 
     /** Earliest tick at which a new request could start service. */
     Tick busyUntil() const { return freeAt_; }
@@ -65,6 +90,27 @@ class DramBank : public sim::SimObject
 
     /** Number of refresh windows that delayed service so far. */
     std::uint64_t refreshStalls() const { return refreshStalls_; }
+
+    /** @name Utilization counters (observational; no timing effect).
+     *        An access to the row the bank last touched is a row hit;
+     *        switching rows is a row conflict (activate/precharge work
+     *        the sustained-rate model folds into its below-peak rate).
+     *        A queue conflict is an access that arrived while the data
+     *        pins were still busy with an earlier request. */
+    /** @{ */
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowConflicts() const { return rowConflicts_; }
+    std::uint64_t queueConflicts() const { return queueConflicts_; }
+    /** @} */
+
+    /**
+     * Accumulate this bank's counters into @p reg under `<prefix>.*`
+     * (bytes, accesses, row_hits, row_conflicts, queue_conflicts,
+     * refresh_stalls).
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     /** Advance @p t past any refresh window it falls into. */
@@ -78,6 +124,12 @@ class DramBank : public sim::SimObject
     Tick freeAt_ = 0;
     std::uint64_t bytesServiced_ = 0;
     std::uint64_t refreshStalls_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowConflicts_ = 0;
+    std::uint64_t queueConflicts_ = 0;
+    std::uint64_t openRow_ = 0;
+    bool rowOpen_ = false;
 };
 
 } // namespace cellbw::mem

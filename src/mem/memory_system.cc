@@ -1,6 +1,8 @@
 #include "mem/memory_system.hh"
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
+#include "util/strings.hh"
 
 namespace cellbw::mem
 {
@@ -39,7 +41,7 @@ MemorySystem::readLine(EffAddr ea, std::uint32_t bytes,
 {
     unsigned b = bankOf(ea);
     if (b == 0) {
-        banks_[0]->access(bytes, false, std::move(onDone));
+        banks_[0]->access(ea, bytes, false, std::move(onDone));
         return;
     }
     // Remote: the read command crosses outbound (latency only; commands
@@ -47,8 +49,8 @@ MemorySystem::readLine(EffAddr ea, std::uint32_t bytes,
     // the link's serialized rate.
     eventQueue().schedule(
         ioLink_->crossingLatency(),
-        [this, bytes, onDone = std::move(onDone)]() mutable {
-            banks_[1]->access(bytes, false,
+        [this, ea, bytes, onDone = std::move(onDone)]() mutable {
+            banks_[1]->access(ea, bytes, false,
                               [this, bytes,
                                onDone = std::move(onDone)]() mutable {
                 ioLink_->send(IoLink::Dir::Inbound, bytes,
@@ -63,13 +65,27 @@ MemorySystem::writeLine(EffAddr ea, std::uint32_t bytes,
 {
     unsigned b = bankOf(ea);
     if (b == 0) {
-        banks_[0]->access(bytes, true, std::move(onDone));
+        banks_[0]->access(ea, bytes, true, std::move(onDone));
         return;
     }
     ioLink_->send(IoLink::Dir::Outbound, bytes,
-                  [this, bytes, onDone = std::move(onDone)]() mutable {
-        banks_[1]->access(bytes, true, std::move(onDone));
+                  [this, ea, bytes, onDone = std::move(onDone)]() mutable {
+        banks_[1]->access(ea, bytes, true, std::move(onDone));
     });
+}
+
+void
+MemorySystem::registerMetrics(stats::MetricsRegistry &reg,
+                              const std::string &prefix) const
+{
+    for (unsigned b = 0; b < 2; ++b) {
+        banks_[b]->registerMetrics(reg,
+                                   prefix + util::format(".bank%u", b));
+    }
+    reg.counter(prefix + ".ioif.bytes_outbound")
+        .add(ioLink_->bytesSent(IoLink::Dir::Outbound));
+    reg.counter(prefix + ".ioif.bytes_inbound")
+        .add(ioLink_->bytesSent(IoLink::Dir::Inbound));
 }
 
 } // namespace cellbw::mem

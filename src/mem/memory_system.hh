@@ -65,6 +65,14 @@ class MemorySystem : public sim::SimObject
     DramBank &bank(unsigned i);
     IoLink &ioLink() { return *ioLink_; }
 
+    /**
+     * Accumulate the memory system's utilization counters into @p reg:
+     * both banks under `<prefix>.bank<i>.*` and the IOIF link's bytes
+     * under `<prefix>.ioif.bytes_outbound` / `.bytes_inbound`.
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     PageAllocator allocator_;
     BackingStore store_;

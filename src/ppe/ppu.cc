@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 #include "util/align.hh"
 
 namespace cellbw::ppe
@@ -162,6 +163,20 @@ Ppu::streamAccess(unsigned tid, EffAddr src, EffAddr dst,
         drain_to = std::max(drain_to, wbFreeAt_);
     if (drain_to > curTick())
         co_await sim::WaitUntil{eventQueue(), drain_to};
+}
+
+void
+Ppu::registerMetrics(stats::MetricsRegistry &reg,
+                     const std::string &prefix) const
+{
+    const CacheArray *levels[] = {l1_.get(), l2_.get()};
+    const char *names[] = {".l1", ".l2"};
+    for (unsigned i = 0; i < 2; ++i) {
+        std::string base = prefix + names[i];
+        reg.counter(base + ".hits").add(levels[i]->hits());
+        reg.counter(base + ".misses").add(levels[i]->misses());
+        reg.counter(base + ".evictions").add(levels[i]->evictions());
+    }
 }
 
 } // namespace cellbw::ppe

@@ -38,6 +38,11 @@
 #include "sim/sim_object.hh"
 #include "sim/task.hh"
 
+namespace cellbw::stats
+{
+class MetricsRegistry;
+} // namespace cellbw::stats
+
 namespace cellbw::ppe
 {
 
@@ -105,6 +110,13 @@ class Ppu : public sim::SimObject
 
     CacheArray &l1() { return *l1_; }
     CacheArray &l2() { return *l2_; }
+
+    /**
+     * Accumulate the PPE cache counters into @p reg under
+     * `<prefix>.l1.*` / `<prefix>.l2.*` (hits, misses, evictions).
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     struct ThreadState

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 #include "util/align.hh"
+#include "util/strings.hh"
 
 namespace cellbw::runtime
 {
@@ -232,6 +234,25 @@ OffloadRuntime::throughputGBps() const
     if (span == 0)
         return 0.0;
     return sys_.clock().bandwidthGBps(bytes, span);
+}
+
+void
+OffloadRuntime::registerMetrics(stats::MetricsRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.counter(prefix + ".tasks_completed").add(stats_.tasksCompleted);
+    reg.counter(prefix + ".makespan_ticks").add(stats_.makespan());
+    for (std::size_t w = 0; w < stats_.worker.size(); ++w) {
+        const WorkerStats &ws = stats_.worker[w];
+        std::string base = prefix + util::format(".worker%zu", w);
+        reg.counter(base + ".tasks").add(ws.tasks);
+        reg.counter(base + ".chunks").add(ws.chunks);
+        reg.counter(base + ".bytes_in").add(ws.bytesIn);
+        reg.counter(base + ".bytes_out").add(ws.bytesOut);
+        reg.counter(base + ".busy_ticks").add(ws.busyTicks);
+        reg.counter(base + ".faults").add(ws.faults);
+        reg.counter(base + ".retries").add(ws.retries);
+    }
 }
 
 } // namespace cellbw::runtime

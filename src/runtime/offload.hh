@@ -31,6 +31,11 @@
 #include "cell/cell_system.hh"
 #include "sim/task.hh"
 
+namespace cellbw::stats
+{
+class MetricsRegistry;
+} // namespace cellbw::stats
+
 namespace cellbw::runtime
 {
 
@@ -112,6 +117,15 @@ class OffloadRuntime
 
     /** Payload GB/s over the makespan (input bytes processed). */
     double throughputGBps() const;
+
+    /**
+     * Accumulate the runtime's counters into @p reg:
+     * `<prefix>.tasks_completed`, `.makespan_ticks`, and per-worker
+     * `<prefix>.worker<w>.{tasks,chunks,bytes_in,bytes_out,busy_ticks,
+     * faults,retries}`.
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
   private:
     static constexpr std::uint32_t stopToken = 0xFFFFFFFFu;

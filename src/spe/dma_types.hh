@@ -49,7 +49,27 @@ enum class MfcError : std::uint8_t
     Corrupted,      ///< injected: data moved but damaged in flight
 };
 
-const char *toString(MfcError e);
+constexpr const char *
+toString(MfcError e)
+{
+    switch (e) {
+      case MfcError::None:
+        return "none";
+      case MfcError::InvalidSize:
+        return "invalid-size";
+      case MfcError::Misaligned:
+        return "misaligned";
+      case MfcError::LsOverrun:
+        return "ls-overrun";
+      case MfcError::BadList:
+        return "bad-list";
+      case MfcError::Dropped:
+        return "dropped";
+      case MfcError::Corrupted:
+        return "corrupted";
+    }
+    return "?";
+}
 
 /** True for faults where re-issuing the same command can succeed. */
 constexpr bool

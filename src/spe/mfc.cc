@@ -3,32 +3,11 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/metrics.hh"
 #include "util/align.hh"
 
 namespace cellbw::spe
 {
-
-const char *
-toString(MfcError e)
-{
-    switch (e) {
-      case MfcError::None:
-        return "none";
-      case MfcError::InvalidSize:
-        return "invalid-size";
-      case MfcError::Misaligned:
-        return "misaligned";
-      case MfcError::LsOverrun:
-        return "ls-overrun";
-      case MfcError::BadList:
-        return "bad-list";
-      case MfcError::Dropped:
-        return "dropped";
-      case MfcError::Corrupted:
-        return "corrupted";
-    }
-    return "?";
-}
 
 Mfc::Mfc(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
          const MfcParams &params, unsigned speIndex)
@@ -151,6 +130,13 @@ Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
         ++proxyCount_;
     else
         ++spuCount_;
+    // Queue-depth histogram: occupancy as seen by each accepted
+    // command (both queues share the issue engine, so the combined
+    // depth is what governs issue waiting).
+    std::size_t depth = spuCount_ + proxyCount_;
+    if (depth >= depthHist_.size())
+        depthHist_.resize(depth + 1, 0);
+    ++depthHist_[depth];
     ++tagPending_[tag];
     scheduleIssue();
     return true;
@@ -464,6 +450,25 @@ Mfc::wakeWaiters()
             ++it;
         }
     }
+}
+
+void
+Mfc::registerMetrics(stats::MetricsRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.counter(prefix + ".commands").add(commandsCompleted_);
+    reg.counter(prefix + ".bytes").add(bytesTransferred_);
+    reg.counter(prefix + ".lines").add(linesSent_);
+    reg.counter(prefix + ".faults").add(commandsFaulted_);
+    reg.counter(prefix + ".drops_injected").add(dropsInjected_);
+    reg.counter(prefix + ".corruptions_injected")
+        .add(corruptionsInjected_);
+    reg.counter(prefix + ".delays_injected").add(delaysInjected_);
+    auto &hist = reg.histogram(prefix + ".queue_depth",
+                               params_.queueDepth +
+                                   params_.proxyQueueDepth);
+    for (std::size_t d = 0; d < depthHist_.size(); ++d)
+        hist.addBucket(d, depthHist_[d]);
 }
 
 } // namespace cellbw::spe

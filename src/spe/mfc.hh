@@ -41,6 +41,11 @@
 #include "spe/dma_types.hh"
 #include "trace/recorder.hh"
 
+namespace cellbw::stats
+{
+class MetricsRegistry;
+}
+
 namespace cellbw::spe
 {
 
@@ -379,7 +384,27 @@ class Mfc : public sim::SimObject
         return corruptionsInjected_;
     }
     std::uint64_t delaysInjected() const { return delaysInjected_; }
+
+    /**
+     * Command-queue occupancy histogram: index d counts the commands
+     * that were accepted when the combined SPU+proxy queue depth
+     * (including themselves) was d.  A distribution pinned at the
+     * queue depth means the program saturates the MFC; one pinned at 1
+     * means it never overlaps commands.
+     */
+    const std::vector<std::uint64_t> &queueDepthHist() const
+    {
+        return depthHist_;
+    }
     /** @} */
+
+    /**
+     * Accumulate this MFC's counters into @p reg under `<prefix>.*`:
+     * commands, bytes, lines, fault/injection counters, and the
+     * queue-depth histogram as `<prefix>.queue_depth`.
+     */
+    void registerMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
     unsigned speIndex() const { return speIndex_; }
 
@@ -461,6 +486,7 @@ class Mfc : public sim::SimObject
     std::uint64_t bytesTransferred_ = 0;
     std::uint64_t commandsCompleted_ = 0;
     std::uint64_t linesSent_ = 0;
+    std::vector<std::uint64_t> depthHist_;
 
     sim::Rng faultRng_;
     bool faultsEnabled_ = false;

@@ -37,11 +37,21 @@ BarChart::render() const
         std::string pad = label;
         pad.resize(lw, ' ');
         int n = static_cast<int>(std::lround(v / maxv * width_));
+        // Out-of-scale values are clamped, but visibly: a negative
+        // value is marked '<' (an empty bar would be indistinguishable
+        // from zero) and a value past scaleMax_ is marked '>' instead
+        // of silently saturating at full width.
+        bool under = v < 0.0;
+        bool over = n > width_;
         n = std::clamp(n, 0, width_);
-        out += util::format("  %s |%s%s %7.2f\n", pad.c_str(),
-                            std::string(static_cast<size_t>(n), '#').c_str(),
-                            std::string(static_cast<size_t>(width_ - n),
-                                        ' ').c_str(),
+        std::string bar = std::string(static_cast<size_t>(n), '#') +
+                          std::string(static_cast<size_t>(width_ - n),
+                                      ' ');
+        if (under && width_ > 0)
+            bar.front() = '<';
+        if (over && width_ > 0)
+            bar.back() = '>';
+        out += util::format("  %s |%s %7.2f\n", pad.c_str(), bar.c_str(),
                             v);
     }
     return out;

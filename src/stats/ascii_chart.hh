@@ -16,7 +16,9 @@ namespace cellbw::stats
 /**
  * Horizontal bar chart: one labeled bar per (label, value) pair, scaled
  * to @p width characters at the max value (or at @p scaleMax if > 0,
- * useful for drawing "peak" reference lines).
+ * useful for drawing "peak" reference lines).  Values outside the scale
+ * are clamped with an explicit marker: '<' at the left edge for
+ * negative values, '>' at the right edge for values above scaleMax.
  */
 class BarChart
 {

@@ -30,6 +30,15 @@ class Table
     std::size_t rowCount() const { return rows_.size(); }
     std::size_t columnCount() const { return headers_.size(); }
 
+    /** @name Cell access for structured exporters (e.g. JSON). */
+    /** @{ */
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+    /** @} */
+
     /** Fixed-width rendering with a header separator line. */
     std::string render() const;
 

@@ -217,6 +217,39 @@ Options::isSet(const std::string &name) const
     return it != opts_.end() && it->second.set;
 }
 
+std::vector<Options::OptionInfo>
+Options::list() const
+{
+    std::vector<OptionInfo> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_) {
+        const Opt &o = opts_.at(name);
+        OptionInfo info;
+        info.name = name;
+        switch (o.kind) {
+          case Kind::Uint:
+            info.type = OptionInfo::Type::Uint;
+            break;
+          case Kind::Double:
+            info.type = OptionInfo::Type::Double;
+            break;
+          case Kind::Bool:
+            info.type = OptionInfo::Type::Bool;
+            break;
+          case Kind::String:
+            info.type = OptionInfo::Type::String;
+            break;
+          case Kind::Bytes:
+            info.type = OptionInfo::Type::Bytes;
+            break;
+        }
+        info.text = o.value;
+        info.set = o.set;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
 std::string
 Options::helpText() const
 {

@@ -68,6 +68,19 @@ class Options
     /** True iff the user explicitly supplied the option. */
     bool isSet(const std::string &name) const;
 
+    /** One registered option, as seen by structured exporters. */
+    struct OptionInfo
+    {
+        enum class Type { Uint, Double, Bool, String, Bytes };
+        std::string name;
+        Type type;
+        std::string text;   ///< canonical textual value
+        bool set;           ///< explicitly supplied on the command line
+    };
+
+    /** All registered options, in registration order. */
+    std::vector<OptionInfo> list() const;
+
     /** Render the --help text. */
     std::string helpText() const;
 

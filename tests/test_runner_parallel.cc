@@ -8,6 +8,7 @@
 
 #include "core/experiments.hh"
 #include "core/runner.hh"
+#include "stats/metrics.hh"
 
 using namespace cellbw;
 
@@ -48,6 +49,42 @@ TEST(ParallelRunner, ParallelMatchesSerialBitIdentically)
         // samples() preserves run order, so this also checks that the
         // merge happens in seed order, not completion order.
         EXPECT_EQ(serial.samples(), par.samples()) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelRunner, MetricsAccumulateIdenticallyForAnyJobCount)
+{
+    // The --json path: every run snapshots its counters into one
+    // shared registry from whichever worker thread ran it.  The adds
+    // are atomic and commutative, so the totals must not depend on
+    // the job count (and TSan must see no races).
+    cell::CellConfig cfg;
+    core::RepeatSpec spec{6, 42};
+
+    auto sweep = [&](unsigned jobs, stats::MetricsRegistry &reg) {
+        core::RepeatSpec s = spec;
+        s.metrics = &reg;
+        return core::repeatRuns(cfg, s, speSpeBody,
+                                core::ParallelSpec{jobs});
+    };
+
+    stats::MetricsRegistry serial, parallel;
+    auto d1 = sweep(1, serial);
+    auto d4 = sweep(4, parallel);
+    EXPECT_EQ(d1.samples(), d4.samples());
+
+    ASSERT_NE(serial.findCounter("sim.runs"), nullptr);
+    EXPECT_EQ(serial.findCounter("sim.runs")->value(), 6u);
+    auto names = serial.names();
+    EXPECT_EQ(names, parallel.names());
+    // EIB and MFC activity was booked, and totals match exactly.
+    EXPECT_GT(serial.findCounter("eib0.packets")->value(), 0u);
+    EXPECT_GT(serial.findCounter("spe0.mfc.bytes")->value(), 0u);
+    for (const auto &n : names) {
+        if (const auto *c = serial.findCounter(n)) {
+            EXPECT_EQ(c->value(), parallel.findCounter(n)->value())
+                << n;
+        }
     }
 }
 

@@ -214,6 +214,32 @@ TEST(BarChart, EmptyChartSaysNoData)
     EXPECT_NE(c.render().find("no data"), std::string::npos);
 }
 
+TEST(BarChart, NegativeValueGetsLeftEdgeMarker)
+{
+    // Regression: a negative value used to render as an empty bar,
+    // indistinguishable from zero.
+    stats::BarChart c("t", 10);
+    c.add("bad", -3.0);
+    c.add("ref", 10.0);
+    std::string out = c.render();
+    EXPECT_NE(out.find("|<"), std::string::npos);
+    // The marker replaces the bar, it does not widen the row.
+    EXPECT_EQ(out.find("<#"), std::string::npos);
+}
+
+TEST(BarChart, OverflowGetsRightEdgeMarker)
+{
+    // Regression: a value past the fixed scale used to saturate into a
+    // full-width bar, silently indistinguishable from exactly-at-peak.
+    stats::BarChart c("t", 10);
+    c.setScaleMax(10.0);
+    c.add("peak", 10.0);
+    c.add("over", 25.0);
+    std::string out = c.render();
+    EXPECT_NE(out.find("##########"), std::string::npos);  // exact peak
+    EXPECT_NE(out.find("#########>"), std::string::npos);  // clamped
+}
+
 TEST(SeriesChart, RendersLegendAndAxis)
 {
     stats::SeriesChart c("chart", {"x1", "x2", "x3"}, 4);
