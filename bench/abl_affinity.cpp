@@ -15,14 +15,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("abl_affinity",
-                        "SPE placement-policy ablation (the paper's "
-                        "proposed libspe affinity)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Ablation C", "couples & cycle under placement policies");
 
     stats::Table table({"affinity", "topology", "GB/s(mean)",
@@ -55,7 +53,14 @@ main(int argc, char **argv)
         }
     }
     b.emit(table);
-    std::printf("note: deterministic policies have zero min-max spread "
-                "— the whole Figure 13/16 variance is placement.\n");
+    b.printf("note: deterministic policies have zero min-max spread "
+             "— the whole Figure 13/16 variance is placement.\n");
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(abl_affinity, "Abl. C",
+                           "SPE placement-policy ablation (the paper's "
+                           "proposed libspe affinity)",
+                           run)

@@ -15,14 +15,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("abl_cmd_overhead",
-                        "MFC per-command overhead ablation (DMA-elem "
-                        "knee)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Ablation B", "SPE pair DMA-elem vs issue overhead");
 
     const auto elems = core::elemSweepSizes();
@@ -56,6 +54,13 @@ main(int argc, char **argv)
                         series);
     }
     b.emit(table);
-    std::fputs(chart.render().c_str(), stdout);
+    b.print(chart.render());
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(abl_cmd_overhead, "Abl. B",
+                           "MFC per-command overhead ablation (DMA-elem "
+                           "knee)",
+                           run)

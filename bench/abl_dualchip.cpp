@@ -16,13 +16,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("abl_dualchip",
-                        "cross-chip SPE placement on a dual-Cell blade");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Ablation E", "couples across one vs two chips");
 
     stats::Table table({"config", "spes", "GB/s(mean)", "GB/s(min)",
@@ -65,8 +64,15 @@ main(int argc, char **argv)
                       stats::Table::num(d.max())});
     }
     b.emit(table);
-    std::printf("reference: chip-local pair peak %.1f GB/s per couple; "
-                "a cross-chip couple is capped by the IOIF at ~7 GB/s "
-                "per direction\n", b.cfg.pairPeakGBps());
+    b.printf("reference: chip-local pair peak %.1f GB/s per couple; "
+             "a cross-chip couple is capped by the IOIF at ~7 GB/s "
+             "per direction\n", b.cfg.pairPeakGBps());
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(abl_dualchip, "Abl. E",
+                           "cross-chip SPE placement on a dual-Cell "
+                           "blade",
+                           run)

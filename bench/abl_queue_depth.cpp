@@ -14,13 +14,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("abl_queue_depth",
-                        "MFC queue-depth ablation on delayed sync");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Ablation D", "SPE pair, 4 KiB DMA-elem, queue depth x "
                            "sync policy");
 
@@ -46,6 +45,12 @@ main(int argc, char **argv)
         }
     }
     b.emit(table);
-    std::printf("reference: pair peak %.1f GB/s\n", b.cfg.pairPeakGBps());
+    b.printf("reference: pair peak %.1f GB/s\n", b.cfg.pairPeakGBps());
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(abl_queue_depth, "Abl. D",
+                           "MFC queue-depth ablation on delayed sync",
+                           run)

@@ -12,13 +12,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("abl_rings",
-                        "EIB ring-count ablation on the 8-SPE cycle");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Ablation A", "8-SPE cycle vs number of EIB data rings");
 
     stats::Table table({"rings", "topology", "GB/s(mean)", "GB/s(min)",
@@ -51,3 +50,9 @@ main(int argc, char **argv)
     b.emit(table);
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(abl_rings, "Abl. A",
+                           "EIB ring-count ablation on the 8-SPE cycle",
+                           run)

@@ -1,146 +1,35 @@
 /**
  * @file
- * Shared scaffolding for the figure-reproduction bench binaries.
+ * Shared includes for the figure-reproduction experiment TUs.
  *
- * Every bench:
- *   - exposes the machine's structural knobs (cell::CellConfig flags)
- *     plus --runs/--seed/--csv/--quick/--bytes-per-spe;
- *   - prints a header identifying the paper figure it regenerates;
- *   - prints the same rows/series the figure reports, as a table, an
- *     ASCII chart of the shape, and optionally CSV.
+ * The per-bench lifecycle (flag parsing, header, table/CSV/JSON
+ * emission) lives in core::ExperimentContext, owned by the
+ * core::ExperimentRegistry: each TU here defines a body
+ * `int run(core::ExperimentContext &b)` and registers it with
+ * CELLBW_REGISTER_EXPERIMENT.  The `cellbw` driver and the legacy
+ * per-figure shim binaries both execute registered experiments through
+ * core::runExperimentCli(), which is what keeps their output
+ * byte-identical.
+ *
+ * Bodies print through the context (b.print / b.printf), never
+ * directly to stdout, so `cellbw suite` can run them quietly.
  */
 
 #ifndef CELLBW_BENCH_BENCH_COMMON_HH
 #define CELLBW_BENCH_BENCH_COMMON_HH
 
-#include <cstdio>
 #include <string>
 
 #include "cell/config.hh"
+#include "core/experiment_context.hh"
+#include "core/experiment_registry.hh"
 #include "core/json_report.hh"
 #include "core/report.hh"
-#include "sim/logging.hh"
 #include "core/runner.hh"
+#include "sim/logging.hh"
 #include "stats/ascii_chart.hh"
 #include "stats/table.hh"
 #include "util/options.hh"
 #include "util/strings.hh"
-
-namespace cellbw::bench
-{
-
-struct BenchSetup
-{
-    util::Options opts;
-    cell::CellConfig cfg;
-    core::RepeatSpec repeat;
-    core::ParallelSpec par;
-    std::uint64_t bytesPerSpe = 0;
-    bool csv = false;
-
-    /** --json target path; empty when no JSON report was requested. */
-    std::string jsonPath;
-    core::JsonReport json;
-
-    BenchSetup(std::string prog, std::string description)
-        : opts(std::move(prog), std::move(description))
-    {
-        cell::CellConfig::registerOptions(opts);
-        opts.addUint("runs", 10,
-                     "placement-randomized repetitions per point");
-        opts.addUint("seed", 42, "base placement seed");
-        opts.addUint("jobs", 0,
-                     "worker threads for the seed sweep (0 = one per "
-                     "hardware thread; results are identical for any "
-                     "value)");
-        opts.addBool("csv", false, "also emit CSV after the table");
-        opts.addString("json", "",
-                       "write a machine-readable JSON report (config, "
-                       "per-point results, metrics) to this file");
-        opts.addBool("quick", false, "fewer runs and bytes (CI mode)");
-        opts.addBytes("bytes-per-spe", 4 * util::MiB,
-                      "bytes each SPE/thread/stream moves (weak scaling; "
-                      "the paper uses 32 MiB)");
-    }
-
-    /** @return false when the program should exit (help/error). */
-    bool
-    parse(int argc, const char *const *argv)
-    {
-        if (!opts.parse(argc, argv))
-            return false;
-        // Cross-flag config validation (e.g. fault rates summing past
-        // 1) throws FatalError; report it like any other bad flag
-        // instead of letting it terminate the process.
-        try {
-            cfg = cell::CellConfig::fromOptions(opts);
-        } catch (const sim::FatalError &e) {
-            std::fprintf(stderr, "%s: %s\n", opts.prog().c_str(),
-                         e.what());
-            return false;
-        }
-        repeat.runs = static_cast<unsigned>(opts.getUint("runs"));
-        repeat.seed = opts.getUint("seed");
-        par.jobs = static_cast<unsigned>(opts.getUint("jobs"));
-        bytesPerSpe = opts.getBytes("bytes-per-spe");
-        csv = opts.getBool("csv");
-        jsonPath = opts.getString("json");
-        if (!jsonPath.empty())
-            repeat.metrics = &json.metrics();
-        if (opts.getBool("quick")) {
-            repeat.runs = std::min(repeat.runs, 3u);
-            bytesPerSpe = std::min<std::uint64_t>(bytesPerSpe,
-                                                  util::MiB);
-        }
-        return true;
-    }
-
-    void
-    header(const char *figure, const char *what)
-    {
-        json.setBench(opts.prog(), figure, what);
-        std::printf("== %s: %s ==\n", figure, what);
-        std::printf("   machine: %.1f GHz Cell blade, %u EIB rings, "
-                    "ramp peak %.1f GB/s, %u runs/point, %s per "
-                    "SPE/stream\n\n",
-                    cfg.clock.cpuHz / 1e9, cfg.eib.numRings,
-                    cfg.rampPeakGBps(), repeat.runs,
-                    util::bytesToString(bytesPerSpe).c_str());
-    }
-
-    void
-    emit(const stats::Table &table, const std::string &name = "results")
-    {
-        std::fputs(table.render().c_str(), stdout);
-        if (csv) {
-            std::printf("\n-- CSV --\n%s", table.renderCsv().c_str());
-        }
-        std::printf("\n");
-        if (!jsonPath.empty())
-            json.addTable(name, table);
-    }
-
-    /**
-     * Write the --json report, if one was requested.  Call once, after
-     * the last emit().  @return the process exit code (0, or 1 when the
-     * report could not be written).
-     */
-    int
-    finish()
-    {
-        if (jsonPath.empty())
-            return 0;
-        json.setConfig(opts);
-        if (!json.writeFile(jsonPath)) {
-            std::fprintf(stderr, "%s: cannot write %s\n",
-                         opts.prog().c_str(), jsonPath.c_str());
-            return 1;
-        }
-        std::printf("json report written to %s\n", jsonPath.c_str());
-        return 0;
-    }
-};
-
-} // namespace cellbw::bench
 
 #endif // CELLBW_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The `cellbw` driver: every experiment in the repo behind one binary.
+ *
+ *   cellbw list                        enumerate registered experiments
+ *   cellbw run <name> [flags...]       run one (same CLI as the legacy
+ *                                      per-figure binary)
+ *   cellbw suite [manifest] [opts]     run a manifest through a shared
+ *                                      worker pool + result cache
+ *   cellbw compare <cand> <base> [opts]
+ *                                      regression-gate two JSON reports
+ *
+ * `run` and the legacy binaries share core::runExperimentCli(), so
+ * `cellbw run fig08_spe_mem --quick` is byte-identical to
+ * `fig08_spe_mem --quick`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/compare.hh"
+#include "core/suite.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+int
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: cellbw <command> [args...]\n"
+        "\n"
+        "commands:\n"
+        "  list                         list registered experiments\n"
+        "  run <name> [flags...]        run one experiment (flags as "
+        "the legacy binary;\n"
+        "                               try `cellbw run <name> "
+        "--help`)\n"
+        "  suite [manifest] [options]   run a suite of experiments\n"
+        "    manifest                   `ci` (all experiments, default)"
+        " or a file of\n"
+        "                               `<experiment> [flags...]` "
+        "lines\n"
+        "    --jobs N                   shared worker-pool width "
+        "(default: all cores)\n"
+        "    --out DIR                  report directory (default: "
+        "cellbw-suite-out)\n"
+        "    --cache DIR                result-cache root (default: "
+        ".cellbw-cache)\n"
+        "    --no-cache                 disable the result cache\n"
+        "    --terse                    suppress per-experiment "
+        "progress lines\n"
+        "    <other flags>              forwarded to every experiment "
+        "(e.g. --quick)\n"
+        "  compare <candidate> <baseline> [options]\n"
+        "    --tol PCT                  global relative tolerance, "
+        "percent (default 0)\n"
+        "    --tols NAME=PCT,...        per-column tolerance "
+        "overrides\n"
+        "    --metrics                  also gate the metrics "
+        "section\n"
+        "    --metrics-tol PCT          tolerance for metrics "
+        "(default 0)\n",
+        to);
+    return to == stdout ? 0 : 2;
+}
+
+bool
+parseDoubleArg(const char *flag, const char *val, double &out)
+{
+    if (!val) {
+        std::fprintf(stderr, "cellbw: %s needs a value\n", flag);
+        return false;
+    }
+    char *end = nullptr;
+    out = std::strtod(val, &end);
+    if (end == val || *end != '\0' || out < 0) {
+        std::fprintf(stderr, "cellbw: bad %s value '%s'\n", flag, val);
+        return false;
+    }
+    return true;
+}
+
+int
+cmdList()
+{
+    std::fputs(core::ExperimentRegistry::instance().listText().c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fputs("usage: cellbw run <name> [flags...]\n", stderr);
+        return 2;
+    }
+    // argv[0] is the experiment name and becomes the forwarded
+    // argv[0], so the flags line up exactly with the legacy binary.
+    return core::runExperimentCli(argv[0], argc,
+                                  const_cast<const char *const *>(argv));
+}
+
+int
+cmdSuite(int argc, char **argv)
+{
+    core::SuiteSpec spec;
+    bool haveManifest = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --jobs needs a value\n", stderr);
+                return 2;
+            }
+            char *end = nullptr;
+            unsigned long v = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "cellbw: bad --jobs value '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            spec.jobs = static_cast<unsigned>(v);
+        } else if (a == "--out") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --out needs a value\n", stderr);
+                return 2;
+            }
+            spec.outDir = argv[i];
+        } else if (a == "--cache") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --cache needs a value\n", stderr);
+                return 2;
+            }
+            spec.cacheDir = argv[i];
+        } else if (a == "--no-cache") {
+            spec.useCache = false;
+        } else if (a == "--terse") {
+            spec.terse = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else if (!a.empty() && a[0] != '-' && !haveManifest) {
+            spec.manifest = a;
+            haveManifest = true;
+        } else {
+            // Anything else belongs to the experiments (--quick,
+            // --runs, machine knobs, ...).
+            spec.forward.push_back(a);
+        }
+    }
+    return core::runSuite(spec);
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    core::ComparePolicy policy;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--tol") {
+            if (!parseDoubleArg("--tol", i + 1 < argc ? argv[++i]
+                                                      : nullptr,
+                                policy.tolPct))
+                return 2;
+        } else if (a == "--tols") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --tols needs a value\n", stderr);
+                return 2;
+            }
+            std::string err;
+            if (!core::parseColumnTols(argv[i], policy.columnTolPct,
+                                       err)) {
+                std::fprintf(stderr, "cellbw: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (a == "--metrics") {
+            policy.includeMetrics = true;
+        } else if (a == "--metrics-tol") {
+            if (!parseDoubleArg("--metrics-tol",
+                                i + 1 < argc ? argv[++i] : nullptr,
+                                policy.metricsTolPct))
+                return 2;
+            policy.includeMetrics = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "cellbw: unknown compare flag '%s'\n",
+                         a.c_str());
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fputs("usage: cellbw compare <candidate> <baseline> "
+                   "[--tol PCT] [--tols NAME=PCT,...]\n", stderr);
+        return 2;
+    }
+
+    core::CompareResult result;
+    std::string err;
+    if (!core::compareReportFiles(paths[0], paths[1], policy, result,
+                                  err)) {
+        std::fprintf(stderr, "cellbw: %s\n", err.c_str());
+        return 2;
+    }
+    for (const auto &r : result.regressions)
+        std::printf("REGRESSION: %s\n", r.c_str());
+    std::printf("compare: %u points, %u values, %u metrics; "
+                "%zu regression%s (tol %.3g%%)\n",
+                result.pointsCompared, result.valuesCompared,
+                result.metricsCompared, result.regressions.size(),
+                result.regressions.size() == 1 ? "" : "s",
+                policy.tolPct);
+    return result.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "suite")
+        return cmdSuite(argc - 2, argv + 2);
+    if (cmd == "compare")
+        return cmdCompare(argc - 2, argv + 2);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return usage(stdout);
+    std::fprintf(stderr, "cellbw: unknown command '%s'\n", cmd.c_str());
+    return usage(stderr);
+}

@@ -14,13 +14,18 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig03_ppe_l1",
-                        "PPE to L1 load/store/copy (paper Fig. 3)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     return bench::runPpeFigure(b, "Figure 3", "PPE -> L1 (32 KB)",
                                core::ppeL1Config);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig03_ppe_l1, "Fig. 3",
+                           "PPE to L1 load/store/copy (paper Fig. 3)",
+                           run)

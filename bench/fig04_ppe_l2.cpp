@@ -13,13 +13,18 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig04_ppe_l2",
-                        "PPE to L2 load/store/copy (paper Fig. 4)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     return bench::runPpeFigure(b, "Figure 4", "PPE -> L2 (512 KB)",
                                core::ppeL2Config);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig04_ppe_l2, "Fig. 4",
+                           "PPE to L2 load/store/copy (paper Fig. 4)",
+                           run)

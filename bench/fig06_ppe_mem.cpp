@@ -13,14 +13,19 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig06_ppe_mem",
-                        "PPE to main memory load/store/copy "
-                        "(paper Fig. 6)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     return bench::runPpeFigure(b, "Figure 6", "PPE -> main memory",
                                core::ppeMemConfig);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig06_ppe_mem, "Fig. 6",
+                           "PPE to main memory load/store/copy "
+                           "(paper Fig. 6)",
+                           run)

@@ -16,13 +16,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig08_spe_mem",
-                        "SPE<->memory DMA-elem bandwidth (paper Fig. 8)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 8", "SPE to main memory, DMA-elem, 1-8 SPEs");
 
     const auto elems = core::elemSweepSizes();
@@ -66,11 +65,18 @@ main(int argc, char **argv)
                             series);
         }
         b.emit(table);
-        std::fputs(chart.render().c_str(), stdout);
-        std::printf("\n");
+        b.print(chart.render());
+        b.printf("\n");
     }
-    std::printf("reference: one bank ramp peak %.1f GB/s, MIC+IOIF "
-                "aggregate %.1f GB/s\n",
-                b.cfg.rampPeakGBps(), b.cfg.rampPeakGBps() + 7.0);
+    b.printf("reference: one bank ramp peak %.1f GB/s, MIC+IOIF "
+             "aggregate %.1f GB/s\n",
+             b.cfg.rampPeakGBps(), b.cfg.rampPeakGBps() + 7.0);
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig08_spe_mem, "Fig. 8",
+                           "SPE<->memory DMA-elem bandwidth "
+                           "(paper Fig. 8)",
+                           run)

@@ -15,14 +15,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig10_sync_sweep",
-                        "delayed DMA-elem synchronization, SPE to SPE "
-                        "(paper Fig. 10)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 10", "SPE pair, sync after every k DMA requests");
 
     const auto elems = core::elemSweepSizes();
@@ -60,8 +58,15 @@ main(int argc, char **argv)
                         series);
     }
     b.emit(table);
-    std::fputs(chart.render().c_str(), stdout);
-    std::printf("\nreference: pair peak (concurrent GET+PUT) %.1f GB/s\n",
-                b.cfg.pairPeakGBps());
+    b.print(chart.render());
+    b.printf("\nreference: pair peak (concurrent GET+PUT) %.1f GB/s\n",
+             b.cfg.pairPeakGBps());
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig10_sync_sweep, "Fig. 10",
+                           "delayed DMA-elem synchronization, SPE to "
+                           "SPE (paper Fig. 10)",
+                           run)

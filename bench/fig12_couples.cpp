@@ -14,13 +14,19 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig12_couples",
-                        "SPE couples GET+PUT bandwidth (paper Fig. 12)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 12", "couples of SPEs (active + passive pairs)");
     return bench::runSpeSpeSweep(b, "Fig 12", core::SpeSpeMode::Couples);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig12_couples, "Fig. 12",
+                           "SPE couples GET+PUT bandwidth "
+                           "(paper Fig. 12)",
+                           run)

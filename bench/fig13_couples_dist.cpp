@@ -13,15 +13,21 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig13_couples_dist",
-                        "8-SPE couples placement spread (paper Fig. 13)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 13", "4 couples, min/max/median/mean across "
                           "placements");
     return bench::runSpeSpeDistribution(b, "Fig 13",
                                         core::SpeSpeMode::Couples);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig13_couples_dist, "Fig. 13",
+                           "8-SPE couples placement spread "
+                           "(paper Fig. 13)",
+                           run)

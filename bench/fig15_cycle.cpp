@@ -14,14 +14,19 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig15_cycle",
-                        "cycle-of-SPEs GET+PUT bandwidth "
-                        "(paper Fig. 15)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 15", "cycle of SPEs (all active)");
     return bench::runSpeSpeSweep(b, "Fig 15", core::SpeSpeMode::Cycle);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig15_cycle, "Fig. 15",
+                           "cycle-of-SPEs GET+PUT bandwidth "
+                           "(paper Fig. 15)",
+                           run)

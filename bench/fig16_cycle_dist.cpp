@@ -13,15 +13,21 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("fig16_cycle_dist",
-                        "8-SPE cycle placement spread (paper Fig. 16)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Figure 16", "8-SPE cycle, min/max/median/mean across "
                           "placements");
     return bench::runSpeSpeDistribution(b, "Fig 16",
                                         core::SpeSpeMode::Cycle);
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(fig16_cycle_dist, "Fig. 16",
+                           "8-SPE cycle placement spread "
+                           "(paper Fig. 16)",
+                           run)

@@ -17,14 +17,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("kernels_roofline",
-                        "small-kernel roofline (the paper's future "
-                        "work)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Future work", "STREAM kernels, dot, matvec, matmul on "
                             "1-8 SPEs");
 
@@ -64,9 +62,9 @@ main(int argc, char **argv)
                 r.verified ? "yes" : "NO",
             });
         }
-        std::printf("-- %u SPE%s (compute roof %.1f GFLOPS) --\n", spes,
-                    spes > 1 ? "s" : "",
-                    spes * 8.0 * b.cfg.clock.cpuHz / 1e9);
+        b.printf("-- %u SPE%s (compute roof %.1f GFLOPS) --\n", spes,
+                 spes > 1 ? "s" : "",
+                 spes * 8.0 * b.cfg.clock.cpuHz / 1e9);
         b.emit(table);
     }
     // Single vs double precision on the streaming kernels: the
@@ -94,13 +92,20 @@ main(int argc, char **argv)
                               r.verified ? "yes" : "NO"});
             }
         }
-        std::printf("-- precision (4 SPEs): same GB/s, half the "
-                    "GFLOPS in DP -- Dongarra's single-precision "
-                    "argument --\n");
+        b.printf("-- precision (4 SPEs): same GB/s, half the "
+                 "GFLOPS in DP -- Dongarra's single-precision "
+                 "argument --\n");
         b.emit(table);
     }
 
-    std::printf("low-intensity kernels pin the memory roof; the blocked "
-                "matmul escapes it and approaches the compute roof.\n");
+    b.printf("low-intensity kernels pin the memory roof; the blocked "
+             "matmul escapes it and approaches the compute roof.\n");
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(kernels_roofline, "Roofline",
+                           "small-kernel roofline (the paper's future "
+                           "work)",
+                           run)

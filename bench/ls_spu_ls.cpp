@@ -15,14 +15,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("ls_spu_ls",
-                        "SPU <-> Local Store load/store bandwidth "
-                        "(paper Sec. 4.2.2)");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Section 4.2.2", "SPU load/store to its 256 KB local store");
 
     const auto elems = core::ppeElemSizes();
@@ -50,8 +48,15 @@ main(int argc, char **argv)
         }
     }
     b.emit(table);
-    std::fputs(chart.render().c_str(), stdout);
-    std::printf("\nreference: LS port peak %.1f GB/s (16 B per CPU "
-                "cycle)\n", b.cfg.lsPeakGBps());
+    b.print(chart.render());
+    b.printf("\nreference: LS port peak %.1f GB/s (16 B per CPU "
+             "cycle)\n", b.cfg.lsPeakGBps());
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(ls_spu_ls, "Sec. 4.2.2",
+                           "SPU <-> Local Store load/store bandwidth "
+                           "(paper Sec. 4.2.2)",
+                           run)

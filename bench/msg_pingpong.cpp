@@ -55,16 +55,9 @@ pingpong(const cell::CellConfig &cfg, std::uint32_t bytes,
     return {half_rt_us, gbps};
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(core::ExperimentContext &b)
 {
-    bench::BenchSetup b("msg_pingpong",
-                        "MPI-style ping-pong latency/bandwidth between "
-                        "two SPEs");
-    if (!b.parse(argc, argv))
-        return 1;
     b.header("MPI extension", "ping-pong over eager/rendezvous "
                               "protocols");
 
@@ -93,9 +86,16 @@ main(int argc, char **argv)
     stats::SeriesChart chart("ping-pong bandwidth vs message size",
                              xlabels);
     chart.addSeries("GB/s", series);
-    std::fputs(chart.render().c_str(), stdout);
-    std::printf("\nreference: one-way ramp peak %.1f GB/s; the eager->"
-                "rendezvous switch sits at %u bytes\n",
-                b.cfg.rampPeakGBps(), 2048u);
+    b.print(chart.render());
+    b.printf("\nreference: one-way ramp peak %.1f GB/s; the eager->"
+             "rendezvous switch sits at %u bytes\n",
+             b.cfg.rampPeakGBps(), 2048u);
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(msg_pingpong, "MPI ext.",
+                           "MPI-style ping-pong latency/bandwidth "
+                           "between two SPEs",
+                           run)

@@ -20,8 +20,8 @@ using PpeConfigFactory = std::function<core::PpeStreamConfig(
     unsigned threads, unsigned elem, ppe::MemOp op)>;
 
 inline int
-runPpeFigure(BenchSetup &b, const char *figure, const char *level,
-             const PpeConfigFactory &factory)
+runPpeFigure(core::ExperimentContext &b, const char *figure,
+             const char *level, const PpeConfigFactory &factory)
 {
     b.header(figure, level);
 
@@ -62,11 +62,11 @@ runPpeFigure(BenchSetup &b, const char *figure, const char *level,
                             series);
         }
         b.emit(table);
-        std::fputs(chart.render().c_str(), stdout);
-        std::printf("\n");
+        b.print(chart.render());
+        b.printf("\n");
     }
-    std::printf("reference: PPU<->L1 link peak %.1f GB/s\n",
-                16.0 * b.cfg.clock.cpuHz / 1e9);
+    b.printf("reference: PPU<->L1 link peak %.1f GB/s\n",
+             16.0 * b.cfg.clock.cpuHz / 1e9);
     return b.finish();
 }
 

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Legacy per-figure binary shim.  Each historic bench binary
+ * (fig08_spe_mem, abl_rings, ...) is this translation unit compiled
+ * with -DCELLBW_SHIM_NAME="<experiment>": the whole main() forwards to
+ * the registered experiment through the same runExperimentCli() path
+ * the `cellbw` driver uses, so the CLI and the output bytes are
+ * identical between `fig08_spe_mem --quick` and
+ * `cellbw run fig08_spe_mem --quick`.
+ */
+
+#include "core/experiment_registry.hh"
+
+#ifndef CELLBW_SHIM_NAME
+#error "compile with -DCELLBW_SHIM_NAME=\"<experiment name>\""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return cellbw::core::runExperimentCli(
+        CELLBW_SHIM_NAME, argc,
+        const_cast<const char *const *>(argv));
+}

@@ -20,14 +20,15 @@ namespace cellbw::bench
  * (33.6 for 2 SPEs, 67.2 for 4, 134.4 for 8 — the paper's numbers).
  */
 inline double
-peakFor(const BenchSetup &b, core::SpeSpeMode, unsigned n)
+peakFor(const core::ExperimentContext &b, core::SpeSpeMode, unsigned n)
 {
     return n * b.cfg.rampPeakGBps();
 }
 
 /** Figures 12 / 15: mean bandwidth sweep for 2/4/8 SPEs, elem & list. */
 inline int
-runSpeSpeSweep(BenchSetup &b, const char *figure, core::SpeSpeMode mode)
+runSpeSpeSweep(core::ExperimentContext &b, const char *figure,
+               core::SpeSpeMode mode)
 {
     const auto elems = core::elemSweepSizes();
     const unsigned counts[] = {2, 4, 8};
@@ -66,19 +67,19 @@ runSpeSpeSweep(BenchSetup &b, const char *figure, core::SpeSpeMode mode)
             chart.addSeries(util::format("%u SPEs", n), series);
         }
         b.emit(table);
-        std::fputs(chart.render().c_str(), stdout);
-        std::printf("\n");
+        b.print(chart.render());
+        b.printf("\n");
     }
-    std::printf("reference peaks: 2 SPEs %.1f, 4 SPEs %.1f, 8 SPEs %.1f "
-                "GB/s\n",
-                peakFor(b, mode, 2), peakFor(b, mode, 4),
-                peakFor(b, mode, 8));
+    b.printf("reference peaks: 2 SPEs %.1f, 4 SPEs %.1f, 8 SPEs %.1f "
+             "GB/s\n",
+             peakFor(b, mode, 2), peakFor(b, mode, 4),
+             peakFor(b, mode, 8));
     return b.finish();
 }
 
 /** Figures 13 / 16: 8-SPE min/max/median/mean across placements. */
 inline int
-runSpeSpeDistribution(BenchSetup &b, const char *figure,
+runSpeSpeDistribution(core::ExperimentContext &b, const char *figure,
                       core::SpeSpeMode mode)
 {
     const auto elems = core::elemSweepSizes();
@@ -120,11 +121,11 @@ runSpeSpeDistribution(BenchSetup &b, const char *figure,
         chart.addSeries("median", meds);
         chart.addSeries("max", maxs);
         b.emit(table);
-        std::fputs(chart.render().c_str(), stdout);
-        std::printf("\n");
+        b.print(chart.render());
+        b.printf("\n");
     }
-    std::printf("reference: 8-SPE peak %.1f GB/s; the spread is pure "
-                "physical-placement luck\n", peakFor(b, mode, 8));
+    b.printf("reference: 8-SPE peak %.1f GB/s; the spread is pure "
+             "physical-placement luck\n", peakFor(b, mode, 8));
     return b.finish();
 }
 

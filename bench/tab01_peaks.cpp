@@ -10,13 +10,12 @@
 
 using namespace cellbw;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    bench::BenchSetup b("tab01_peaks",
-                        "architectural peaks vs sustained bandwidth");
-    if (!b.parse(argc, argv))
-        return 1;
+
+int
+run(core::ExperimentContext &b)
+{
     b.header("Table 1 (implicit)", "peak vs sustained for every path");
 
     stats::Table table({"path", "peak GB/s", "sustained GB/s",
@@ -112,3 +111,9 @@ main(int argc, char **argv)
     b.emit(table);
     return b.finish();
 }
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(tab01_peaks, "Tab. 1",
+                           "architectural peaks vs sustained bandwidth",
+                           run)

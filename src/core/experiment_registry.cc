@@ -1,0 +1,75 @@
+#include "core/experiment_registry.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace cellbw::core
+{
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(Experiment e)
+{
+    if (experiments_.count(e.name)) {
+        sim::fatal("duplicate experiment registration: %s",
+                   e.name.c_str());
+    }
+    std::string name = e.name;
+    experiments_.emplace(std::move(name), std::move(e));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    auto it = experiments_.find(name);
+    return it == experiments_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::sorted() const
+{
+    std::vector<const Experiment *> out;
+    out.reserve(experiments_.size());
+    for (const auto &kv : experiments_)
+        out.push_back(&kv.second);    // std::map: already name-sorted
+    return out;
+}
+
+std::string
+ExperimentRegistry::listText() const
+{
+    std::string out = util::format("%zu experiments:\n", size());
+    for (const Experiment *e : sorted()) {
+        out += util::format("  %-20s %-12s %s\n", e->name.c_str(),
+                            e->figure.c_str(), e->description.c_str());
+    }
+    return out;
+}
+
+int
+runExperimentCli(const std::string &name, int argc,
+                 const char *const *argv)
+{
+    const Experiment *e = ExperimentRegistry::instance().find(name);
+    if (!e) {
+        std::fprintf(stderr,
+                     "cellbw: unknown experiment '%s' (see `cellbw "
+                     "list`)\n",
+                     name.c_str());
+        return 1;
+    }
+    ExperimentContext ctx(e->name, e->description);
+    if (!ctx.parse(argc, argv))
+        return 1;
+    return e->body(ctx);
+}
+
+} // namespace cellbw::core

@@ -50,6 +50,25 @@ JsonReport::setBench(std::string bench, std::string figure,
 }
 
 void
+JsonReport::setExperiment(std::string experiment)
+{
+    experiment_ = std::move(experiment);
+}
+
+void
+JsonReport::setSuite(std::string suite)
+{
+    suite_ = std::move(suite);
+}
+
+void
+JsonReport::setCacheInfo(std::string salt, std::string key)
+{
+    cacheSalt_ = std::move(salt);
+    cacheKey_ = std::move(key);
+}
+
+void
 JsonReport::setConfig(const util::Options &opts)
 {
     config_ = opts.list();
@@ -74,13 +93,25 @@ JsonReport::render() const
     using util::Options;
     stats::JsonWriter w;
     w.beginObject();
-    w.key("schema").value("cellbw-bench-v1");
+    w.key("schema").value(kSchema);
+    w.key("schema_version").value(kSchemaVersion);
     w.key("bench").value(bench_);
+    w.key("experiment").value(experiment_.empty() ? bench_ : experiment_);
     w.key("figure").value(figure_);
     w.key("description").value(description_);
+    if (!suite_.empty())
+        w.key("suite").value(suite_);
+    if (!cacheKey_.empty()) {
+        w.key("cache").beginObject();
+        w.key("salt").value(cacheSalt_);
+        w.key("key").value(cacheKey_);
+        w.endObject();
+    }
 
     w.key("config").beginObject();
     for (const auto &o : config_) {
+        if (o.resultNeutral)
+            continue;
         w.key(o.name);
         switch (o.type) {
           case Options::OptionInfo::Type::Uint:

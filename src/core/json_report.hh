@@ -8,10 +8,14 @@
  *
  * @code
  *   {
- *     "schema": "cellbw-bench-v1",
+ *     "schema": "cellbw-bench-v2",
+ *     "schema_version": 2,
  *     "bench": "fig08_spe_mem",
+ *     "experiment": "fig08_spe_mem",
  *     "figure": "Fig. 8",
  *     "description": "SPE<->memory DMA bandwidth",
+ *     "suite": "ci",                          // only when part of one
+ *     "cache": { "salt": "...", "key": "..." },  // only when computed
  *     "config": { "cpu-ghz": 2.1, "spes": 8, ... },
  *     "points": [ { "table": "results", "spes": 1, "GB/s": 9.8 }, ... ],
  *     "metrics": { "eib0.ring0.grants": 1234, ... }
@@ -20,10 +24,18 @@
  *
  * `config` carries every registered command-line option with its final
  * (post-parse) value, typed: uints/doubles/bytes as numbers, bools as
- * booleans, strings as strings.  `points` flattens each emitted result
- * table row into one object keyed by column header; cells that parse
- * fully as numbers become JSON numbers.  `metrics` is the accumulated
+ * booleans, strings as strings.  Result-neutral options (--json, --csv,
+ * --jobs; see util::Options::setResultNeutral) are omitted since v2 so
+ * the document depends only on what shaped the results — that is what
+ * makes a cached report replayable bit-identically from any output
+ * path.  `points` flattens each emitted result table row into one
+ * object keyed by column header; cells that parse fully as numbers
+ * become JSON numbers.  `metrics` is the accumulated
  * stats::MetricsRegistry snapshot across all runs of all points.
+ *
+ * `cellbw compare` accepts both this document and its v1 predecessor
+ * (no schema_version/experiment/suite/cache, config unfiltered), so
+ * committed v1 baselines keep working.
  */
 
 #ifndef CELLBW_CORE_JSON_REPORT_HH
@@ -42,9 +54,23 @@ namespace cellbw::core
 class JsonReport
 {
   public:
+    /** The `schema` string this writer emits. */
+    static constexpr const char *kSchema = "cellbw-bench-v2";
+    /** The numeric `schema_version`. */
+    static constexpr int kSchemaVersion = 2;
+
     /** Identify the producing bench (shown in the document header). */
     void setBench(std::string bench, std::string figure,
                   std::string description);
+
+    /** Registered experiment name; defaults to the bench name. */
+    void setExperiment(std::string experiment);
+
+    /** Suite id when this report is one experiment of a suite run. */
+    void setSuite(std::string suite);
+
+    /** Result-cache identity (invalidation salt + content key). */
+    void setCacheInfo(std::string salt, std::string key);
 
     /** Capture the final config: every option with its parsed value. */
     void setConfig(const util::Options &opts);
@@ -75,8 +101,12 @@ class JsonReport
     };
 
     std::string bench_;
+    std::string experiment_;
     std::string figure_;
     std::string description_;
+    std::string suite_;
+    std::string cacheSalt_;
+    std::string cacheKey_;
     std::vector<util::Options::OptionInfo> config_;
     std::vector<Point> points_;
     stats::MetricsRegistry metrics_;

@@ -1,0 +1,111 @@
+#include "core/result_cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/json_report.hh"
+#include "util/file.hh"
+#include "util/strings.hh"
+
+namespace cellbw::core
+{
+
+std::string
+ResultCache::materialFor(const std::string &experiment,
+                         const util::Options &opts)
+{
+    using util::Options;
+    std::string m;
+    m += "salt ";
+    m += kSalt;
+    m += "\nschema ";
+    m += JsonReport::kSchema;
+    m += "\nexperiment ";
+    m += experiment;
+    m += '\n';
+    for (const auto &o : opts.list()) {
+        if (o.resultNeutral)
+            continue;
+        std::string canon;
+        switch (o.type) {
+          case Options::OptionInfo::Type::Uint:
+            canon = std::to_string(util::parseUint64(o.text));
+            break;
+          case Options::OptionInfo::Type::Double:
+            canon = util::format("%.17g",
+                                 std::strtod(o.text.c_str(), nullptr));
+            break;
+          case Options::OptionInfo::Type::Bool: {
+            std::string v = util::toLower(o.text);
+            canon = (v == "true" || v == "1" || v == "yes") ? "true"
+                                                            : "false";
+            break;
+          }
+          case Options::OptionInfo::Type::Bytes:
+            canon = std::to_string(util::parseByteSize(o.text));
+            break;
+          case Options::OptionInfo::Type::String:
+            canon = o.text;
+            break;
+        }
+        m += "opt ";
+        m += o.name;
+        m += '=';
+        m += canon;
+        m += '\n';
+    }
+    return m;
+}
+
+std::string
+ResultCache::hashKey(const std::string &material)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : material) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return util::format("%016llx", static_cast<unsigned long long>(h));
+}
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {}
+
+std::string
+ResultCache::dirFor(const std::string &key) const
+{
+    return root_ + "/" + key.substr(0, 2);
+}
+
+std::optional<std::string>
+ResultCache::load(const std::string &key,
+                  const std::string &material) const
+{
+    const std::string base = dirFor(key) + "/" + key;
+    std::string storedMaterial;
+    if (!util::readFile(base + ".key", storedMaterial))
+        return std::nullopt;
+    if (storedMaterial != material)
+        return std::nullopt;
+    std::string report;
+    if (!util::readFile(base + ".json", report))
+        return std::nullopt;
+    return report;
+}
+
+bool
+ResultCache::store(const std::string &key, const std::string &material,
+                   const std::string &reportBytes) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dirFor(key), ec);
+    if (ec)
+        return false;
+    const std::string base = dirFor(key) + "/" + key;
+    // Report first, material last: an entry is visible to load() only
+    // once its .key file exists, and by then the .json is complete.
+    if (!util::writeFileAtomic(base + ".json", reportBytes))
+        return false;
+    return util::writeFileAtomic(base + ".key", material);
+}
+
+} // namespace cellbw::core

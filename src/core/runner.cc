@@ -1,9 +1,13 @@
 #include "core/runner.hh"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/worker_pool.hh"
 
 namespace cellbw::core
 {
@@ -33,10 +37,63 @@ ParallelSpec::resolveJobs(unsigned runs) const
     return std::min(j, runs);
 }
 
+namespace
+{
+
+/**
+ * Seed sweep through a shared pool: submit every run, wait for this
+ * batch only.  The pool interleaves these tasks with other
+ * experiments' runs; merging in seed order below keeps the result
+ * bit-identical to the serial loop.
+ */
+stats::Distribution
+repeatRunsPooled(const cell::CellConfig &cfg, const RepeatSpec &spec,
+                 const ExperimentBody &body, WorkerPool &pool)
+{
+    std::vector<double> results(spec.runs, 0.0);
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned done = 0;
+    std::exception_ptr firstError;
+
+    for (unsigned r = 0; r < spec.runs; ++r) {
+        pool.submit([&, r] {
+            double sample = 0.0;
+            std::exception_ptr err;
+            try {
+                sample = runOne(cfg, spec, spec.seed + r, body);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(m);
+            results[r] = sample;
+            if (err && !firstError)
+                firstError = err;
+            if (++done == spec.runs)
+                cv.notify_one();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done == spec.runs; });
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    stats::Distribution dist;
+    for (unsigned r = 0; r < spec.runs; ++r)
+        dist.add(results[r]);
+    return dist;
+}
+
+} // namespace
+
 stats::Distribution
 repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
            const ExperimentBody &body, const ParallelSpec &par)
 {
+    if (par.pool)
+        return repeatRunsPooled(cfg, spec, body, *par.pool);
+
     stats::Distribution dist;
     const unsigned jobs = par.resolveJobs(spec.runs);
 

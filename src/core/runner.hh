@@ -49,15 +49,26 @@ struct RepeatSpec
     stats::MetricsRegistry *metrics = nullptr;
 };
 
+class WorkerPool;
+
 /** How to spread the repeated runs across host threads. */
 struct ParallelSpec
 {
     /**
      * Worker threads for the seed sweep; 0 means
      * std::thread::hardware_concurrency().  1 runs inline with no
-     * threads spawned.
+     * threads spawned.  Ignored when @ref pool is set.
      */
     unsigned jobs = 0;
+
+    /**
+     * When set, runs are submitted to this shared pool instead of
+     * spawning per-call threads — the suite driver points every
+     * experiment here so seed-sweeps batch ACROSS experiments.  The
+     * caller blocks until its own runs complete; results stay
+     * bit-identical (merge is in seed order either way).
+     */
+    WorkerPool *pool = nullptr;
 
     /** The worker count actually used for @p runs repetitions. */
     unsigned resolveJobs(unsigned runs) const;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A shared worker-thread pool for seed-sweep batching.
+ *
+ * Before the suite driver, every bench binary spun its own transient
+ * pool inside each repeatRuns() call, so a campaign of 18 binaries
+ * serialized at process boundaries and never overlapped one
+ * experiment's tail with the next one's head.  `cellbw suite` instead
+ * runs every selected experiment against ONE WorkerPool: each
+ * experiment submits its placement-seed runs here (via
+ * ParallelSpec::pool) and waits for its own batch, so at any moment
+ * the pool's N workers are busy with whatever runs are ready,
+ * regardless of which experiment they belong to.
+ *
+ * Tasks must be independent (the seed-sweep runs are: one private
+ * CellSystem each) and must never submit-and-wait recursively —
+ * waiting happens on the submitting thread, never on a worker.
+ */
+
+#ifndef CELLBW_CORE_WORKER_POOL_HH
+#define CELLBW_CORE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cellbw::core
+{
+
+class WorkerPool
+{
+  public:
+    /** Start @p workers threads; 0 means hardware_concurrency(). */
+    explicit WorkerPool(unsigned workers);
+
+    /** Drains the queue, then joins. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p fn; it runs on some worker, FIFO. */
+    void submit(std::function<void()> fn);
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_WORKER_POOL_HH

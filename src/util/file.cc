@@ -1,0 +1,44 @@
+#include "util/file.hh"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace cellbw::util
+{
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+    bool ok = n == content.size();
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+} // namespace cellbw::util

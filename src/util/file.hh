@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Tiny whole-file I/O helpers.
+ *
+ * The driver reads and writes small JSON documents (reports, cache
+ * entries, manifests).  Reads slurp the file; writes go through a
+ * same-directory temp file + rename so a crashed or concurrent run
+ * never leaves a half-written report or cache entry behind.
+ */
+
+#ifndef CELLBW_UTIL_FILE_HH
+#define CELLBW_UTIL_FILE_HH
+
+#include <string>
+
+namespace cellbw::util
+{
+
+/** Read all of @p path into @p out; false (errno set) on failure. */
+bool readFile(const std::string &path, std::string &out);
+
+/**
+ * Write @p content to @p path atomically (temp file + rename in the
+ * same directory).  @return false (errno set) on failure.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &content);
+
+} // namespace cellbw::util
+
+#endif // CELLBW_UTIL_FILE_HH

@@ -217,6 +217,15 @@ Options::isSet(const std::string &name) const
     return it != opts_.end() && it->second.set;
 }
 
+void
+Options::setResultNeutral(const std::string &name)
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        throw std::logic_error("option not registered: " + name);
+    it->second.resultNeutral = true;
+}
+
 std::vector<Options::OptionInfo>
 Options::list() const
 {
@@ -245,6 +254,7 @@ Options::list() const
         }
         info.text = o.value;
         info.set = o.set;
+        info.resultNeutral = o.resultNeutral;
         out.push_back(std::move(info));
     }
     return out;

@@ -68,6 +68,15 @@ class Options
     /** True iff the user explicitly supplied the option. */
     bool isSet(const std::string &name) const;
 
+    /**
+     * Mark @p name as result-neutral: the option steers output or host
+     * scheduling (--json, --csv, --jobs) but can never change computed
+     * results.  Structured exporters (the v2 report config section)
+     * and the result-cache key skip result-neutral options, so e.g.
+     * two runs differing only in --jobs share one cache entry.
+     */
+    void setResultNeutral(const std::string &name);
+
     /** One registered option, as seen by structured exporters. */
     struct OptionInfo
     {
@@ -76,6 +85,7 @@ class Options
         Type type;
         std::string text;   ///< canonical textual value
         bool set;           ///< explicitly supplied on the command line
+        bool resultNeutral; ///< see setResultNeutral()
     };
 
     /** All registered options, in registration order. */
@@ -100,6 +110,7 @@ class Options
         std::string value;      // canonical textual value
         std::string defValue;
         bool set = false;
+        bool resultNeutral = false;
     };
 
     const Opt &find(const std::string &name, Kind kind) const;

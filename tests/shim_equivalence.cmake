@@ -1,0 +1,46 @@
+# Asserts that a legacy shim binary and `cellbw run <name>` produce
+# byte-identical stdout and JSON reports for the same flags.
+#
+# Usage:
+#   cmake -DCELLBW=<cellbw> -DSHIM=<legacy binary> -DNAME=<experiment>
+#         -DWORKDIR=<scratch dir> -P shim_equivalence.cmake
+
+foreach(var CELLBW SHIM NAME WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}/legacy" "${WORKDIR}/driver")
+
+execute_process(
+    COMMAND "${SHIM}" --quick --json report.json
+    WORKING_DIRECTORY "${WORKDIR}/legacy"
+    OUTPUT_FILE out.txt
+    RESULT_VARIABLE legacy_rc)
+if(NOT legacy_rc EQUAL 0)
+    message(FATAL_ERROR "legacy ${NAME} failed: ${legacy_rc}")
+endif()
+
+execute_process(
+    COMMAND "${CELLBW}" run "${NAME}" --quick --json report.json
+    WORKING_DIRECTORY "${WORKDIR}/driver"
+    OUTPUT_FILE out.txt
+    RESULT_VARIABLE driver_rc)
+if(NOT driver_rc EQUAL 0)
+    message(FATAL_ERROR "cellbw run ${NAME} failed: ${driver_rc}")
+endif()
+
+foreach(f out.txt report.json)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${WORKDIR}/legacy/${f}" "${WORKDIR}/driver/${f}"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "${f} differs between ${NAME} and cellbw run ${NAME}")
+    endif()
+endforeach()
+
+message(STATUS "${NAME}: legacy shim and cellbw run are byte-identical")

@@ -1,0 +1,56 @@
+# Runs a two-experiment suite cold then warm and asserts the warm run
+# is 100% cache hits with a bit-identical output tree.
+#
+# Usage:
+#   cmake -DCELLBW=<cellbw> -DWORKDIR=<scratch dir> -P suite_cache.cmake
+
+foreach(var CELLBW WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+file(WRITE "${WORKDIR}/mini.manifest"
+     "# two fast experiments\n"
+     "fig03_ppe_l1\n"
+     "tab01_peaks --runs 2\n")
+
+foreach(pass cold warm)
+    execute_process(
+        COMMAND "${CELLBW}" suite mini.manifest --quick --jobs 2
+                --out "${pass}" --cache cache
+        WORKING_DIRECTORY "${WORKDIR}"
+        OUTPUT_VARIABLE ${pass}_out
+        RESULT_VARIABLE ${pass}_rc)
+    if(NOT ${pass}_rc EQUAL 0)
+        message(FATAL_ERROR "${pass} suite failed: ${${pass}_rc}\n"
+                            "${${pass}_out}")
+    endif()
+endforeach()
+
+if(NOT cold_out MATCHES "cache hits: 0/2")
+    message(FATAL_ERROR "cold run was not all misses:\n${cold_out}")
+endif()
+if(NOT warm_out MATCHES "cache hits: 2/2")
+    message(FATAL_ERROR "warm run was not all hits:\n${warm_out}")
+endif()
+
+file(GLOB cold_files RELATIVE "${WORKDIR}/cold" "${WORKDIR}/cold/*")
+file(GLOB warm_files RELATIVE "${WORKDIR}/warm" "${WORKDIR}/warm/*")
+if(NOT cold_files STREQUAL warm_files)
+    message(FATAL_ERROR "output trees differ: "
+                        "[${cold_files}] vs [${warm_files}]")
+endif()
+foreach(f ${cold_files})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${WORKDIR}/cold/${f}" "${WORKDIR}/warm/${f}"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "warm ${f} is not bit-identical")
+    endif()
+endforeach()
+
+message(STATUS "warm suite: 2/2 hits, output tree bit-identical")

@@ -1,0 +1,130 @@
+/** @file Tests for the experiment registry and ExperimentContext. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment_context.hh"
+#include "core/experiment_registry.hh"
+#include "sim/logging.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+int
+trivialBody(core::ExperimentContext &)
+{
+    return 0;
+}
+
+int
+exitCodeBody(core::ExperimentContext &)
+{
+    return 42;
+}
+
+bool
+parseCtx(core::ExperimentContext &ctx,
+         const std::vector<std::string> &args)
+{
+    std::vector<const char *> argv{"prog"};
+    for (const auto &a : args)
+        argv.push_back(a.c_str());
+    return ctx.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+// Registered at static-init time, exactly like the bench TUs.
+CELLBW_REGISTER_EXPERIMENT(test_registered_exp, "Test",
+                           "a registered test experiment",
+                           exitCodeBody)
+
+TEST(ExperimentRegistry, LookupAndList)
+{
+    auto &reg = core::ExperimentRegistry::instance();
+    const auto *e = reg.find("test_registered_exp");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->name, "test_registered_exp");
+    EXPECT_EQ(e->figure, "Test");
+    EXPECT_EQ(e->description, "a registered test experiment");
+
+    EXPECT_EQ(reg.find("no_such_experiment"), nullptr);
+
+    std::string listing = reg.listText();
+    EXPECT_NE(listing.find("test_registered_exp"), std::string::npos);
+    EXPECT_NE(listing.find("a registered test experiment"),
+              std::string::npos);
+
+    // sorted() is sorted by name and contains every registration.
+    auto all = reg.sorted();
+    EXPECT_EQ(all.size(), reg.size());
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(ExperimentRegistry, DuplicateNameIsFatal)
+{
+    auto &reg = core::ExperimentRegistry::instance();
+    EXPECT_THROW(reg.add({"test_registered_exp", "Dup", "duplicate",
+                          trivialBody}),
+                 sim::FatalError);
+}
+
+TEST(ExperimentRegistry, RunCliUnknownNameFails)
+{
+    const char *argv[] = {"prog"};
+    EXPECT_EQ(core::runExperimentCli("no_such_experiment", 1, argv), 1);
+}
+
+TEST(ExperimentRegistry, RunCliRunsBody)
+{
+    const char *argv[] = {"prog", "--quick"};
+    EXPECT_EQ(core::runExperimentCli("test_registered_exp", 2, argv),
+              42);
+}
+
+TEST(ExperimentRegistry, RunCliParseErrorFails)
+{
+    const char *argv[] = {"prog", "--no-such-flag"};
+    EXPECT_EQ(core::runExperimentCli("test_registered_exp", 2, argv),
+              1);
+}
+
+TEST(ExperimentContext, RejectsZeroRuns)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    EXPECT_FALSE(parseCtx(ctx, {"--runs", "0"}));
+}
+
+TEST(ExperimentContext, AcceptsOneRun)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    EXPECT_TRUE(parseCtx(ctx, {"--runs", "1"}));
+    EXPECT_EQ(ctx.repeat.runs, 1u);
+}
+
+TEST(ExperimentContext, RejectsBadMachineConfig)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    EXPECT_FALSE(parseCtx(ctx, {"--spes", "9"}));
+}
+
+TEST(ExperimentContext, QuickClampsRuns)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    EXPECT_TRUE(parseCtx(ctx, {"--quick", "--runs", "50"}));
+    EXPECT_LE(ctx.repeat.runs, 3u);
+}
+
+TEST(ExperimentContext, ComputesCacheKeyOnParse)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    ASSERT_TRUE(parseCtx(ctx, {"--quick"}));
+    EXPECT_EQ(ctx.cacheKey().size(), 16u);
+    EXPECT_NE(ctx.cacheMaterial().find("experiment ctx_test"),
+              std::string::npos);
+}

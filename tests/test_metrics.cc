@@ -196,7 +196,8 @@ TEST(JsonReport, GoldenSchema)
     rep.metrics().counter("eib0.packets").add(512);
 
     EXPECT_EQ(rep.render(),
-              "{\"schema\":\"cellbw-bench-v1\",\"bench\":\"bench_x\","
+              "{\"schema\":\"cellbw-bench-v2\",\"schema_version\":2,"
+              "\"bench\":\"bench_x\",\"experiment\":\"bench_x\","
               "\"figure\":\"Figure 1\",\"description\":\"a test\","
               "\"config\":{\"runs\":10,\"ghz\":2.1,\"quick\":false,"
               "\"mode\":\"fast\",\"buf\":4096},"
@@ -204,6 +205,32 @@ TEST(JsonReport, GoldenSchema)
               "{\"table\":\"results\",\"spes\":1,\"GB/s\":9.87},"
               "{\"table\":\"results\",\"spes\":8,\"GB/s\":19.5}],"
               "\"metrics\":{\"eib0.packets\":512}}");
+}
+
+TEST(JsonReport, V2EnvelopeFields)
+{
+    util::Options opts("bench_x", "test bench");
+    opts.addUint("runs", 10, "runs");
+    opts.addUint("jobs", 1, "worker threads");
+    opts.setResultNeutral("jobs");
+
+    core::JsonReport rep;
+    rep.setBench("bench_x", "Figure 1", "a test");
+    rep.setExperiment("fig_x");
+    rep.setSuite("nightly");
+    rep.setCacheInfo("salt-1", "deadbeef00000000");
+    rep.setConfig(opts);
+    std::string doc = rep.render();
+
+    EXPECT_NE(doc.find("\"experiment\":\"fig_x\""), std::string::npos);
+    EXPECT_NE(doc.find("\"suite\":\"nightly\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cache\":{\"salt\":\"salt-1\","
+                       "\"key\":\"deadbeef00000000\"}"),
+              std::string::npos);
+    // Result-neutral options stay out of the config section so cached
+    // reports replay bit-identically regardless of --jobs/--json.
+    EXPECT_EQ(doc.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(doc.find("\"runs\":10"), std::string::npos);
 }
 
 TEST(JsonReport, NonNumericCellsStayStrings)

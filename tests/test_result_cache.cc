@@ -1,0 +1,129 @@
+/** @file Tests for the content-addressed result cache. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/experiment_context.hh"
+#include "core/result_cache.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+/** Parse @p args into a fresh context and return (material, key). */
+std::pair<std::string, std::string>
+keyOf(const std::vector<std::string> &args)
+{
+    core::ExperimentContext ctx("cache_test", "d");
+    std::vector<const char *> argv{"prog"};
+    for (const auto &a : args)
+        argv.push_back(a.c_str());
+    EXPECT_TRUE(ctx.parse(static_cast<int>(argv.size()), argv.data()));
+    return {ctx.cacheMaterial(), ctx.cacheKey()};
+}
+
+std::string
+tempRoot(const char *name)
+{
+    // A fresh root every time: temp dirs survive across test runs.
+    std::string root =
+        testing::TempDir() + "cellbw_cache_test_" + name;
+    std::filesystem::remove_all(root);
+    return root;
+}
+
+} // namespace
+
+TEST(ResultCache, KeyIsStable)
+{
+    auto a = keyOf({"--quick", "--runs", "2"});
+    auto b = keyOf({"--quick", "--runs", "2"});
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ResultCache, CanonicalizationUnifiesSpellings)
+{
+    // 4M and 4MiB parse to the same byte count; the material uses the
+    // parsed form, so the keys agree.
+    auto a = keyOf({"--bytes-per-spe", "4M"});
+    auto b = keyOf({"--bytes-per-spe", "4MiB"});
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ResultCache, ResultNeutralFlagsDoNotChangeKey)
+{
+    auto base = keyOf({"--quick"});
+    EXPECT_EQ(keyOf({"--quick", "--jobs", "7"}).second, base.second);
+    EXPECT_EQ(keyOf({"--quick", "--csv"}).second, base.second);
+    EXPECT_EQ(keyOf({"--quick", "--json", "x.json"}).second,
+              base.second);
+}
+
+TEST(ResultCache, ResultAffectingFlagsChangeKey)
+{
+    auto base = keyOf({"--quick"});
+    EXPECT_NE(keyOf({"--quick", "--seed", "99"}).second, base.second);
+    EXPECT_NE(keyOf({"--quick", "--runs", "2"}).second, base.second);
+    EXPECT_NE(keyOf({"--quick", "--spes", "4"}).second, base.second);
+    EXPECT_NE(keyOf({}).second, base.second);
+}
+
+TEST(ResultCache, KeyDependsOnExperimentName)
+{
+    core::ExperimentContext a("exp_a", "d"), b("exp_b", "d");
+    const char *argv[] = {"prog", "--quick"};
+    ASSERT_TRUE(a.parse(2, argv));
+    ASSERT_TRUE(b.parse(2, argv));
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+TEST(ResultCache, MaterialNamesSaltAndExperiment)
+{
+    auto [material, key] = keyOf({"--quick"});
+    EXPECT_NE(material.find(core::ResultCache::kSalt),
+              std::string::npos);
+    EXPECT_NE(material.find("experiment cache_test"),
+              std::string::npos);
+    EXPECT_EQ(key, core::ResultCache::hashKey(material));
+}
+
+TEST(ResultCache, StoreThenLoadIsBitIdentical)
+{
+    core::ResultCache cache(tempRoot("roundtrip"));
+    const std::string material = "salt x\nexperiment e\nopt runs=2\n";
+    const std::string key = core::ResultCache::hashKey(material);
+    const std::string report =
+        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+
+    EXPECT_FALSE(cache.load(key, material).has_value());
+    ASSERT_TRUE(cache.store(key, material, report));
+    auto hit = cache.load(key, material);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, report);
+}
+
+TEST(ResultCache, MaterialMismatchIsAMiss)
+{
+    core::ResultCache cache(tempRoot("mismatch"));
+    const std::string material = "salt x\nexperiment e\n";
+    const std::string key = core::ResultCache::hashKey(material);
+    ASSERT_TRUE(cache.store(key, material, "report"));
+    // Same key, different material: a collision (or corrupted entry)
+    // must degrade to a miss, never a wrong replay.
+    EXPECT_FALSE(cache.load(key, "salt y\nexperiment e\n").has_value());
+    EXPECT_TRUE(cache.load(key, material).has_value());
+}
+
+TEST(ResultCache, HashKeyFormat)
+{
+    std::string k = core::ResultCache::hashKey("anything");
+    EXPECT_EQ(k.size(), 16u);
+    EXPECT_EQ(k.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_NE(k, core::ResultCache::hashKey("anything else"));
+}
