@@ -9,6 +9,9 @@
  *                                      worker pool + result cache
  *   cellbw compare <cand> <base> [opts]
  *                                      regression-gate two JSON reports
+ *   cellbw validate [targets] [opts]   check suite results against the
+ *                                      paper expectations under
+ *                                      baselines/paper/
  *
  * `run` and the legacy binaries share core::runExperimentCli(), so
  * `cellbw run fig08_spe_mem --quick` is byte-identical to
@@ -24,6 +27,7 @@
 #include "bench_common.hh"
 #include "core/compare.hh"
 #include "core/suite.hh"
+#include "core/validate.hh"
 
 using namespace cellbw;
 
@@ -66,7 +70,22 @@ usage(std::FILE *to)
         "    --metrics                  also gate the metrics "
         "section\n"
         "    --metrics-tol PCT          tolerance for metrics "
-        "(default 0)\n",
+        "(default 0)\n"
+        "  validate [experiment...] [options]\n"
+        "                               run experiments (default: every"
+        " baselined one)\n"
+        "                               and check the results against "
+        "the paper\n"
+        "    --baselines DIR            expectation files (default: "
+        "baselines/paper)\n"
+        "    --out DIR                  report directory (default: "
+        "cellbw-validate-out)\n"
+        "    --cache/--no-cache/--jobs/--terse\n"
+        "                               as for suite\n"
+        "    --json FILE                extra copy of the validation "
+        "report\n"
+        "    <other flags>              forwarded to every experiment "
+        "(e.g. --quick)\n",
         to);
     return to == stdout ? 0 : 2;
 }
@@ -159,6 +178,73 @@ cmdSuite(int argc, char **argv)
 }
 
 int
+cmdValidate(int argc, char **argv)
+{
+    core::ValidateSpec spec;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --jobs needs a value\n", stderr);
+                return 2;
+            }
+            char *end = nullptr;
+            unsigned long v = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "cellbw: bad --jobs value '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            spec.jobs = static_cast<unsigned>(v);
+        } else if (a == "--baselines") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --baselines needs a value\n",
+                           stderr);
+                return 2;
+            }
+            spec.baselineDir = argv[i];
+        } else if (a == "--out") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --out needs a value\n", stderr);
+                return 2;
+            }
+            spec.outDir = argv[i];
+        } else if (a == "--cache") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --cache needs a value\n", stderr);
+                return 2;
+            }
+            spec.cacheDir = argv[i];
+        } else if (a == "--json") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --json needs a value\n", stderr);
+                return 2;
+            }
+            spec.jsonPath = argv[i];
+        } else if (a == "--no-cache") {
+            spec.useCache = false;
+        } else if (a == "--terse") {
+            spec.terse = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else if (!a.empty() && a[0] != '-') {
+            spec.targets.push_back(a);
+        } else {
+            // Experiment flags (--quick, machine knobs, ...).  A bare
+            // value after an unknown `--flag` belongs to the flag
+            // unless it names an experiment (then it is a target).
+            spec.forward.push_back(a);
+            if (a.rfind("--", 0) == 0 &&
+                a.find('=') == std::string::npos && i + 1 < argc &&
+                argv[i + 1][0] != '-' &&
+                !core::ExperimentRegistry::instance().find(argv[i + 1]))
+                spec.forward.push_back(argv[++i]);
+        }
+    }
+    return core::runValidate(spec);
+}
+
+int
 cmdCompare(int argc, char **argv)
 {
     std::vector<std::string> paths;
@@ -239,6 +325,8 @@ main(int argc, char **argv)
         return cmdSuite(argc - 2, argv + 2);
     if (cmd == "compare")
         return cmdCompare(argc - 2, argv + 2);
+    if (cmd == "validate")
+        return cmdValidate(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")
         return usage(stdout);
     std::fprintf(stderr, "cellbw: unknown command '%s'\n", cmd.c_str());

@@ -1,0 +1,122 @@
+#include "core/oracle.hh"
+
+#include <cstdlib>
+
+#include "stats/json_writer.hh"
+#include "util/json.hh"
+#include "util/strings.hh"
+
+namespace cellbw::core
+{
+
+Oracle::Oracle(const cell::CellConfig &cfg)
+{
+    const double cpuHz = cfg.clock.cpuHz;
+    const double busHz = cpuHz / cfg.clock.busPeriodTicks;
+
+    ramp_ = cfg.eib.bytesPerBusCycle * busHz / 1e9;
+    ls_ = cfg.spe.ls.bytesPerCycle * cpuHz / 1e9;
+    // The PPU moves at most one 128-bit VMX access through its
+    // load/store port per two cycles: a 16 B/cycle width bound.
+    l1_ = 16.0 * cpuHz / 1e9;
+    pair_ = 2.0 * ramp_;
+    // Segment reservation grants two concurrent <=half-ring transfers
+    // per ring; at the nominal 3.2 GHz this is the quoted 204.8 GB/s.
+    eib_ = cfg.eib.numRings * 2.0 * cfg.eib.bytesPerBusCycle * busHz / 1e9;
+    bank0_ = cfg.memory.bank0.bytesPerTick * cpuHz / 1e9;
+    bank1_ = cfg.memory.bank1.bytesPerTick * cpuHz / 1e9;
+    mem_ = bank0_ + bank1_;
+    io_ = cfg.memory.ioLink.bytesPerTick * cpuHz / 1e9;
+    micIoif_ = ramp_ + io_;
+}
+
+bool
+Oracle::peak(const std::string &name, double &out) const
+{
+    for (const auto &kv : table()) {
+        if (kv.first == name) {
+            out = kv.second;
+            return true;
+        }
+    }
+    auto colon = name.find(':');
+    if (colon != std::string::npos) {
+        const std::string topo = name.substr(0, colon);
+        if (topo == "couples" || topo == "cycle") {
+            char *end = nullptr;
+            const char *num = name.c_str() + colon + 1;
+            unsigned long n = std::strtoul(num, &end, 10);
+            if (end != num && *end == '\0' && n > 0) {
+                out = topologyPeak(static_cast<unsigned>(n));
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::pair<std::string, double>>
+Oracle::table() const
+{
+    return {
+        {"ramp", ramp_}, {"xdr", ramp_},   {"ls", ls_},
+        {"l1", l1_},     {"l2", l1_},      {"pair", pair_},
+        {"eib", eib_},   {"mem", mem_},    {"bank0", bank0_},
+        {"bank1", bank1_}, {"io", io_},    {"mic+ioif", micIoif_},
+    };
+}
+
+bool
+Oracle::fromReportConfig(const util::JsonValue &config, Oracle &out,
+                         std::string &err)
+{
+    if (!config.isObject()) {
+        err = "report config is not an object";
+        return false;
+    }
+
+    util::Options opts("oracle", "rebuilt from a report config");
+    cell::CellConfig::registerOptions(opts);
+    std::vector<std::string> known;
+    for (const auto &o : opts.list())
+        known.push_back(o.name);
+
+    std::vector<std::string> args;
+    args.push_back("oracle");
+    for (const auto &m : config.object()) {
+        bool registered = false;
+        for (const auto &k : known)
+            registered = registered || k == m.first;
+        if (!registered)
+            continue;   // --runs/--seed/--quick/... are not machine knobs
+        std::string text;
+        switch (m.second.kind()) {
+          case util::JsonValue::Kind::Number:
+            text = stats::JsonWriter::number(m.second.number());
+            break;
+          case util::JsonValue::Kind::Bool:
+            text = m.second.boolean() ? "true" : "false";
+            break;
+          case util::JsonValue::Kind::String:
+            text = m.second.str();
+            break;
+          default:
+            err = util::format("config option '%s' has a non-scalar "
+                               "value", m.first.c_str());
+            return false;
+        }
+        args.push_back("--" + m.first + "=" + text);
+    }
+
+    std::vector<const char *> argv;
+    for (const auto &a : args)
+        argv.push_back(a.c_str());
+    if (!opts.parse(static_cast<int>(argv.size()), argv.data())) {
+        err = "report config failed option validation";
+        return false;
+    }
+    out = Oracle(cell::CellConfig::fromOptions(opts));
+    return true;
+}
+
+} // namespace cellbw::core

@@ -5,6 +5,7 @@
 
 #include "core/json_report.hh"
 #include "util/file.hh"
+#include "util/json.hh"
 #include "util/strings.hh"
 
 namespace cellbw::core
@@ -88,6 +89,19 @@ ResultCache::load(const std::string &key,
         return std::nullopt;
     std::string report;
     if (!util::readFile(base + ".json", report))
+        return std::nullopt;
+    // A torn write or on-disk corruption can leave a valid .key next
+    // to damaged report bytes; replaying those would poison the output
+    // tree.  Sanity-parse the stored document and treat anything that
+    // is not a report of our schema as a miss (the caller reruns and
+    // overwrites the entry).
+    util::JsonValue doc;
+    std::string err;
+    if (!util::JsonValue::parse(report, doc, err))
+        return std::nullopt;
+    const util::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str() != JsonReport::kSchema)
         return std::nullopt;
     return report;
 }

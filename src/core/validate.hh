@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Paper-fidelity validation: the `cellbw validate` gate.
+ *
+ * `cellbw suite`/`compare` can tell when results *drift*; this layer
+ * asserts that they actually *reproduce the paper*.  Expectations live
+ * as machine-readable `cellbw-paper-v1` documents under
+ * `baselines/paper/`: one file per figure/table of Jiménez-González
+ * et al., plus `rules.json` with the paper's cross-experiment
+ * programming rules.  Each file is a list of named checks over the
+ * points of a cellbw-bench-v2 report:
+ *
+ *   band       every selected value inside an absolute [min,max] GB/s
+ *              band and/or inside [rel_min,rel_max] x a named analytic
+ *              peak from core::Oracle ("pair", "ramp", "eib", ...)
+ *   monotonic  selected values ordered by a column rise (or fall),
+ *              with a relative slack for simulation noise
+ *   ordering   aggregate of selection A >= (or <=) factor x aggregate
+ *              of selection B — crossovers, saturation, who-wins
+ *   plateau    selected values within spread_pct of each other
+ *   spread     per-row gap between two columns (placement min/max) at
+ *              least min_gap GB/s
+ *
+ * A selection is a {column: matcher} object; matchers are exact
+ * strings, exact numbers, arrays of either, or {"min":..,"max":..}
+ * ranges evaluated numerically (byte-size labels like "1KiB" compare
+ * as bytes, the sync-sweep's "all" as +infinity).  `ordering` checks
+ * may reach across experiments — that is how the paper's four
+ * programming rules (>=8 B accesses, delayed sync, DMA lists below
+ * 1 KiB, 2x4 SPEs over 1x8) are encoded as executable assertions.
+ *
+ * runValidate() drives the selected experiments through the shared
+ * suite/cache path, evaluates every check against the fresh reports,
+ * and reports pass/fail per rule with the offending points named.
+ * Oracle-relative expectations are derived from each report's own
+ * config section, so forwarded machine flags re-scale them instead of
+ * breaking them.
+ */
+
+#ifndef CELLBW_CORE_VALIDATE_HH
+#define CELLBW_CORE_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+namespace cellbw::core
+{
+
+struct ValidateSpec
+{
+    /** Experiments to validate; empty = every baselined experiment. */
+    std::vector<std::string> targets;
+
+    /** Directory of cellbw-paper-v1 expectation files. */
+    std::string baselineDir = "baselines/paper";
+
+    /** Where experiment reports and validate.json land. */
+    std::string outDir = "cellbw-validate-out";
+
+    /** Result-cache root (shared with `cellbw suite`). */
+    std::string cacheDir = ".cellbw-cache";
+
+    /** false disables the result cache (--no-cache). */
+    bool useCache = true;
+
+    /** Shared pool width; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+
+    /** Flags forwarded to every experiment (--quick, machine knobs). */
+    std::vector<std::string> forward;
+
+    /** Suppress per-experiment progress lines. */
+    bool terse = false;
+
+    /** Extra JSON copy of the validation report (--json FILE). */
+    std::string jsonPath;
+};
+
+/** One evaluated check. */
+struct CheckOutcome
+{
+    enum class Status { Pass, Fail, Skip };
+
+    std::string rule;        ///< the check's name, e.g. "paper.rule3-..."
+    std::string experiment;  ///< primary experiment ("-" for cross rules)
+    Status status = Status::Skip;
+    std::string detail;      ///< failure diagnostics / skip reason
+};
+
+struct ValidateOutcome
+{
+    std::vector<CheckOutcome> checks;
+    unsigned passed = 0;
+    unsigned failed = 0;
+    unsigned skipped = 0;
+
+    bool ok() const { return failed == 0; }
+};
+
+/**
+ * Run the validation campaign.  Progress and the report go to stdout,
+ * errors to stderr.
+ * @return process exit code: 0 all checks pass, 1 any check failed,
+ *         2 setup failure (missing baseline, unknown experiment,
+ *         malformed expectation file, experiment failure).
+ */
+int runValidate(const ValidateSpec &spec,
+                ValidateOutcome *outcome = nullptr);
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_VALIDATE_HH

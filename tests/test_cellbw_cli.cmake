@@ -1,0 +1,111 @@
+# Exercises the cellbw driver's error paths end to end: unknown
+# experiment names, malformed manifests, a corrupted cache entry
+# (which must degrade to a miss, not poison the run), and validate
+# against a missing baseline directory.
+#
+# Usage:
+#   cmake -DCELLBW=<cellbw> -DWORKDIR=<scratch dir> -P test_cellbw_cli.cmake
+
+foreach(var CELLBW WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# run_cellbw(<name> <expected rc> <args...>): runs cellbw in WORKDIR and
+# stores stdout/stderr in <name>_out / <name>_err.
+function(run_cellbw name expect_rc)
+    execute_process(
+        COMMAND "${CELLBW}" ${ARGN}
+        WORKING_DIRECTORY "${WORKDIR}"
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(expect_rc STREQUAL "nonzero")
+        if(rc EQUAL 0)
+            message(FATAL_ERROR "${name}: expected failure, got rc=0\n"
+                                "stdout:\n${out}\nstderr:\n${err}")
+        endif()
+    elseif(NOT rc EQUAL ${expect_rc})
+        message(FATAL_ERROR "${name}: expected rc=${expect_rc}, "
+                            "got rc=${rc}\n"
+                            "stdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(${name}_out "${out}" PARENT_SCOPE)
+    set(${name}_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- 1. Unknown experiment name -------------------------------------
+run_cellbw(badrun nonzero run no_such_experiment --quick)
+if(NOT badrun_err MATCHES "unknown experiment 'no_such_experiment'")
+    message(FATAL_ERROR "bad run message unhelpful:\n${badrun_err}")
+endif()
+
+# --- 2. Malformed manifest line -------------------------------------
+file(WRITE "${WORKDIR}/bad.manifest"
+     "# comment line is fine\n"
+     "ls_spu_ls\n"
+     "not_an_experiment --quick\n")
+run_cellbw(badsuite nonzero suite bad.manifest --quick)
+if(NOT badsuite_err MATCHES "bad.manifest:3: unknown experiment")
+    message(FATAL_ERROR
+            "manifest error lacks file:line context:\n${badsuite_err}")
+endif()
+
+# Unreadable manifest path is a clear error, not an empty suite.
+run_cellbw(nomanifest nonzero suite no/such.manifest --quick)
+if(NOT nomanifest_err MATCHES "cannot read manifest")
+    message(FATAL_ERROR "missing-manifest message:\n${nomanifest_err}")
+endif()
+
+# --- 3. Corrupt cache entry degrades to a miss ----------------------
+file(WRITE "${WORKDIR}/mini.manifest" "ls_spu_ls\n")
+run_cellbw(cold 0 suite mini.manifest --quick --out cold --cache cache)
+if(NOT cold_out MATCHES "cache hits: 0/1")
+    message(FATAL_ERROR "cold run was not a miss:\n${cold_out}")
+endif()
+
+# Truncate every stored report; the .key files stay valid, so a naive
+# cache would replay the damaged bytes into the output tree.
+file(GLOB_RECURSE entries "${WORKDIR}/cache/*.json")
+list(LENGTH entries n)
+if(n EQUAL 0)
+    message(FATAL_ERROR "cold run stored no cache entries")
+endif()
+foreach(entry ${entries})
+    file(READ "${entry}" bytes LIMIT 40)
+    file(WRITE "${entry}" "${bytes}")
+endforeach()
+
+run_cellbw(corrupt 0 suite mini.manifest --quick --out corrupt
+           --cache cache)
+if(NOT corrupt_out MATCHES "cache hits: 0/1")
+    message(FATAL_ERROR
+            "corrupt entry was replayed as a hit:\n${corrupt_out}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORKDIR}/cold/ls_spu_ls.json"
+            "${WORKDIR}/corrupt/ls_spu_ls.json"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "rerun after corruption differs from cold run")
+endif()
+
+# The rerun repaired the entry: a third pass is a hit again.
+run_cellbw(healed 0 suite mini.manifest --quick --out healed
+           --cache cache)
+if(NOT healed_out MATCHES "cache hits: 1/1")
+    message(FATAL_ERROR "repaired entry did not hit:\n${healed_out}")
+endif()
+
+# --- 4. validate without baselines ----------------------------------
+run_cellbw(noval 2 validate --quick --baselines no/such/dir)
+if(NOT noval_err MATCHES "cellbw validate:")
+    message(FATAL_ERROR "validate error message:\n${noval_err}")
+endif()
+
+message(STATUS "cellbw CLI error paths behave")

@@ -1,0 +1,212 @@
+/** @file Round-trip property tests for util/json plus the committed
+ *        corpus of edge-case inputs in tests/json_corpus/. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "stats/json_writer.hh"
+#include "util/file.hh"
+#include "util/json.hh"
+
+using namespace cellbw;
+using util::JsonValue;
+
+namespace
+{
+
+/** Deterministic random document generator. */
+JsonValue
+genValue(std::mt19937 &rng, int depth)
+{
+    auto pick = [&](int n) {
+        return static_cast<int>(rng() % static_cast<unsigned>(n));
+    };
+    // Weight leaves heavier as we go deeper so documents terminate.
+    const int kind = pick(depth > 4 ? 5 : 7);
+    switch (kind) {
+      case 0:
+        return JsonValue::makeNull();
+      case 1:
+        return JsonValue::makeBool(pick(2) == 0);
+      case 2: {
+        switch (pick(4)) {
+          case 0:
+            return JsonValue::makeNumber(
+                static_cast<double>(static_cast<std::int64_t>(rng())));
+          case 1:
+            return JsonValue::makeNumber(
+                static_cast<double>(rng()) / 977.0 -
+                static_cast<double>(rng()) / 331.0);
+          case 2:
+            // Big uint64 values, above double's 53-bit integers.
+            return JsonValue::makeRawNumber(
+                std::to_string(9007199254740993ull +
+                               rng() % 1000000000ull));
+          default:
+            return JsonValue::makeRawNumber("18446744073709551615");
+        }
+      }
+      case 3: {
+        std::string s;
+        const int len = pick(12);
+        for (int i = 0; i < len; ++i) {
+            // Includes controls, quotes, backslashes, and high bytes.
+            s += static_cast<char>(rng() % 256);
+        }
+        return JsonValue::makeString(std::move(s));
+      }
+      case 4: {
+        std::string s = "plain";
+        s += std::to_string(pick(100));
+        return JsonValue::makeString(std::move(s));
+      }
+      case 5: {
+        std::vector<JsonValue> elems;
+        const int len = pick(4);
+        for (int i = 0; i < len; ++i)
+            elems.push_back(genValue(rng, depth + 1));
+        return JsonValue::makeArray(std::move(elems));
+      }
+      default: {
+        std::vector<JsonValue::Member> members;
+        const int len = pick(4);
+        for (int i = 0; i < len; ++i) {
+            members.emplace_back("k" + std::to_string(i),
+                                 genValue(rng, depth + 1));
+        }
+        return JsonValue::makeObject(std::move(members));
+      }
+    }
+}
+
+std::string
+nested(int depth, const std::string &leaf)
+{
+    std::string s;
+    for (int i = 0; i < depth; ++i)
+        s += '[';
+    s += leaf;
+    for (int i = 0; i < depth; ++i)
+        s += ']';
+    return s;
+}
+
+} // namespace
+
+TEST(JsonRoundTrip, GeneratedDocumentsSurviveDumpParse)
+{
+    std::mt19937 rng(20260806);
+    for (int i = 0; i < 500; ++i) {
+        JsonValue doc = genValue(rng, 0);
+        const std::string text = doc.dump();
+
+        JsonValue back;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(text, back, err))
+            << "iteration " << i << ": " << err << "\n" << text;
+        EXPECT_TRUE(back == doc) << "iteration " << i << "\n" << text;
+        // dump() is a fixed point: dumping the reparse is identical.
+        EXPECT_EQ(back.dump(), text) << "iteration " << i;
+    }
+}
+
+TEST(JsonRoundTrip, BigUint64TokensAreLossless)
+{
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"max": 18446744073709551615, "odd": 9007199254740993})", doc,
+        err))
+        << err;
+    EXPECT_EQ(doc.find("max")->numberToken(), "18446744073709551615");
+    EXPECT_EQ(doc.find("odd")->numberToken(), "9007199254740993");
+    EXPECT_EQ(doc.dump(),
+              R"({"max":18446744073709551615,"odd":9007199254740993})");
+}
+
+TEST(JsonRoundTrip, EscapeSequencesRoundTrip)
+{
+    const std::string raw = std::string("a\"b\\c\n\t\r\b\f") +
+                            std::string(1, '\0') + "\x01 end";
+    JsonValue doc = JsonValue::makeString(raw);
+    JsonValue back;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(doc.dump(), back, err)) << err;
+    EXPECT_EQ(back.str(), raw);
+
+    // The stats writer's escaping parses back to the same string too.
+    const std::string viaWriter =
+        "\"" + stats::JsonWriter::escape(raw) + "\"";
+    ASSERT_TRUE(JsonValue::parse(viaWriter, back, err)) << err;
+    EXPECT_EQ(back.str(), raw);
+}
+
+TEST(JsonRoundTrip, DepthCapIsExactAndFatalFree)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(
+        nested(static_cast<int>(JsonValue::kMaxDepth), "1"), doc, err))
+        << err;
+    EXPECT_FALSE(JsonValue::parse(
+        nested(static_cast<int>(JsonValue::kMaxDepth) + 1, "1"), doc,
+        err));
+    EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+}
+
+TEST(JsonRoundTrip, StrictNumberGrammar)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse("+1", doc, err));
+    EXPECT_FALSE(JsonValue::parse("01", doc, err));
+    EXPECT_FALSE(JsonValue::parse("1.", doc, err));
+    EXPECT_FALSE(JsonValue::parse(".5", doc, err));
+    EXPECT_FALSE(JsonValue::parse("1e", doc, err));
+    EXPECT_FALSE(JsonValue::parse("1e+", doc, err));
+    EXPECT_FALSE(JsonValue::parse("--1", doc, err));
+    EXPECT_TRUE(JsonValue::parse("-0.5e+10", doc, err)) << err;
+    EXPECT_TRUE(JsonValue::parse("0", doc, err)) << err;
+
+    EXPECT_THROW(JsonValue::makeRawNumber("+1"), std::invalid_argument);
+    EXPECT_THROW(JsonValue::makeRawNumber("1x"), std::invalid_argument);
+}
+
+TEST(JsonRoundTrip, CommittedCorpus)
+{
+    namespace fs = std::filesystem;
+    unsigned ok = 0, bad = 0;
+    for (const auto &entry : fs::directory_iterator(CELLBW_JSON_CORPUS)) {
+        const std::string name = entry.path().filename().string();
+        std::string text;
+        ASSERT_TRUE(util::readFile(entry.path().string(), text)) << name;
+
+        JsonValue doc;
+        std::string err;
+        const bool parsed = JsonValue::parse(text, doc, err);
+        if (name.rfind("ok_", 0) == 0) {
+            EXPECT_TRUE(parsed) << name << ": " << err;
+            if (parsed) {
+                // Every accepted corpus document must round-trip.
+                JsonValue back;
+                ASSERT_TRUE(JsonValue::parse(doc.dump(), back, err))
+                    << name << ": " << err;
+                EXPECT_TRUE(back == doc) << name;
+            }
+            ++ok;
+        } else if (name.rfind("bad_", 0) == 0) {
+            EXPECT_FALSE(parsed) << name << " parsed unexpectedly";
+            EXPECT_FALSE(err.empty()) << name;
+            ++bad;
+        } else {
+            FAIL() << "corpus file " << name
+                   << " must start with ok_ or bad_";
+        }
+    }
+    EXPECT_GE(ok, 3u);
+    EXPECT_GE(bad, 4u);
+}

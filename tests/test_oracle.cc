@@ -1,0 +1,122 @@
+/** @file Tests for the analytic bandwidth oracle (core::Oracle). */
+
+#include <gtest/gtest.h>
+
+#include "cell/config.hh"
+#include "core/oracle.hh"
+#include "util/json.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+cell::CellConfig
+configAt(double ghz)
+{
+    cell::CellConfig cfg;
+    cfg.clock.cpuHz = ghz * 1e9;
+    // Bank/IO rates are specified in GB/s and are clock-invariant;
+    // EIB/LS widths are per-cycle and scale.  Mirror fromOptions.
+    return cfg;
+}
+
+} // namespace
+
+TEST(Oracle, Table1PeaksAtPaperClock)
+{
+    core::Oracle o{cell::CellConfig{}};
+
+    // Table 1 of the paper, derived from the 2.1 GHz blade's widths.
+    EXPECT_DOUBLE_EQ(o.rampPeak(), 16.8);
+    EXPECT_DOUBLE_EQ(o.lsPeak(), 33.6);
+    EXPECT_DOUBLE_EQ(o.l1Peak(), 33.6);
+    EXPECT_DOUBLE_EQ(o.l2Peak(), 33.6);
+    EXPECT_DOUBLE_EQ(o.pairPeak(), 33.6);
+    EXPECT_DOUBLE_EQ(o.eibPeak(), 134.4);
+    EXPECT_NEAR(o.micIoifPeak(), 23.8, 1e-9);
+    EXPECT_NEAR(o.ioPeak(), 7.0, 1e-9);
+    EXPECT_NEAR(o.memSustained(), 31.0, 1e-9);
+}
+
+TEST(Oracle, NominalClockGivesQuotedCellFigures)
+{
+    // At the nominal 3.2 GHz Cell the same formulas produce the widely
+    // quoted 204.8 GB/s EIB and 25.6 GB/s XDR numbers.
+    core::Oracle o{configAt(3.2)};
+    EXPECT_NEAR(o.eibPeak(), 204.8, 1e-9);
+    EXPECT_NEAR(o.rampPeak(), 25.6, 1e-9);
+    EXPECT_NEAR(o.lsPeak(), 51.2, 1e-9);
+}
+
+TEST(Oracle, PeaksScaleLinearlyWithClock)
+{
+    core::Oracle full{configAt(2.1)};
+    core::Oracle half{configAt(1.05)};
+    EXPECT_DOUBLE_EQ(half.rampPeak(), full.rampPeak() / 2.0);
+    EXPECT_DOUBLE_EQ(half.lsPeak(), full.lsPeak() / 2.0);
+    EXPECT_DOUBLE_EQ(half.eibPeak(), full.eibPeak() / 2.0);
+    EXPECT_DOUBLE_EQ(half.pairPeak(), full.pairPeak() / 2.0);
+}
+
+TEST(Oracle, NamedLookupCoversEveryPeak)
+{
+    core::Oracle o{cell::CellConfig{}};
+    double v = 0.0;
+
+    ASSERT_TRUE(o.peak("ramp", v));
+    EXPECT_DOUBLE_EQ(v, 16.8);
+    ASSERT_TRUE(o.peak("xdr", v));
+    EXPECT_DOUBLE_EQ(v, 16.8);
+    ASSERT_TRUE(o.peak("eib", v));
+    EXPECT_DOUBLE_EQ(v, 134.4);
+    ASSERT_TRUE(o.peak("couples:4", v));
+    EXPECT_DOUBLE_EQ(v, 4 * 16.8);
+    ASSERT_TRUE(o.peak("cycle:8", v));
+    EXPECT_DOUBLE_EQ(v, 8 * 16.8);
+
+    EXPECT_FALSE(o.peak("no-such-peak", v));
+    EXPECT_FALSE(o.peak("couples:", v));
+    EXPECT_FALSE(o.peak("couples:x", v));
+    EXPECT_FALSE(o.peak("couples:0", v));
+
+    for (const auto &kv : o.table()) {
+        double looked = 0.0;
+        ASSERT_TRUE(o.peak(kv.first, looked)) << kv.first;
+        EXPECT_DOUBLE_EQ(looked, kv.second) << kv.first;
+    }
+}
+
+TEST(Oracle, FromReportConfigUsesMachineOptions)
+{
+    util::JsonValue config;
+    std::string err;
+    ASSERT_TRUE(util::JsonValue::parse(
+        R"({"cpu-ghz": 4.2, "runs": 3, "seed": 42, "csv": false})",
+        config, err))
+        << err;
+
+    core::Oracle o{cell::CellConfig{}};
+    ASSERT_TRUE(core::Oracle::fromReportConfig(config, o, err)) << err;
+    // Twice the paper clock doubles the per-cycle peaks; the
+    // result-shaping options (runs/seed) must be ignored.
+    EXPECT_NEAR(o.rampPeak(), 33.6, 1e-9);
+    EXPECT_NEAR(o.eibPeak(), 268.8, 1e-9);
+}
+
+TEST(Oracle, FromReportConfigRejectsBadDocuments)
+{
+    core::Oracle o{cell::CellConfig{}};
+    std::string err;
+
+    util::JsonValue notObject;
+    ASSERT_TRUE(util::JsonValue::parse("[1, 2]", notObject, err)) << err;
+    EXPECT_FALSE(core::Oracle::fromReportConfig(notObject, o, err));
+    EXPECT_FALSE(err.empty());
+
+    util::JsonValue nested;
+    ASSERT_TRUE(util::JsonValue::parse(R"({"cpu-ghz": {"nested": 1}})",
+                                       nested, err))
+        << err;
+    EXPECT_FALSE(core::Oracle::fromReportConfig(nested, o, err));
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -112,10 +113,39 @@ TEST(ResultCache, MaterialMismatchIsAMiss)
     core::ResultCache cache(tempRoot("mismatch"));
     const std::string material = "salt x\nexperiment e\n";
     const std::string key = core::ResultCache::hashKey(material);
-    ASSERT_TRUE(cache.store(key, material, "report"));
+    const std::string report =
+        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+    ASSERT_TRUE(cache.store(key, material, report));
     // Same key, different material: a collision (or corrupted entry)
     // must degrade to a miss, never a wrong replay.
     EXPECT_FALSE(cache.load(key, "salt y\nexperiment e\n").has_value());
+    EXPECT_TRUE(cache.load(key, material).has_value());
+}
+
+TEST(ResultCache, DamagedReportBytesAreAMiss)
+{
+    const std::string root = tempRoot("damaged");
+    core::ResultCache cache(root);
+    const std::string material = "salt x\nexperiment e\n";
+    const std::string key = core::ResultCache::hashKey(material);
+    const std::string report =
+        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+    ASSERT_TRUE(cache.store(key, material, report));
+    ASSERT_TRUE(cache.load(key, material).has_value());
+
+    // A torn write leaves a valid .key beside truncated JSON; replay
+    // would poison the output tree, so load() must miss instead.
+    const std::string path =
+        root + "/" + key.substr(0, 2) + "/" + key + ".json";
+    std::ofstream(path, std::ios::trunc) << report.substr(0, 10);
+    EXPECT_FALSE(cache.load(key, material).has_value());
+
+    // Valid JSON of the wrong schema is equally untrustworthy.
+    std::ofstream(path, std::ios::trunc) << "{\"schema\":\"other\"}";
+    EXPECT_FALSE(cache.load(key, material).has_value());
+
+    // Re-storing repairs the entry.
+    ASSERT_TRUE(cache.store(key, material, report));
     EXPECT_TRUE(cache.load(key, material).has_value());
 }
 

@@ -1,0 +1,239 @@
+/** @file Tests for core::runValidate — setup-error exit codes and a
+ *        real end-to-end pass/fail run on a tiny experiment. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/validate.hh"
+#include "util/file.hh"
+
+using namespace cellbw;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A unique scratch tree per test, removed on destruction. */
+struct ScratchDir
+{
+    explicit ScratchDir(const std::string &tag)
+        : path((fs::temp_directory_path() /
+                ("cellbw-validate-test-" + tag))
+                   .string())
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+
+    std::string sub(const std::string &name) const
+    {
+        const std::string p = path + "/" + name;
+        fs::create_directories(p);
+        return p;
+    }
+
+    std::string path;
+};
+
+core::ValidateSpec
+baseSpec(const ScratchDir &dir)
+{
+    core::ValidateSpec spec;
+    spec.baselineDir = dir.path + "/baselines";
+    spec.outDir = dir.path + "/out";
+    spec.cacheDir = dir.path + "/cache";
+    spec.terse = true;
+    spec.forward = {"--quick"};
+    return spec;
+}
+
+void
+writeBaseline(const core::ValidateSpec &spec, const std::string &name,
+              const std::string &body)
+{
+    fs::create_directories(spec.baselineDir);
+    ASSERT_TRUE(
+        util::writeFileAtomic(spec.baselineDir + "/" + name, body));
+}
+
+} // namespace
+
+TEST(Validate, MissingBaselineDirIsSetupFailure)
+{
+    ScratchDir dir("missing-dir");
+    core::ValidateSpec spec = baseSpec(dir);
+    spec.baselineDir = dir.path + "/no-such-dir";
+
+    core::ValidateOutcome outcome;
+    EXPECT_EQ(core::runValidate(spec, &outcome), 2);
+    EXPECT_TRUE(outcome.checks.empty());
+}
+
+TEST(Validate, MalformedBaselineIsSetupFailure)
+{
+    ScratchDir dir("malformed");
+    core::ValidateSpec spec = baseSpec(dir);
+    writeBaseline(spec, "broken.json", "{ not json");
+    EXPECT_EQ(core::runValidate(spec), 2);
+
+    // Valid JSON but the wrong schema must be rejected too.
+    writeBaseline(spec, "broken.json", R"json({"schema": "other-v9"})json");
+    EXPECT_EQ(core::runValidate(spec), 2);
+
+    // Right schema, but no checks to evaluate.
+    writeBaseline(spec, "broken.json",
+                  R"json({"schema": "cellbw-paper-v1", "checks": []})json");
+    EXPECT_EQ(core::runValidate(spec), 2);
+}
+
+TEST(Validate, UnknownExperimentNamesAreSetupFailures)
+{
+    ScratchDir dir("unknown-exp");
+    core::ValidateSpec spec = baseSpec(dir);
+
+    // A baseline pinned to an experiment the registry doesn't have.
+    writeBaseline(spec, "ghost.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "no_such_experiment",
+      "checks": [{"rule": "x", "kind": "band",
+                  "select": {}, "column": "GB/s", "min": 0}]
+    })json");
+    EXPECT_EQ(core::runValidate(spec), 2);
+
+    // An explicit target that isn't a registered experiment.
+    writeBaseline(spec, "ghost.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "ls_spu_ls",
+      "checks": [{"rule": "x", "kind": "band",
+                  "select": {}, "column": "GB/s", "min": 0}]
+    })json");
+    spec.targets = {"definitely_not_registered"};
+    EXPECT_EQ(core::runValidate(spec), 2);
+
+    // A real experiment with no paper baseline behind it.
+    spec.targets = {"fig03_ppe_l1"};
+    EXPECT_EQ(core::runValidate(spec), 2);
+}
+
+TEST(Validate, PassingAndFailingBandsOnRealRun)
+{
+    ScratchDir dir("real-run");
+    core::ValidateSpec spec = baseSpec(dir);
+
+    // ls_spu_ls --quick takes milliseconds; the 16B load hits the LS
+    // peak, so a generous absolute band and an oracle-relative band
+    // both hold, while a deliberately impossible band must fail and
+    // name the offending point.
+    writeBaseline(spec, "ls_spu_ls.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "ls_spu_ls",
+      "checks": [
+        {"rule": "test.band-holds", "kind": "band",
+         "select": {"op": "load", "elem": "16B"},
+         "column": "GB/s", "min": 20.0, "max": 40.0},
+        {"rule": "test.oracle-band-holds", "kind": "band",
+         "select": {"op": "load", "elem": "16B"},
+         "column": "GB/s",
+         "oracle": "ls", "rel_min": 0.9, "rel_max": 1.01},
+        {"rule": "test.impossible-band", "kind": "band",
+         "select": {"op": "load", "elem": "16B"},
+         "column": "GB/s", "min": 1000.0}
+      ]
+    })json");
+
+    core::ValidateOutcome outcome;
+    EXPECT_EQ(core::runValidate(spec, &outcome), 1);
+    ASSERT_EQ(outcome.checks.size(), 3u);
+    EXPECT_EQ(outcome.passed, 2u);
+    EXPECT_EQ(outcome.failed, 1u);
+
+    const core::CheckOutcome &bad = outcome.checks[2];
+    EXPECT_EQ(bad.rule, "test.impossible-band");
+    EXPECT_EQ(bad.status, core::CheckOutcome::Status::Fail);
+    // The diagnostic names the offending point and its value.
+    EXPECT_NE(bad.detail.find("op=load"), std::string::npos)
+        << bad.detail;
+    EXPECT_NE(bad.detail.find("1000"), std::string::npos) << bad.detail;
+
+    // Dropping the impossible check makes the same tree validate
+    // clean, served entirely from the result cache this time.
+    writeBaseline(spec, "ls_spu_ls.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "ls_spu_ls",
+      "checks": [
+        {"rule": "test.band-holds", "kind": "band",
+         "select": {"op": "load", "elem": "16B"},
+         "column": "GB/s", "min": 20.0, "max": 40.0}
+      ]
+    })json");
+    core::ValidateOutcome clean;
+    EXPECT_EQ(core::runValidate(spec, &clean), 0);
+    EXPECT_EQ(clean.failed, 0u);
+    EXPECT_EQ(clean.passed, 1u);
+    EXPECT_TRUE(clean.ok());
+}
+
+TEST(Validate, CrossExperimentChecksSkipWhenPeerNotRun)
+{
+    ScratchDir dir("skip");
+    core::ValidateSpec spec = baseSpec(dir);
+
+    writeBaseline(spec, "ls_spu_ls.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "ls_spu_ls",
+      "checks": [
+        {"rule": "test.band-holds", "kind": "band",
+         "select": {"op": "load", "elem": "16B"},
+         "column": "GB/s", "min": 20.0}
+      ]
+    })json");
+    // A cross-experiment rule whose peer (fig03_ppe_l1) is baselined
+    // but not selected: the rule must Skip, not fail.
+    writeBaseline(spec, "fig03_ppe_l1.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "experiment": "fig03_ppe_l1",
+      "checks": [
+        {"rule": "test.peer-band", "kind": "band",
+         "select": {}, "column": "GB/s", "min": 0.0}
+      ]
+    })json");
+    writeBaseline(spec, "rules.json", R"json({
+      "schema": "cellbw-paper-v1",
+      "checks": [
+        {"rule": "test.cross-rule", "kind": "ordering",
+         "a": {"experiment": "ls_spu_ls",
+               "select": {"op": "load", "elem": "16B"},
+               "column": "GB/s", "agg": "mean"},
+         "b": {"experiment": "fig03_ppe_l1",
+               "select": {"op": "load"},
+               "column": "GB/s", "agg": "mean"},
+         "cmp": ">=", "factor": 1.0}
+      ]
+    })json");
+
+    spec.targets = {"ls_spu_ls"};
+    core::ValidateOutcome outcome;
+    EXPECT_EQ(core::runValidate(spec, &outcome), 0);
+    EXPECT_EQ(outcome.failed, 0u);
+    ASSERT_EQ(outcome.skipped, 2u);
+
+    bool sawSkip = false;
+    for (const auto &c : outcome.checks) {
+        if (c.rule != "test.cross-rule")
+            continue;
+        sawSkip = true;
+        EXPECT_EQ(c.status, core::CheckOutcome::Status::Skip);
+        EXPECT_NE(c.detail.find("fig03_ppe_l1"), std::string::npos)
+            << c.detail;
+    }
+    EXPECT_TRUE(sawSkip);
+
+    // validate.json lands in the out tree for tooling.
+    std::string report;
+    EXPECT_TRUE(util::readFile(spec.outDir + "/validate.json", report));
+    EXPECT_NE(report.find("test.cross-rule"), std::string::npos);
+}
