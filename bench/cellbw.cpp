@@ -26,8 +26,10 @@
 
 #include "bench_common.hh"
 #include "core/compare.hh"
+#include "core/result_cache.hh"
 #include "core/suite.hh"
 #include "core/validate.hh"
+#include "util/strings.hh"
 
 using namespace cellbw;
 
@@ -71,6 +73,12 @@ usage(std::FILE *to)
         "section\n"
         "    --metrics-tol PCT          tolerance for metrics "
         "(default 0)\n"
+        "  cache prune [options]        evict least-recently-used "
+        "result-cache entries\n"
+        "    --max-bytes SIZE           keep at most SIZE bytes "
+        "(e.g. 64M; 0 empties)\n"
+        "    --cache DIR                cache root (default: "
+        ".cellbw-cache)\n"
         "  validate [experiment...] [options]\n"
         "                               run experiments (default: every"
         " baselined one)\n"
@@ -309,6 +317,63 @@ cmdCompare(int argc, char **argv)
     return result.ok() ? 0 : 1;
 }
 
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 1 || std::string(argv[0]) != "prune") {
+        std::fputs("usage: cellbw cache prune --max-bytes SIZE "
+                   "[--cache DIR]\n", stderr);
+        return 2;
+    }
+    std::string root = ".cellbw-cache";
+    std::uint64_t maxBytes = 0;
+    bool haveMax = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--max-bytes") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --max-bytes needs a value\n",
+                           stderr);
+                return 2;
+            }
+            try {
+                maxBytes = util::parseByteSize(argv[i]);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "cellbw: bad --max-bytes value "
+                             "'%s': %s\n", argv[i], e.what());
+                return 2;
+            }
+            haveMax = true;
+        } else if (a == "--cache") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --cache needs a value\n", stderr);
+                return 2;
+            }
+            root = argv[i];
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else {
+            std::fprintf(stderr, "cellbw: unknown cache flag '%s'\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+    if (!haveMax) {
+        std::fputs("cellbw: cache prune needs --max-bytes\n", stderr);
+        return 2;
+    }
+    core::ResultCache cache(root);
+    auto stats = cache.prune(maxBytes);
+    std::printf("cache prune: %llu entries / %llu bytes scanned, "
+                "%llu entries / %llu bytes evicted (budget %llu)\n",
+                (unsigned long long)stats.entries,
+                (unsigned long long)stats.bytes,
+                (unsigned long long)stats.evicted,
+                (unsigned long long)stats.evictedBytes,
+                (unsigned long long)maxBytes);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -327,6 +392,8 @@ main(int argc, char **argv)
         return cmdCompare(argc - 2, argv + 2);
     if (cmd == "validate")
         return cmdValidate(argc - 2, argv + 2);
+    if (cmd == "cache")
+        return cmdCache(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")
         return usage(stdout);
     std::fprintf(stderr, "cellbw: unknown command '%s'\n", cmd.c_str());

@@ -33,6 +33,34 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
 
+/**
+ * Same-tick burst delivery: the MFC/EIB hot path frequently schedules
+ * dozens of completions onto the tick being drained.  Measures the
+ * batched bucket drain (append while dispatching, FIFO preserved).
+ */
+void
+BM_SameTickDrain(benchmark::State &state)
+{
+    const int bursts = static_cast<int>(state.range(0));
+    constexpr int kPerBurst = 64;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        long sum = 0;
+        for (int b = 0; b < bursts; ++b) {
+            eq.schedule(static_cast<Tick>(b), [&eq, &sum] {
+                // Fan out onto the tick currently being drained.
+                for (int i = 0; i < kPerBurst; ++i)
+                    eq.schedule(0, [&sum, i] { sum += i; });
+            });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * bursts *
+                            (kPerBurst + 1));
+}
+BENCHMARK(BM_SameTickDrain)->Arg(1024);
+
 void
 BM_SingleSpeGet(benchmark::State &state)
 {
@@ -92,6 +120,33 @@ BM_SeedSweep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * spec.runs);
 }
 BENCHMARK(BM_SeedSweep)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/**
+ * A dual-chip run on the partitioned engine.  Arg = --sim-jobs (worker
+ * threads over the two chip partitions); /1 vs /2 measures the
+ * conservative-parallel scaling.  The schedule — and the bandwidth —
+ * is bit-identical for any value.
+ */
+void
+BM_DualChipParallel(benchmark::State &state)
+{
+    const unsigned simJobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        cell::CellConfig cfg;
+        cfg.numChips = 2;
+        cfg.numSpes = 16;
+        cfg.simJobs = simJobs;
+        cell::CellSystem sys(cfg, 1);
+        core::SpeSpeConfig sc;
+        sc.numSpes = 16;
+        sc.elemBytes = 4096;
+        sc.bytesPerStream = 1 * util::MiB;
+        double bw = core::runSpeSpe(sys, sc);
+        benchmark::DoNotOptimize(bw);
+    }
+}
+BENCHMARK(BM_DualChipParallel)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void

@@ -1,6 +1,8 @@
 #include "cell/cell_system.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <thread>
 
 #include "sim/logging.hh"
 #include "stats/metrics.hh"
@@ -20,14 +22,39 @@ CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
         sim::fatal("numSpes must be 1..%u with %u chip(s)", slots,
                    cfg_.numChips);
 
-    eq_ = std::make_unique<sim::EventQueue>();
-    memory_ = std::make_unique<mem::MemorySystem>("mem", *eq_, cfg_.memory);
+    if (cfg_.numChips == 1) {
+        eq_ = std::make_unique<sim::EventQueue>();
+        memory_ =
+            std::make_unique<mem::MemorySystem>("mem", *eq_, cfg_.memory);
+    } else {
+        // Each chip is a partition; the IOIF crossing latency is the
+        // conservative lookahead (nothing on one chip can affect the
+        // other sooner than one crossing).
+        engine_ = std::make_unique<sim::PartitionedEngine>(
+            cfg_.numChips, cfg_.memory.ioLink.crossingLatency);
+        memory_ = std::make_unique<mem::MemorySystem>(
+            "mem", engine_->queue(0), cfg_.memory, &engine_->queue(1));
+        memory_->ioLink().setPartitioned(
+            &engine_->queue(0), &engine_->queue(1),
+            [this](mem::IoLink::Dir dir, Tick when,
+                   mem::IoLink::CrossingFn fn) {
+                unsigned src =
+                    (dir == mem::IoLink::Dir::Outbound) ? 0u : 1u;
+                engine_->post(src, 1 - src, when, std::move(fn));
+            });
+        memory_->setPartitioned([this](unsigned src, unsigned dst,
+                                       Tick when,
+                                       mem::MemorySystem::CrossFn fn) {
+            engine_->post(src, dst, when, std::move(fn));
+        });
+    }
     for (unsigned c = 0; c < cfg_.numChips; ++c) {
         eibs_.push_back(std::make_unique<eib::Eib>(
-            util::format("eib%u", c), *eq_, cfg_.clock, cfg_.eib));
+            util::format("eib%u", c), queue(c), cfg_.clock, cfg_.eib));
     }
-    ppu_ = std::make_unique<ppe::Ppu>("ppe", *eq_, cfg_.clock, cfg_.ppu,
-                                      &memory_->store());
+    ppu_ = std::make_unique<ppe::Ppu>("ppe", queue(0), cfg_.clock,
+                                      cfg_.ppu, &memory_->store());
+    arenas_.resize(cfg_.numChips);
 
     buildPlacement(placementSeed);
     // Each run draws its own fault sequence: the run's placement seed
@@ -36,8 +63,9 @@ CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
     spe::SpeParams sp = cfg_.spe;
     sp.mfc.faults.seed ^= placementSeed * 0x9E3779B97F4A7C15ull;
     for (unsigned i = 0; i < cfg_.numSpes; ++i) {
+        unsigned chip = placement_[i] / eib::numPhysicalSpes;
         auto s = std::make_unique<spe::Spe>(
-            util::format("spe%u", i), *eq_, cfg_.clock, sp, i);
+            util::format("spe%u", i), queue(chip), cfg_.clock, sp, i);
         s->setPhysicalSpe(placement_[i],
                           eib::speRamp(placement_[i] %
                                        eib::numPhysicalSpes));
@@ -51,6 +79,13 @@ CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
                 });
         }
         spes_.push_back(std::move(s));
+    }
+
+    if (cfg_.simProfile) {
+        if (engine_)
+            engine_->setProfiling(true);
+        else
+            eq_->setProfiling(true);
     }
 }
 
@@ -146,6 +181,11 @@ CellSystem::malloc(std::uint64_t bytes, const mem::NumaPolicy &policy)
     EffAddr ea = memory_->alloc(bytes, policy);
     if (ea + bytes >= lsEaBase)
         sim::fatal("main memory exhausted");
+    // Partitioned runs touch data pages from both chips' worker
+    // threads; faulting them in at allocation keeps the page map
+    // immutable while the simulation runs.
+    if (engine_)
+        memory_->store().touch(ea, bytes);
     return ea;
 }
 
@@ -178,10 +218,33 @@ CellSystem::launch(sim::Task task)
     programs_.back().start();
 }
 
+unsigned
+CellSystem::runThreads() const
+{
+    if (!engine_)
+        return 1;
+    unsigned t = cfg_.simJobs;
+    if (t == 0)
+        t = std::thread::hardware_concurrency();
+    if (t == 0)
+        t = 1;
+    t = std::min(t, cfg_.numChips);
+    // The verify and trace hooks read state that belongs to the other
+    // chip's partition (LS contents, the shared recorder buffer); run
+    // their windows on one thread.  The schedule — and the report — is
+    // the same either way.
+    if (cfg_.verify || recorder_)
+        t = 1;
+    return t;
+}
+
 void
 CellSystem::run()
 {
-    eq_->run();
+    if (engine_)
+        engine_->run(runThreads());
+    else
+        eq_->run();
     for (auto &p : programs_) {
         p.rethrow();
         if (!p.done()) {
@@ -197,144 +260,154 @@ CellSystem::routeLine(spe::LineRequest &&req)
 {
     if (req.speIndex >= spes_.size())
         sim::panic("DMA line from unknown SPE %u", req.speIndex);
-    if (isLsEa(req.ea))
-        routeLocalStore(std::move(req));
-    else
-        routeMemory(std::move(req));
+    if (engine_) {
+        if (isLsEa(req.ea))
+            partLocalStore(std::move(req));
+        else
+            partMemory(std::move(req));
+    } else {
+        if (isLsEa(req.ea))
+            routeLocalStore(std::move(req));
+        else
+            routeMemory(std::move(req));
+    }
 }
 
 /**
- * Memory routing.  The line rides the issuing SPE's EIB between its
- * ramp and either the local MIC (bank on the same chip) or the IOIF
- * ramp (bank on the other chip).  Crossing the blade costs the IOIF
- * serialization; when the far chip's EIB is simulated (numChips == 2),
- * the line also rides it between the far IOIF and the far MIC.
+ * Memory routing, single queue.  The line rides the issuing SPE's EIB
+ * between its ramp and either the local MIC (bank on the same chip) or
+ * the IOIF ramp (bank on the other chip).  With one chip the far bank
+ * still exists (NUMA ablations) but its EIB is not simulated: crossing
+ * costs the IOIF serialization only.
+ *
+ * Stages address the in-flight line by arena handle, so every closure
+ * here is {this, handle} — inline-stored, allocation-free.
  */
 void
 CellSystem::routeMemory(spe::LineRequest &&req)
 {
     unsigned bank = memory_->bankOf(req.ea);
     unsigned spe_chip = chipOf(req.speIndex);
-    bool crossing = (bank != spe_chip);
-    eib::RampPos local_ramp =
-        crossing ? eib::ioif0Ramp : eib::micRamp;
-    eib::RampPos spe_ramp = rampOf(req.speIndex);
-    eib::Eib *near_eib = eibs_[spe_chip].get();
-    eib::Eib *far_eib =
-        (crossing && bank < eibs_.size()) ? eibs_[bank].get() : nullptr;
+    std::uint32_t bytes = req.bytes;
     spe::Spe *s = spes_[req.speIndex].get();
-    mem::DramBank *dram = &memory_->bank(bank);
-    mem::IoLink *link = &memory_->ioLink();
+    bool isGet = req.dir == spe::DmaDir::Get;
 
-    if (req.dir == spe::DmaDir::Get) {
-        // Command phase to the controller, bank read, (far EIB,
-        // IOIF crossing,) data ride home, LS write.
+    std::uint32_t h = acquireFlight(0, std::move(req));
+    Flight &f = flight(h);
+    f.bank = static_cast<std::uint8_t>(bank);
+    f.srcChip = static_cast<std::uint8_t>(spe_chip);
+    f.crossing = (bank != spe_chip);
+
+    if (isGet) {
+        // Command phase to the controller, bank read, (IOIF crossing,)
+        // data ride home, LS write.
         Tick cmd = cfg_.clock.busCycles(cfg_.eib.cmdLatencyBus);
-        if (crossing)
-            cmd += link->crossingLatency();
-        auto deliver = [this, near_eib, local_ramp, spe_ramp,
-                        s](spe::LineRequest &&r) {
-            near_eib->transfer(local_ramp, spe_ramp, r.bytes,
-                               [this, r = std::move(r), s]() mutable {
-                Tick done_at = s->ls().reservePort(r.bytes);
-                std::uint8_t buf[spe::lineBytes];
-                memory_->store().read(r.ea, buf, r.bytes);
-                if (r.corrupt)
-                    buf[0] ^= 0xA5;
-                s->ls().write(r.lsa, buf, r.bytes);
-                eq_->scheduleAt(done_at, std::move(r.done));
-            });
-        };
-        eq_->schedule(cmd, [this, req = std::move(req), far_eib, dram,
-                            link, crossing, spe_chip,
-                            deliver = std::move(deliver)]() mutable {
-            dram->access(req.ea, req.bytes, false,
-                        [this, req = std::move(req), far_eib, link,
-                         crossing, spe_chip,
-                         deliver = std::move(deliver)]() mutable {
-                if (!crossing) {
-                    deliver(std::move(req));
-                    return;
-                }
-                // The data lane is named from chip 0's viewpoint:
-                // Inbound carries payloads toward chip 0.
-                auto lane = (spe_chip == 0) ? mem::IoLink::Dir::Inbound
-                                            : mem::IoLink::Dir::Outbound;
-                auto hop_home = [link, lane,
-                                 deliver = std::move(deliver)](
-                                    spe::LineRequest &&r) mutable {
-                    std::uint32_t bytes = r.bytes;
-                    link->send(lane, bytes,
-                              [r = std::move(r),
-                               deliver =
-                                   std::move(deliver)]() mutable {
-                        deliver(std::move(r));
-                    });
-                };
-                if (far_eib) {
-                    std::uint32_t bytes = req.bytes;
-                    far_eib->transfer(
-                        eib::micRamp, eib::ioif0Ramp, bytes,
-                        [req = std::move(req),
-                         hop_home = std::move(hop_home)]() mutable {
-                            hop_home(std::move(req));
-                        });
-                } else {
-                    hop_home(std::move(req));
-                }
-            });
-        });
+        if (f.crossing)
+            cmd += memory_->ioLink().crossingLatency();
+        eq_->schedule(cmd, [this, h] { memGetAccess(h); });
     } else {
-        // LS read, data ride out, (IOIF crossing, far EIB,) bank write.
-        Tick ls_done = s->ls().reservePort(req.bytes);
-        eq_->scheduleAt(ls_done, [this, req = std::move(req), near_eib,
-                                  local_ramp, spe_ramp, s, far_eib,
-                                  dram, link, crossing, bank]() mutable {
-            near_eib->transfer(spe_ramp, local_ramp, req.bytes,
-                               [this, req = std::move(req), s, far_eib,
-                                dram, link, crossing, bank]() mutable {
-                std::uint8_t buf[spe::lineBytes];
-                s->ls().read(req.lsa, buf, req.bytes);
-                if (req.corrupt)
-                    buf[0] ^= 0xA5;
-                memory_->store().write(req.ea, buf, req.bytes);
-                auto write_bank = [dram](spe::LineRequest &&r) {
-                    std::uint32_t bytes = r.bytes;
-                    dram->access(r.ea, bytes, true, std::move(r.done));
-                };
-                if (!crossing) {
-                    write_bank(std::move(req));
-                    return;
-                }
-                std::uint32_t bytes = req.bytes;
-                auto lane = (bank == 0) ? mem::IoLink::Dir::Inbound
-                                        : mem::IoLink::Dir::Outbound;
-                link->send(lane, bytes,
-                          [req = std::move(req), far_eib,
-                           write_bank = std::move(write_bank)]() mutable {
-                    if (far_eib) {
-                        std::uint32_t b = req.bytes;
-                        far_eib->transfer(
-                            eib::ioif0Ramp, eib::micRamp, b,
-                            [req = std::move(req),
-                             write_bank =
-                                 std::move(write_bank)]() mutable {
-                                write_bank(std::move(req));
-                            });
-                    } else {
-                        write_bank(std::move(req));
-                    }
-                });
-            });
-        });
+        // LS read, data ride out, (IOIF crossing,) bank write.
+        Tick ls_done = s->ls().reservePort(bytes);
+        eq_->scheduleAt(ls_done, [this, h] { memPutRide(h); });
     }
 }
 
+void
+CellSystem::memGetAccess(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    memory_->bank(f.bank).access(f.req.ea, f.req.bytes, false,
+                                 [this, h] { memGetData(h); });
+}
+
+void
+CellSystem::memGetData(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    if (!f.crossing) {
+        memGetDeliver(h);
+        return;
+    }
+    // The data lane is named from chip 0's viewpoint: Inbound carries
+    // payloads toward chip 0.
+    auto lane = (f.srcChip == 0) ? mem::IoLink::Dir::Inbound
+                                 : mem::IoLink::Dir::Outbound;
+    memory_->ioLink().send(lane, f.req.bytes,
+                           [this, h] { memGetDeliver(h); });
+}
+
+void
+CellSystem::memGetDeliver(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eib::RampPos local_ramp = f.crossing ? eib::ioif0Ramp : eib::micRamp;
+    eibs_[f.srcChip]->transfer(local_ramp, rampOf(f.req.speIndex),
+                               f.req.bytes,
+                               [this, h] { memGetLand(h); });
+}
+
+void
+CellSystem::memGetLand(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *s = spes_[f.req.speIndex].get();
+    Tick done_at = s->ls().reservePort(f.req.bytes);
+    std::uint8_t buf[spe::lineBytes];
+    memory_->store().read(f.req.ea, buf, f.req.bytes);
+    if (f.req.corrupt)
+        buf[0] ^= 0xA5;
+    s->ls().write(f.req.lsa, buf, f.req.bytes);
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    eq_->scheduleAt(done_at, std::move(done));
+}
+
+void
+CellSystem::memPutRide(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eib::RampPos local_ramp = f.crossing ? eib::ioif0Ramp : eib::micRamp;
+    eibs_[f.srcChip]->transfer(rampOf(f.req.speIndex), local_ramp,
+                               f.req.bytes,
+                               [this, h] { memPutStore(h); });
+}
+
+void
+CellSystem::memPutStore(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *s = spes_[f.req.speIndex].get();
+    std::uint8_t buf[spe::lineBytes];
+    s->ls().read(f.req.lsa, buf, f.req.bytes);
+    if (f.req.corrupt)
+        buf[0] ^= 0xA5;
+    memory_->store().write(f.req.ea, buf, f.req.bytes);
+    if (!f.crossing) {
+        memPutBank(h);
+        return;
+    }
+    auto lane = (f.bank == 0) ? mem::IoLink::Dir::Inbound
+                              : mem::IoLink::Dir::Outbound;
+    memory_->ioLink().send(lane, f.req.bytes,
+                           [this, h] { memPutBank(h); });
+}
+
+void
+CellSystem::memPutBank(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    EffAddr ea = f.req.ea;
+    std::uint32_t bytes = f.req.bytes;
+    unsigned bank = f.bank;
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    memory_->bank(bank).access(ea, bytes, true, std::move(done));
+}
+
 /**
- * LS-to-LS routing.  Same-chip transfers ride one EIB; cross-chip
- * transfers ride the source chip's EIB to its IOIF, cross the blade at
- * 7 GB/s, and ride the target chip's EIB from its IOIF — the paper's
- * warning about SPEs allocated on different chips.
+ * LS-to-LS routing, single queue.  Both SPEs live on the one chip, so
+ * the transfer rides one EIB between the data-holding LS (remote for
+ * GET, local for PUT) and the receiving LS.
  */
 void
 CellSystem::routeLocalStore(spe::LineRequest &&req)
@@ -349,94 +422,464 @@ CellSystem::routeLocalStore(spe::LineRequest &&req)
     if (target_idx == req.speIndex)
         sim::fatal("DMA to the issuing SPE's own LS aperture");
 
-    spe::Spe *self = spes_[req.speIndex].get();
-    spe::Spe *peer = spes_[target_idx].get();
-    unsigned self_chip = chipOf(req.speIndex);
-    unsigned peer_chip = chipOf(target_idx);
-    eib::RampPos self_ramp = rampOf(req.speIndex);
-    eib::RampPos peer_ramp = rampOf(target_idx);
-    mem::IoLink *link = &memory_->ioLink();
+    bool isGet = req.dir == spe::DmaDir::Get;
+    unsigned issuer = req.speIndex;
 
-    // The transfer from the data-holding LS to the receiving LS:
-    // remote reader for GET, local reader for PUT.
-    spe::Spe *src_spe = (req.dir == spe::DmaDir::Get) ? peer : self;
-    spe::Spe *dst_spe = (req.dir == spe::DmaDir::Get) ? self : peer;
-    eib::Eib *src_eib = eibs_[(req.dir == spe::DmaDir::Get) ? peer_chip
-                                                            : self_chip]
-                            .get();
-    eib::Eib *dst_eib = eibs_[(req.dir == spe::DmaDir::Get) ? self_chip
-                                                            : peer_chip]
-                            .get();
-    eib::RampPos src_ramp =
-        (req.dir == spe::DmaDir::Get) ? peer_ramp : self_ramp;
-    eib::RampPos dst_ramp =
-        (req.dir == spe::DmaDir::Get) ? self_ramp : peer_ramp;
-    LsAddr src_lsa = (req.dir == spe::DmaDir::Get) ? off : req.lsa;
-    LsAddr dst_lsa = (req.dir == spe::DmaDir::Get) ? req.lsa : off;
-    bool crossing = (self_chip != peer_chip);
+    std::uint32_t h = acquireFlight(0, std::move(req));
+    Flight &f = flight(h);
+    f.srcSpe = static_cast<std::uint16_t>(isGet ? target_idx : issuer);
+    f.dstSpe = static_cast<std::uint16_t>(isGet ? issuer : target_idx);
+    f.srcLsa = isGet ? off : f.req.lsa;
+    f.dstLsa = isGet ? f.req.lsa : off;
+    f.srcChip = 0;
+    f.crossing = false;
 
     // Command latency to reach a remote MFC (GET only; PUT data
     // originates locally).
-    Tick cmd = (req.dir == spe::DmaDir::Get)
-                   ? cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) +
-                         (crossing ? link->crossingLatency() : 0)
-                   : 0;
+    Tick cmd =
+        isGet ? cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) : 0;
+    eq_->schedule(cmd, [this, h] { lsRead(h); });
+}
 
-    eq_->schedule(cmd, [this, req = std::move(req), src_spe, dst_spe,
-                        src_eib, dst_eib, src_ramp, dst_ramp, src_lsa,
-                        dst_lsa, crossing, link]() mutable {
-        Tick read_done = src_spe->ls().reservePort(req.bytes);
-        eq_->scheduleAt(read_done, [this, req = std::move(req), src_spe,
-                                    dst_spe, src_eib, dst_eib, src_ramp,
-                                    dst_ramp, src_lsa, dst_lsa, crossing,
-                                    link]() mutable {
-            auto land = [this, src_spe, dst_spe, src_lsa,
-                         dst_lsa](spe::LineRequest &&r) {
-                Tick done_at = dst_spe->ls().reservePort(r.bytes);
-                std::uint8_t buf[spe::lineBytes];
-                src_spe->ls().read(src_lsa, buf, r.bytes);
-                if (r.corrupt)
-                    buf[0] ^= 0xA5;
-                dst_spe->ls().write(dst_lsa, buf, r.bytes);
-                eq_->scheduleAt(done_at, std::move(r.done));
-            };
-            if (!crossing) {
-                src_eib->transfer(src_ramp, dst_ramp, req.bytes,
-                                  [req = std::move(req),
-                                   land = std::move(land)]() mutable {
-                    land(std::move(req));
-                });
-                return;
-            }
-            std::uint32_t bytes = req.bytes;
-            // The lane is named from chip 0's viewpoint: Inbound
-            // carries payloads toward chip 0.
-            unsigned dst_chip =
-                (req.dir == spe::DmaDir::Get)
-                    ? chipOf(req.speIndex)
-                    : chipOf(static_cast<unsigned>(
-                          (req.ea - lsEaBase) / lsEaStride));
-            auto lane = (dst_chip == 0) ? mem::IoLink::Dir::Inbound
+void
+CellSystem::lsRead(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    Tick read_done = spes_[f.srcSpe]->ls().reservePort(f.req.bytes);
+    eq_->scheduleAt(read_done, [this, h] { lsRide(h); });
+}
+
+void
+CellSystem::lsRide(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eibs_[f.srcChip]->transfer(rampOf(f.srcSpe), rampOf(f.dstSpe),
+                               f.req.bytes, [this, h] { lsLand(h); });
+}
+
+void
+CellSystem::lsLand(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *src = spes_[f.srcSpe].get();
+    spe::Spe *dst = spes_[f.dstSpe].get();
+    Tick done_at = dst->ls().reservePort(f.req.bytes);
+    std::uint8_t buf[spe::lineBytes];
+    src->ls().read(f.srcLsa, buf, f.req.bytes);
+    if (f.req.corrupt)
+        buf[0] ^= 0xA5;
+    dst->ls().write(f.dstLsa, buf, f.req.bytes);
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    eq_->scheduleAt(done_at, std::move(done));
+}
+
+/**
+ * Memory routing, partitioned (numChips == 2).  Chip-local lines stay
+ * entirely on the issuing chip's queue.  A crossing line's far-side
+ * stages (the other chip's bank and EIB) run on the far partition and
+ * must not touch the home chip's arena — the arena vector can grow
+ * concurrently — so they carry their routing state ({ea, bytes, handle,
+ * home chip}) and, on the way home, the 128-byte payload by value
+ * inside the cross-partition message.
+ */
+void
+CellSystem::partMemory(spe::LineRequest &&req)
+{
+    unsigned bank = memory_->bankOf(req.ea);
+    unsigned sc = chipOf(req.speIndex);
+    bool crossing = (bank != sc);
+    bool isGet = req.dir == spe::DmaDir::Get;
+    std::uint32_t bytes = req.bytes;
+    EffAddr ea = req.ea;
+    spe::Spe *s = spes_[req.speIndex].get();
+
+    std::uint32_t h = acquireFlight(sc, std::move(req));
+    Flight &f = flight(h);
+    f.bank = static_cast<std::uint8_t>(bank);
+    f.srcChip = static_cast<std::uint8_t>(sc);
+    f.crossing = crossing;
+
+    if (isGet) {
+        Tick cmd = cfg_.clock.busCycles(cfg_.eib.cmdLatencyBus);
+        if (!crossing) {
+            queue(sc).schedule(cmd, [this, h] { partMemGetAccess(h); });
+        } else {
+            // The command phase crosses the blade: continue on the
+            // bank's chip, one crossing latency later.
+            const Tick L = memory_->ioLink().crossingLatency();
+            engine_->post(
+                sc, bank, queue(sc).now() + cmd + L,
+                sim::PartitionedEngine::ChannelFn(
+                    [this, ea, bytes, h, sc] {
+                        partMemGetFar(ea, bytes, h, sc);
+                    }));
+        }
+    } else {
+        Tick ls_done = s->ls().reservePort(bytes);
+        queue(sc).scheduleAt(ls_done, [this, h] { partMemPutRide(h); });
+    }
+}
+
+void
+CellSystem::partMemGetAccess(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    memory_->bank(f.bank).access(f.req.ea, f.req.bytes, false,
+                                 [this, h] { partMemGetRide(h); });
+}
+
+void
+CellSystem::partMemGetRide(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eib::RampPos from = f.crossing ? eib::ioif0Ramp : eib::micRamp;
+    eibs_[f.srcChip]->transfer(from, rampOf(f.req.speIndex), f.req.bytes,
+                               [this, h] { partMemGetLand(h); });
+}
+
+void
+CellSystem::partMemGetLand(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *s = spes_[f.req.speIndex].get();
+    Tick done_at = s->ls().reservePort(f.req.bytes);
+    if (f.crossing) {
+        // The line's data came home in the flight's payload buffer.
+        if (f.req.corrupt)
+            f.payload[0] ^= 0xA5;
+        s->ls().write(f.req.lsa, f.payload, f.req.bytes);
+    } else {
+        std::uint8_t buf[spe::lineBytes];
+        memory_->store().read(f.req.ea, buf, f.req.bytes);
+        if (f.req.corrupt)
+            buf[0] ^= 0xA5;
+        s->ls().write(f.req.lsa, buf, f.req.bytes);
+    }
+    unsigned chip = f.srcChip;
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    queue(chip).scheduleAt(done_at, std::move(done));
+}
+
+void
+CellSystem::partMemGetFar(EffAddr ea, std::uint32_t bytes,
+                          std::uint32_t h, unsigned homeChip)
+{
+    memory_->bank(1 - homeChip)
+        .access(ea, bytes, false, [this, ea, bytes, h, homeChip] {
+            partMemGetFarRide(ea, bytes, h, homeChip);
+        });
+}
+
+void
+CellSystem::partMemGetFarRide(EffAddr ea, std::uint32_t bytes,
+                              std::uint32_t h, unsigned homeChip)
+{
+    eibs_[1 - homeChip]->transfer(eib::micRamp, eib::ioif0Ramp, bytes,
+                                  [this, ea, bytes, h, homeChip] {
+                                      partMemGetFarCross(ea, bytes, h,
+                                                         homeChip);
+                                  });
+}
+
+void
+CellSystem::partMemGetFarCross(EffAddr ea, std::uint32_t bytes,
+                               std::uint32_t h, unsigned homeChip)
+{
+    // The data leaves the far chip here: read it out of the backing
+    // store now and let the crossing message carry it home by value.
+    std::uint8_t buf[spe::lineBytes];
+    memory_->store().read(ea, buf, bytes);
+    auto lane = (homeChip == 0) ? mem::IoLink::Dir::Inbound
+                                : mem::IoLink::Dir::Outbound;
+    memory_->ioLink().send(lane, bytes, [this, h, bytes, buf] {
+        Flight &f = flight(h);
+        std::memcpy(f.payload, buf, bytes);
+        partMemGetHome(h);
+    });
+}
+
+void
+CellSystem::partMemGetHome(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eibs_[f.srcChip]->transfer(eib::ioif0Ramp, rampOf(f.req.speIndex),
+                               f.req.bytes,
+                               [this, h] { partMemGetLand(h); });
+}
+
+void
+CellSystem::partMemPutRide(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eib::RampPos to = f.crossing ? eib::ioif0Ramp : eib::micRamp;
+    eibs_[f.srcChip]->transfer(rampOf(f.req.speIndex), to, f.req.bytes,
+                               [this, h] {
+                                   if (flight(h).crossing)
+                                       partMemPutCross(h);
+                                   else
+                                       partMemPutStore(h);
+                               });
+}
+
+void
+CellSystem::partMemPutStore(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *s = spes_[f.req.speIndex].get();
+    std::uint8_t buf[spe::lineBytes];
+    s->ls().read(f.req.lsa, buf, f.req.bytes);
+    if (f.req.corrupt)
+        buf[0] ^= 0xA5;
+    memory_->store().write(f.req.ea, buf, f.req.bytes);
+    EffAddr ea = f.req.ea;
+    std::uint32_t bytes = f.req.bytes;
+    unsigned bank = f.bank;
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    memory_->bank(bank).access(ea, bytes, true, std::move(done));
+}
+
+void
+CellSystem::partMemPutCross(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    std::uint8_t buf[spe::lineBytes];
+    spes_[f.req.speIndex]->ls().read(f.req.lsa, buf, f.req.bytes);
+    if (f.req.corrupt)
+        buf[0] ^= 0xA5;
+    EffAddr ea = f.req.ea;
+    std::uint32_t bytes = f.req.bytes;
+    unsigned home = f.srcChip;
+    auto lane = (f.bank == 0) ? mem::IoLink::Dir::Inbound
+                              : mem::IoLink::Dir::Outbound;
+    memory_->ioLink().send(
+        lane, bytes, [this, ea, bytes, h, home, buf] {
+            // Far chip: land the data and ride the far EIB to the MIC.
+            memory_->store().write(ea, buf, bytes);
+            eibs_[1 - home]->transfer(eib::ioif0Ramp, eib::micRamp,
+                                      bytes, [this, ea, bytes, h, home] {
+                                          partMemPutFarRide(ea, bytes, h,
+                                                            home);
+                                      });
+        });
+}
+
+void
+CellSystem::partMemPutFarRide(EffAddr ea, std::uint32_t bytes,
+                              std::uint32_t h, unsigned homeChip)
+{
+    unsigned far = 1 - homeChip;
+    Tick completion = memory_->bank(far).reserveAccess(ea, bytes, true);
+    // The write acknowledgment crosses back to the issuing chip.
+    const Tick L = memory_->ioLink().crossingLatency();
+    engine_->post(far, homeChip, completion + L,
+                  sim::PartitionedEngine::ChannelFn(
+                      [this, h] { finishFlight(h); }));
+}
+
+/**
+ * LS-to-LS routing, partitioned.  Same-chip transfers stay on their
+ * chip's queue.  Cross-chip GETs start on the data-holding chip (the
+ * command crosses first); cross-chip PUTs read locally, cross with the
+ * payload, and land through a temporary flight slot in the destination
+ * chip's arena.
+ */
+void
+CellSystem::partLocalStore(spe::LineRequest &&req)
+{
+    EffAddr rel = req.ea - lsEaBase;
+    auto target_idx = static_cast<unsigned>(rel / lsEaStride);
+    auto off = static_cast<LsAddr>(rel % lsEaStride);
+    if (target_idx >= spes_.size()) {
+        sim::fatal("DMA to LS aperture of SPE %u, which does not exist",
+                   target_idx);
+    }
+    if (target_idx == req.speIndex)
+        sim::fatal("DMA to the issuing SPE's own LS aperture");
+
+    bool isGet = req.dir == spe::DmaDir::Get;
+    unsigned issuer = req.speIndex;
+    unsigned ic = chipOf(issuer);
+    unsigned pc = chipOf(target_idx);
+    std::uint32_t bytes = req.bytes;
+
+    std::uint32_t h = acquireFlight(ic, std::move(req));
+    Flight &f = flight(h);
+    f.srcSpe = static_cast<std::uint16_t>(isGet ? target_idx : issuer);
+    f.dstSpe = static_cast<std::uint16_t>(isGet ? issuer : target_idx);
+    f.srcLsa = isGet ? off : f.req.lsa;
+    f.dstLsa = isGet ? f.req.lsa : off;
+    f.srcChip = static_cast<std::uint8_t>(ic);
+    f.crossing = (ic != pc);
+
+    if (!f.crossing) {
+        Tick cmd =
+            isGet ? cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) : 0;
+        queue(ic).schedule(cmd, [this, h] { partLsRead(h); });
+    } else if (isGet) {
+        // The command crosses to the data-holding chip; everything the
+        // far side needs travels by value.
+        Tick cmd = cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) +
+                   memory_->ioLink().crossingLatency();
+        std::uint16_t peer = f.srcSpe;
+        LsAddr peerLsa = f.srcLsa;
+        engine_->post(ic, pc, queue(ic).now() + cmd,
+                      sim::PartitionedEngine::ChannelFn(
+                          [this, peer, peerLsa, bytes, h, ic] {
+                              Tick read_done =
+                                  spes_[peer]->ls().reservePort(bytes);
+                              queue(1 - ic).scheduleAt(
+                                  read_done,
+                                  [this, peer, peerLsa, bytes, h, ic] {
+                                      partLsGetFarRideFrom(peer, peerLsa,
+                                                           bytes, h, ic);
+                                  });
+                          }));
+    } else {
+        queue(ic).schedule(0, [this, h] { partLsRead(h); });
+    }
+}
+
+void
+CellSystem::partLsRead(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    Tick read_done = spes_[f.srcSpe]->ls().reservePort(f.req.bytes);
+    queue(f.srcChip).scheduleAt(read_done,
+                                [this, h] { partLsRide(h); });
+}
+
+void
+CellSystem::partLsRide(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    if (!f.crossing) {
+        eibs_[f.srcChip]->transfer(rampOf(f.srcSpe), rampOf(f.dstSpe),
+                                   f.req.bytes,
+                                   [this, h] { partLsLand(h); });
+        return;
+    }
+    // Crossing PUT: the local read is done, ride to the IOIF ramp.
+    eibs_[f.srcChip]->transfer(rampOf(f.srcSpe), eib::ioif0Ramp,
+                               f.req.bytes,
+                               [this, h] { partLsPutCross(h); });
+}
+
+void
+CellSystem::partLsLand(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    spe::Spe *dst = spes_[f.dstSpe].get();
+    Tick done_at = dst->ls().reservePort(f.req.bytes);
+    if (f.crossing) {
+        // Crossing GET: the line came home in the payload buffer.
+        if (f.req.corrupt)
+            f.payload[0] ^= 0xA5;
+        dst->ls().write(f.dstLsa, f.payload, f.req.bytes);
+    } else {
+        std::uint8_t buf[spe::lineBytes];
+        spes_[f.srcSpe]->ls().read(f.srcLsa, buf, f.req.bytes);
+        if (f.req.corrupt)
+            buf[0] ^= 0xA5;
+        dst->ls().write(f.dstLsa, buf, f.req.bytes);
+    }
+    unsigned chip = f.srcChip;
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    queue(chip).scheduleAt(done_at, std::move(done));
+}
+
+void
+CellSystem::partLsGetFarRideFrom(std::uint16_t peer, LsAddr peerLsa,
+                                 std::uint32_t bytes, std::uint32_t h,
+                                 unsigned homeChip)
+{
+    eibs_[1 - homeChip]->transfer(
+        rampOf(peer), eib::ioif0Ramp, bytes,
+        [this, peer, peerLsa, bytes, h, homeChip] {
+            // The data leaves the peer chip: read the peer LS now and
+            // carry the line home inside the crossing message.
+            std::uint8_t buf[spe::lineBytes];
+            spes_[peer]->ls().read(peerLsa, buf, bytes);
+            auto lane = (homeChip == 0) ? mem::IoLink::Dir::Inbound
                                         : mem::IoLink::Dir::Outbound;
-            src_eib->transfer(src_ramp, eib::ioif0Ramp, bytes,
-                              [req = std::move(req), dst_eib, dst_ramp,
-                               link, lane,
-                               land = std::move(land)]() mutable {
-                std::uint32_t b = req.bytes;
-                link->send(lane, b,
-                          [req = std::move(req), dst_eib, dst_ramp,
-                           land = std::move(land)]() mutable {
-                    std::uint32_t b2 = req.bytes;
-                    dst_eib->transfer(eib::ioif0Ramp, dst_ramp, b2,
-                                      [req = std::move(req),
-                                       land =
-                                           std::move(land)]() mutable {
-                        land(std::move(req));
-                    });
-                });
+            memory_->ioLink().send(lane, bytes, [this, h, bytes, buf] {
+                Flight &f = flight(h);
+                std::memcpy(f.payload, buf, bytes);
+                partLsGetHome(h);
             });
         });
-    });
+}
+
+void
+CellSystem::partLsGetHome(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    eibs_[f.srcChip]->transfer(eib::ioif0Ramp, rampOf(f.dstSpe),
+                               f.req.bytes,
+                               [this, h] { partLsLand(h); });
+}
+
+void
+CellSystem::partLsPutCross(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    std::uint8_t buf[spe::lineBytes];
+    spes_[f.srcSpe]->ls().read(f.srcLsa, buf, f.req.bytes);
+    std::uint16_t dstSpe = f.dstSpe;
+    LsAddr dstLsa = f.dstLsa;
+    bool corrupt = f.req.corrupt;
+    std::uint32_t bytes = f.req.bytes;
+    unsigned home = f.srcChip;
+    auto lane = (home == 0) ? mem::IoLink::Dir::Outbound
+                            : mem::IoLink::Dir::Inbound;
+    memory_->ioLink().send(
+        lane, bytes,
+        [this, dstSpe, dstLsa, corrupt, bytes, h, home, buf] {
+            // Destination chip: park the line in a local flight slot
+            // for the ride from the IOIF ramp to the target LS.
+            spe::LineRequest tmp{};
+            tmp.bytes = bytes;
+            tmp.corrupt = corrupt;
+            std::uint32_t h2 = acquireFlight(1 - home, std::move(tmp));
+            Flight &t = flight(h2);
+            t.dstSpe = dstSpe;
+            t.dstLsa = dstLsa;
+            t.srcChip = static_cast<std::uint8_t>(home);
+            std::memcpy(t.payload, buf, bytes);
+            eibs_[1 - home]->transfer(
+                eib::ioif0Ramp, rampOf(dstSpe), bytes,
+                [this, h2, h, home] { partLsPutFarLand(h2, h, home); });
+        });
+}
+
+void
+CellSystem::partLsPutFarLand(std::uint32_t tempH, std::uint32_t homeH,
+                             unsigned homeChip)
+{
+    Flight &t = flight(tempH);
+    spe::Spe *dst = spes_[t.dstSpe].get();
+    Tick done_at = dst->ls().reservePort(t.req.bytes);
+    if (t.req.corrupt)
+        t.payload[0] ^= 0xA5;
+    dst->ls().write(t.dstLsa, t.payload, t.req.bytes);
+    releaseFlight(tempH);
+    // The completion acknowledgment crosses back to the issuing chip.
+    const Tick L = memory_->ioLink().crossingLatency();
+    engine_->post(1 - homeChip, homeChip, done_at + L,
+                  sim::PartitionedEngine::ChannelFn(
+                      [this, homeH] { finishFlight(homeH); }));
+}
+
+void
+CellSystem::finishFlight(std::uint32_t h)
+{
+    Flight &f = flight(h);
+    auto done = std::move(f.req.done);
+    releaseFlight(h);
+    done();
 }
 
 /** Read @p bytes at @p ea from wherever it lives: an SPE's LS aperture
@@ -469,7 +912,8 @@ CellSystem::verifyCompletion(const spe::Mfc::Completion &done)
     auto &ls = spes_[done.speIndex]->ls();
     LsAddr lsa = done.lsa;
     std::vector<std::uint8_t> ls_buf, ea_buf;
-    for (const auto &seg : *done.segs) {
+    for (std::size_t k = 0; k < done.numSegs; ++k) {
+        const auto &seg = done.segs[k];
         if (done.isList)
             lsa = static_cast<LsAddr>(util::roundUp(lsa, 16));
         ls_buf.resize(seg.size);
@@ -502,7 +946,7 @@ void
 CellSystem::snapshotMetrics(stats::MetricsRegistry &reg) const
 {
     reg.counter("sim.runs").increment();
-    reg.counter("sim.ticks").add(eq_->now());
+    reg.counter("sim.ticks").add(now());
     for (unsigned c = 0; c < eibs_.size(); ++c)
         eibs_[c]->registerMetrics(reg, util::format("eib%u", c));
     memory_->registerMetrics(reg, "mem");
@@ -514,6 +958,39 @@ CellSystem::snapshotMetrics(stats::MetricsRegistry &reg) const
     if (recorder_) {
         reg.counter("trace.dma_dropped").add(recorder_->dmaDropped());
         reg.counter("trace.eib_dropped").add(recorder_->eibDropped());
+    }
+    if (cfg_.simProfile) {
+        std::array<sim::EventQueue::TagProfile,
+                   sim::EventQueue::kNumTags>
+            total{};
+        auto fold = [&total](const sim::EventQueue &q) {
+            const auto &p = q.tagProfiles();
+            for (std::size_t i = 0; i < p.size(); ++i) {
+                total[i].events += p[i].events;
+                total[i].selfNs += p[i].selfNs;
+            }
+        };
+        if (engine_) {
+            for (unsigned p = 0; p < engine_->partitions(); ++p)
+                fold(engine_->queue(p));
+        } else {
+            fold(*eq_);
+        }
+        for (std::size_t i = 0; i < total.size(); ++i) {
+            if (!total[i].events)
+                continue;
+            auto tag = static_cast<sim::EventTag>(i);
+            reg.counter(util::format("profile.%s.events",
+                                     sim::toString(tag)))
+                .add(total[i].events);
+            reg.counter(util::format("profile.%s.self_ns",
+                                     sim::toString(tag)))
+                .add(total[i].selfNs);
+        }
+        if (engine_) {
+            reg.counter("profile.crossings.delivered")
+                .add(engine_->messagesDelivered());
+        }
     }
 }
 

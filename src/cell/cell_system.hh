@@ -10,6 +10,21 @@
  * everything 10 times over different mappings; our affinity policies
  * beyond Random are the extension the paper asks libspe for).
  *
+ * Execution engines.  A single-chip system runs on one event queue.
+ * With numChips == 2 each chip becomes a partition of a conservative
+ * parallel engine (sim::PartitionedEngine): chip-local routing stays on
+ * the chip's own queue, and anything that crosses the IOIF travels as a
+ * cross-partition message delivered at least one crossing latency
+ * later.  The partitioned schedule is fixed — --sim-jobs only chooses
+ * how many worker threads execute it, so reports are bit-identical for
+ * any value.
+ *
+ * In-flight DMA lines live in a per-chip arena (Flight slots addressed
+ * by index handles), so the routing stages capture {this, handle}
+ * instead of moving a ~100-byte request through every closure: the
+ * whole hot path schedules with inline-stored callbacks and recycles
+ * storage instead of allocating.
+ *
  * @code
  *   cell::CellConfig cfg;
  *   cell::CellSystem sys(cfg, seed);
@@ -27,6 +42,7 @@
 
 #include "cell/config.hh"
 #include "eib/topology.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "sim/task.hh"
 #include "trace/recorder.hh"
@@ -57,7 +73,12 @@ class CellSystem
 
     /** @name Component access. */
     /** @{ */
-    sim::EventQueue &eventQueue() { return *eq_; }
+    /** Chip 0's event queue (the only queue of a single-chip system). */
+    sim::EventQueue &
+    eventQueue()
+    {
+        return engine_ ? engine_->queue(0) : *eq_;
+    }
     const sim::ClockSpec &clock() const { return cfg_.clock; }
     const CellConfig &config() const { return cfg_; }
     unsigned numSpes() const { return cfg_.numSpes; }
@@ -66,6 +87,8 @@ class CellSystem
     ppe::Ppu &ppu() { return *ppu_; }
     mem::MemorySystem &memory() { return *memory_; }
     eib::Eib &eib(unsigned chip = 0);
+    /** The partitioned engine, or nullptr on a single-chip system. */
+    sim::PartitionedEngine *engine() { return engine_.get(); }
     /** @} */
 
     /** Allocate main memory with the config's NUMA policy. */
@@ -132,10 +155,21 @@ class CellSystem
     const VerifyStats &verifyStats() const { return verifyStats_; }
     /** @} */
 
-    Tick now() const { return eq_->now(); }
+    Tick
+    now() const
+    {
+        return engine_ ? engine_->lastDispatchTick() : eq_->now();
+    }
 
     /** Seconds of simulated time elapsed since construction. */
     double seconds() const { return cfg_.clock.seconds(now()); }
+
+    /**
+     * Worker threads run() will use: --sim-jobs clamped to the chip
+     * count, forced to 1 when verification or tracing hooks (which
+     * touch cross-chip state) are installed.
+     */
+    unsigned runThreads() const;
 
     /** @name Placement introspection.  With two chips, physical SPE
      *        slots 0-7 live on chip 0 and 8-15 on chip 1. */
@@ -151,19 +185,151 @@ class CellSystem
     /** @} */
 
   private:
+    /**
+     * An in-flight DMA line and its routing state, arena-resident.
+     * Stages address it by handle so closures stay inline-small; the
+     * payload buffer carries line data across chip boundaries, where
+     * the far side must not dereference the backing store or LS on the
+     * home chip's behalf.
+     */
+    struct Flight
+    {
+        spe::LineRequest req;
+        std::uint32_t next = 0;       ///< arena freelist link
+        std::uint8_t bank = 0;        ///< memory routing: target bank
+        std::uint8_t srcChip = 0;
+        bool crossing = false;
+        std::uint16_t srcSpe = 0;     ///< LS routing: data-holding SPE
+        std::uint16_t dstSpe = 0;     ///< LS routing: receiving SPE
+        LsAddr srcLsa = 0;
+        LsAddr dstLsa = 0;
+        std::uint8_t payload[spe::lineBytes];
+    };
+
+    class FlightArena
+    {
+      public:
+        static constexpr std::uint32_t kNone = ~std::uint32_t(0);
+
+        std::uint32_t
+        acquire()
+        {
+            if (free_ == kNone) {
+                slots_.emplace_back();
+                return static_cast<std::uint32_t>(slots_.size() - 1);
+            }
+            std::uint32_t h = free_;
+            free_ = slots_[h].next;
+            return h;
+        }
+
+        void
+        release(std::uint32_t h)
+        {
+            slots_[h].req = spe::LineRequest{};
+            slots_[h].next = free_;
+            free_ = h;
+        }
+
+        Flight &operator[](std::uint32_t h) { return slots_[h]; }
+
+      private:
+        std::vector<Flight> slots_;
+        std::uint32_t free_ = kNone;
+    };
+
+    /** Chip in the top handle bits so stages capture one word. */
+    static constexpr std::uint32_t kChipShift = 28;
+
+    std::uint32_t
+    acquireFlight(unsigned chip, spe::LineRequest &&req)
+    {
+        std::uint32_t h = arenas_[chip].acquire() |
+                          (chip << kChipShift);
+        flight(h).req = std::move(req);
+        return h;
+    }
+
+    Flight &
+    flight(std::uint32_t h)
+    {
+        return arenas_[h >> kChipShift][h & ((1u << kChipShift) - 1)];
+    }
+
+    void
+    releaseFlight(std::uint32_t h)
+    {
+        arenas_[h >> kChipShift].release(h & ((1u << kChipShift) - 1));
+    }
+
+    sim::EventQueue &
+    queue(unsigned chip)
+    {
+        return engine_ ? engine_->queue(chip) : *eq_;
+    }
+
     void buildPlacement(std::uint64_t seed);
     void routeLine(spe::LineRequest &&req);
+
+    /** @name Single-queue routing stages (numChips == 1). */
+    /** @{ */
     void routeMemory(spe::LineRequest &&req);
     void routeLocalStore(spe::LineRequest &&req);
+    void memGetAccess(std::uint32_t h);
+    void memGetData(std::uint32_t h);
+    void memGetDeliver(std::uint32_t h);
+    void memGetLand(std::uint32_t h);
+    void memPutRide(std::uint32_t h);
+    void memPutStore(std::uint32_t h);
+    void memPutBank(std::uint32_t h);
+    void lsRead(std::uint32_t h);
+    void lsRide(std::uint32_t h);
+    void lsLand(std::uint32_t h);
+    /** @} */
+
+    /** @name Partitioned routing stages (numChips == 2). */
+    /** @{ */
+    void partMemory(spe::LineRequest &&req);
+    void partLocalStore(spe::LineRequest &&req);
+    void partMemGetAccess(std::uint32_t h);
+    void partMemGetRide(std::uint32_t h);
+    void partMemGetLand(std::uint32_t h);
+    void partMemPutRide(std::uint32_t h);
+    void partMemPutStore(std::uint32_t h);
+    void partMemGetFar(EffAddr ea, std::uint32_t bytes, std::uint32_t h,
+                       unsigned homeChip);
+    void partMemGetFarRide(EffAddr ea, std::uint32_t bytes,
+                           std::uint32_t h, unsigned homeChip);
+    void partMemGetFarCross(EffAddr ea, std::uint32_t bytes,
+                            std::uint32_t h, unsigned homeChip);
+    void partMemGetHome(std::uint32_t h);
+    void partMemPutCross(std::uint32_t h);
+    void partMemPutFarRide(EffAddr ea, std::uint32_t bytes,
+                           std::uint32_t h, unsigned homeChip);
+    void partLsRead(std::uint32_t h);
+    void partLsRide(std::uint32_t h);
+    void partLsLand(std::uint32_t h);
+    void partLsGetFarRideFrom(std::uint16_t peer, LsAddr peerLsa,
+                              std::uint32_t bytes, std::uint32_t h,
+                              unsigned homeChip);
+    void partLsGetHome(std::uint32_t h);
+    void partLsPutCross(std::uint32_t h);
+    void partLsPutFarLand(std::uint32_t tempH, std::uint32_t homeH,
+                          unsigned homeChip);
+    void finishFlight(std::uint32_t h);
+    /** @} */
+
     void verifyCompletion(const spe::Mfc::Completion &done);
     void readEa(EffAddr ea, std::uint8_t *buf, std::uint32_t bytes);
 
     CellConfig cfg_;
-    std::unique_ptr<sim::EventQueue> eq_;
+    std::unique_ptr<sim::EventQueue> eq_;            ///< numChips == 1
+    std::unique_ptr<sim::PartitionedEngine> engine_; ///< numChips == 2
     std::unique_ptr<mem::MemorySystem> memory_;
     std::vector<std::unique_ptr<eib::Eib>> eibs_;
     std::unique_ptr<ppe::Ppu> ppu_;
     std::vector<std::unique_ptr<spe::Spe>> spes_;
+    std::vector<FlightArena> arenas_;        // one per chip
     std::vector<std::uint32_t> placement_;   // logical -> physical SPE
     std::vector<sim::Task> programs_;
     std::unique_ptr<trace::Recorder> recorder_;

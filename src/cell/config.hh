@@ -73,6 +73,23 @@ struct CellConfig
      */
     std::uint64_t traceCapacity = 0;
 
+    /**
+     * Worker threads for the conservative parallel engine
+     * (--sim-jobs): each chip is a partition synchronized at IOIF
+     * crossing-latency granularity.  Effective parallelism is capped at
+     * numChips; reports are bit-identical for any value, so the flag is
+     * result-neutral (0 = one thread per chip).  Distinct from --jobs,
+     * which parallelizes *across* repeated runs.
+     */
+    unsigned simJobs = 1;
+
+    /**
+     * Book per-component event counts and dispatch self-time into the
+     * metrics registry (--sim-profile); adds `profile.<tag>.*` counters
+     * to the report.
+     */
+    bool simProfile = false;
+
     /** Construct the defaults, derived quantities filled in. */
     CellConfig();
 

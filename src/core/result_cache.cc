@@ -1,7 +1,9 @@
 #include "core/result_cache.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <vector>
 
 #include "core/json_report.hh"
 #include "util/file.hh"
@@ -103,6 +105,11 @@ ResultCache::load(const std::string &key,
     if (!schema || !schema->isString() ||
         schema->str() != JsonReport::kSchema)
         return std::nullopt;
+    // Refresh the entry's recency so prune() evicts in true LRU order.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        base + ".json", std::filesystem::file_time_type::clock::now(),
+        ec);
     return report;
 }
 
@@ -120,6 +127,62 @@ ResultCache::store(const std::string &key, const std::string &material,
     if (!util::writeFileAtomic(base + ".json", reportBytes))
         return false;
     return util::writeFileAtomic(base + ".key", material);
+}
+
+ResultCache::PruneStats
+ResultCache::prune(std::uint64_t maxBytes) const
+{
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::path json;
+        fs::path key;
+        std::uint64_t bytes;
+        fs::file_time_type used;
+    };
+    PruneStats stats;
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root_, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec) || it->path().extension() != ".json")
+            continue;
+        fs::path key = it->path();
+        key.replace_extension(".key");
+        if (!fs::exists(key, ec))
+            continue;       // not a cache entry; leave it alone
+        Entry e;
+        e.json = it->path();
+        e.key = key;
+        e.bytes = fs::file_size(e.json, ec) + fs::file_size(key, ec);
+        e.used = fs::last_write_time(e.json, ec);
+        entries.push_back(std::move(e));
+    }
+    for (const auto &e : entries) {
+        ++stats.entries;
+        stats.bytes += e.bytes;
+    }
+    if (stats.bytes <= maxBytes)
+        return stats;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.used != b.used)
+                      return a.used < b.used;
+                  return a.json < b.json;   // stable across equal mtimes
+              });
+    std::uint64_t held = stats.bytes;
+    for (const auto &e : entries) {
+        if (held <= maxBytes)
+            break;
+        // Key first: a half-removed entry must look like a miss, never
+        // like a valid entry with missing bytes.
+        fs::remove(e.key, ec);
+        fs::remove(e.json, ec);
+        held -= e.bytes;
+        ++stats.evicted;
+        stats.evictedBytes += e.bytes;
+    }
+    return stats;
 }
 
 } // namespace cellbw::core

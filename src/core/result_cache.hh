@@ -46,7 +46,7 @@ class ResultCache
      * The code-version salt.  Bump the trailing integer with any
      * change that can alter experiment results or report bytes.
      */
-    static constexpr const char *kSalt = "cellbw-results-1";
+    static constexpr const char *kSalt = "cellbw-results-2";
 
     static const char *salt() { return kSalt; }
 
@@ -77,6 +77,23 @@ class ResultCache
     /** Store @p reportBytes under @p key; false on I/O failure. */
     bool store(const std::string &key, const std::string &material,
                const std::string &reportBytes) const;
+
+    /** What prune() scanned and evicted. */
+    struct PruneStats
+    {
+        std::uint64_t entries = 0;      ///< entries found
+        std::uint64_t bytes = 0;        ///< bytes found (.json + .key)
+        std::uint64_t evicted = 0;      ///< entries removed
+        std::uint64_t evictedBytes = 0; ///< bytes removed
+    };
+
+    /**
+     * Evict least-recently-used entries until the cache holds at most
+     * @p maxBytes (0 empties it).  Recency is the entry's file mtime;
+     * load() refreshes it on every hit, so the order is true LRU, not
+     * insertion order.  Unpaired/foreign files are left alone.
+     */
+    PruneStats prune(std::uint64_t maxBytes) const;
 
   private:
     std::string dirFor(const std::string &key) const;

@@ -32,9 +32,8 @@ Eib::rampPeakGBps() const
     return params_.bytesPerBusCycle * bus_hz / 1e9;
 }
 
-void
-Eib::transfer(RampPos src, RampPos dst, std::uint32_t bytes,
-              std::function<void()> onDone)
+Tick
+Eib::reserveTransfer(RampPos src, RampPos dst, std::uint32_t bytes)
 {
     if (src >= numRamps || dst >= numRamps)
         sim::panic("EIB transfer with bad ramp (%u -> %u)", src, dst);
@@ -118,7 +117,7 @@ Eib::transfer(RampPos src, RampPos dst, std::uint32_t bytes,
         recorder_->eib({curTick(), best_start, arrival, chip_,
                         best->index(), src, dst, bytes});
     }
-    eventQueue().scheduleAt(arrival, std::move(onDone));
+    return arrival;
 }
 
 void

@@ -73,10 +73,24 @@ class Eib : public sim::SimObject
     /**
      * Move a data packet of @p bytes (<= 128 in normal operation) from
      * ramp @p src to ramp @p dst.  @p onDone fires when the packet's
-     * tail arrives at the destination ramp.
+     * tail arrives at the destination ramp.  The callable is scheduled
+     * directly on the event queue (inline storage for small captures).
      */
-    void transfer(RampPos src, RampPos dst, std::uint32_t bytes,
-                  std::function<void()> onDone);
+    template <typename F>
+    void
+    transfer(RampPos src, RampPos dst, std::uint32_t bytes, F &&onDone)
+    {
+        const Tick arrival = reserveTransfer(src, dst, bytes);
+        sim::TagScope tag(eventQueue(), sim::EventTag::Eib);
+        eventQueue().scheduleAt(arrival, std::forward<F>(onDone));
+    }
+
+    /**
+     * Arbitrate and reserve ring/ramp time for a packet; returns the
+     * tick its tail arrives at @p dst.  transfer() is this plus the
+     * completion event.
+     */
+    Tick reserveTransfer(RampPos src, RampPos dst, std::uint32_t bytes);
 
     /** @name Introspection for tests and the bench reports. */
     /** @{ */

@@ -62,10 +62,9 @@ DramBank::reserve(Tick earliest, Tick service)
     return t;
 }
 
-void
-DramBank::access(EffAddr ea, std::uint32_t bytes,
-                 [[maybe_unused]] bool isWrite,
-                 std::function<void()> onDone)
+Tick
+DramBank::reserveAccess(EffAddr ea, std::uint32_t bytes,
+                        [[maybe_unused]] bool isWrite)
 {
     // Reads and writes currently share the same completion latency
     // (the requester needs the controller's ack either way); the
@@ -91,8 +90,7 @@ DramBank::access(EffAddr ea, std::uint32_t bytes,
     // to the requester's MFC after the same latency (tag completion on
     // the Cell requires the controller's ack, which is why the paper
     // measures PUT ~= GET for a single SPE).
-    Tick completion = service_end + params_.accessLatency;
-    eventQueue().scheduleAt(completion, std::move(onDone));
+    return service_end + params_.accessLatency;
 }
 
 void

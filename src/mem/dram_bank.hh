@@ -69,18 +69,31 @@ class DramBank : public sim::SimObject
      * Enqueue an access of @p bytes at effective address @p ea.
      * @p onDone fires at the completion tick (data available for reads
      * / accepted for writes).  @p ea only feeds the row-hit/conflict
-     * counters; timing depends on bytes alone.
+     * counters; timing depends on bytes alone.  The callable schedules
+     * directly on the event queue (inline storage for small captures).
      */
-    void access(EffAddr ea, std::uint32_t bytes, bool isWrite,
-                std::function<void()> onDone);
+    template <typename F>
+    void
+    access(EffAddr ea, std::uint32_t bytes, bool isWrite, F &&onDone)
+    {
+        const Tick completion = reserveAccess(ea, bytes, isWrite);
+        sim::TagScope tag(eventQueue(), sim::EventTag::Dram);
+        eventQueue().scheduleAt(completion, std::forward<F>(onDone));
+    }
 
     /** Address-less convenience overload (counts as row address 0). */
+    template <typename F>
     void
-    access(std::uint32_t bytes, bool isWrite,
-           std::function<void()> onDone)
+    access(std::uint32_t bytes, bool isWrite, F &&onDone)
     {
-        access(0, bytes, isWrite, std::move(onDone));
+        access(0, bytes, isWrite, std::forward<F>(onDone));
     }
+
+    /**
+     * Reserve pin time for an access and book its counters; returns the
+     * completion tick.  access() is this plus the completion event.
+     */
+    Tick reserveAccess(EffAddr ea, std::uint32_t bytes, bool isWrite);
 
     /** Earliest tick at which a new request could start service. */
     Tick busyUntil() const { return freeAt_; }

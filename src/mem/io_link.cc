@@ -15,19 +15,18 @@ IoLink::IoLink(std::string name, sim::EventQueue &eq, const IoLinkParams &p)
         sim::fatal("%s: IO link rate must be positive", this->name().c_str());
 }
 
-void
-IoLink::send(Dir dir, std::uint32_t bytes, std::function<void()> onDone)
+Tick
+IoLink::reserveSend(Dir dir, std::uint32_t bytes)
 {
     int d = static_cast<int>(dir);
     auto service =
         static_cast<Tick>(std::ceil(bytes / params_.bytesPerTick));
     if (service == 0)
         service = 1;
-    Tick start = std::max(curTick(), freeAt_[d]);
+    Tick start = std::max(laneNow(d), freeAt_[d]);
     freeAt_[d] = start + service;
     bytesSent_[d] += bytes;
-    eventQueue().scheduleAt(freeAt_[d] + params_.crossingLatency,
-                            std::move(onDone));
+    return freeAt_[d] + params_.crossingLatency;
 }
 
 } // namespace cellbw::mem

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "sim/sim_object.hh"
 
@@ -34,11 +35,55 @@ class IoLink : public sim::SimObject
 
     IoLink(std::string name, sim::EventQueue &eq, const IoLinkParams &p);
 
+    using Callback = sim::EventQueue::Callback;
+
+    /**
+     * Partitioned-simulation hook (see cell/cell_system).  A crossing's
+     * completion always belongs to the *destination* chip; when the
+     * chips run on separate event queues, the hook carries the callback
+     * into the far partition instead of the local queue.  @p srcQueues
+     * names the queue each lane's senders run on (Outbound = chip 0,
+     * Inbound = chip 1), which is where the lane's reservation clock
+     * reads the current tick.
+     *
+     * The crossing callable is wider than an event callback: crossing
+     * DMA lines carry their 128-byte payload with them (matching
+     * sim::PartitionedEngine::ChannelFn).
+     */
+    using CrossingFn = util::InlineFunction<void(), 176>;
+    using RemotePost = std::function<void(Dir, Tick, CrossingFn)>;
+
+    void
+    setPartitioned(sim::EventQueue *outboundSrc,
+                   sim::EventQueue *inboundSrc, RemotePost post)
+    {
+        srcQueue_[static_cast<int>(Dir::Outbound)] = outboundSrc;
+        srcQueue_[static_cast<int>(Dir::Inbound)] = inboundSrc;
+        post_ = std::move(post);
+    }
+
     /**
      * Send @p bytes across the link in direction @p dir; @p onDone fires
      * when the tail of the message arrives on the far side.
      */
-    void send(Dir dir, std::uint32_t bytes, std::function<void()> onDone);
+    template <typename F>
+    void
+    send(Dir dir, std::uint32_t bytes, F &&onDone)
+    {
+        const Tick arrival = reserveSend(dir, bytes);
+        if (post_) [[unlikely]] {
+            post_(dir, arrival, CrossingFn(std::forward<F>(onDone)));
+        } else {
+            sim::TagScope tag(eventQueue(), sim::EventTag::IoLink);
+            eventQueue().scheduleAt(arrival, std::forward<F>(onDone));
+        }
+    }
+
+    /**
+     * Serialize @p bytes onto lane @p dir; returns the tick the tail
+     * arrives on the far side.  send() is this plus the completion.
+     */
+    Tick reserveSend(Dir dir, std::uint32_t bytes);
 
     std::uint64_t bytesSent(Dir dir) const
     {
@@ -48,9 +93,18 @@ class IoLink : public sim::SimObject
     Tick crossingLatency() const { return params_.crossingLatency; }
 
   private:
+    /** Current tick of the queue that drives lane @p d's senders. */
+    Tick
+    laneNow(int d) const
+    {
+        return srcQueue_[d] ? srcQueue_[d]->now() : curTick();
+    }
+
     IoLinkParams params_;
     Tick freeAt_[2] = {0, 0};
     std::uint64_t bytesSent_[2] = {0, 0};
+    sim::EventQueue *srcQueue_[2] = {nullptr, nullptr};
+    RemotePost post_;
 };
 
 } // namespace cellbw::mem

@@ -8,14 +8,16 @@ namespace cellbw::mem
 {
 
 MemorySystem::MemorySystem(std::string name, sim::EventQueue &eq,
-                           const MemorySystemParams &params)
+                           const MemorySystemParams &params,
+                           sim::EventQueue *bank1Queue)
     : sim::SimObject(std::move(name), eq),
       allocator_(params.pageBytes, 2),
       store_(params.pageBytes)
 {
     banks_[0] = std::make_unique<DramBank>(this->name() + ".bank0", eq,
                                            params.bank0);
-    banks_[1] = std::make_unique<DramBank>(this->name() + ".bank1", eq,
+    banks_[1] = std::make_unique<DramBank>(this->name() + ".bank1",
+                                           bank1Queue ? *bank1Queue : eq,
                                            params.bank1);
     ioLink_ = std::make_unique<IoLink>(this->name() + ".ioif", eq,
                                        params.ioLink);
@@ -33,45 +35,6 @@ MemorySystem::bank(unsigned i)
     if (i > 1)
         sim::fatal("bank index %u out of range", i);
     return *banks_[i];
-}
-
-void
-MemorySystem::readLine(EffAddr ea, std::uint32_t bytes,
-                       std::function<void()> onDone)
-{
-    unsigned b = bankOf(ea);
-    if (b == 0) {
-        banks_[0]->access(ea, bytes, false, std::move(onDone));
-        return;
-    }
-    // Remote: the read command crosses outbound (latency only; commands
-    // are tiny), the bank services it, and the data crosses inbound at
-    // the link's serialized rate.
-    eventQueue().schedule(
-        ioLink_->crossingLatency(),
-        [this, ea, bytes, onDone = std::move(onDone)]() mutable {
-            banks_[1]->access(ea, bytes, false,
-                              [this, bytes,
-                               onDone = std::move(onDone)]() mutable {
-                ioLink_->send(IoLink::Dir::Inbound, bytes,
-                              std::move(onDone));
-            });
-        });
-}
-
-void
-MemorySystem::writeLine(EffAddr ea, std::uint32_t bytes,
-                        std::function<void()> onDone)
-{
-    unsigned b = bankOf(ea);
-    if (b == 0) {
-        banks_[0]->access(ea, bytes, true, std::move(onDone));
-        return;
-    }
-    ioLink_->send(IoLink::Dir::Outbound, bytes,
-                  [this, ea, bytes, onDone = std::move(onDone)]() mutable {
-        banks_[1]->access(ea, bytes, true, std::move(onDone));
-    });
 }
 
 void

@@ -35,8 +35,26 @@ struct MemorySystemParams
 class MemorySystem : public sim::SimObject
 {
   public:
+    /**
+     * @p bank1Queue binds the remote bank to another event queue (the
+     * second chip's partition in a partitioned simulation); by default
+     * both banks live on @p eq.
+     */
     MemorySystem(std::string name, sim::EventQueue &eq,
-                 const MemorySystemParams &params);
+                 const MemorySystemParams &params,
+                 sim::EventQueue *bank1Queue = nullptr);
+
+    /**
+     * Partitioned-simulation hook for the PPE's remote line paths: the
+     * command/ack must hop between the chips' event queues.  The hook
+     * posts @p fn to run at tick @p when on chip @p dstChip's queue.
+     */
+    using CrossFn = util::InlineFunction<void(), 176>;
+    using CrossPost =
+        std::function<void(unsigned srcChip, unsigned dstChip, Tick when,
+                           CrossFn fn)>;
+
+    void setPartitioned(CrossPost post) { crossPost_ = std::move(post); }
 
     /** Allocate simulated memory; returns the base effective address. */
     EffAddr alloc(std::uint64_t bytes, const NumaPolicy &policy);
@@ -49,15 +67,84 @@ class MemorySystem : public sim::SimObject
      * available at the memory-side EIB ramp (MIC for bank 0, IOIF for
      * bank 1; remote reads pay the link crossing both ways).
      */
-    void readLine(EffAddr ea, std::uint32_t bytes,
-                  std::function<void()> onDone);
+    template <typename F>
+    void
+    readLine(EffAddr ea, std::uint32_t bytes, F &&onDone)
+    {
+        if (bankOf(ea) == 0) {
+            banks_[0]->access(ea, bytes, false, std::forward<F>(onDone));
+            return;
+        }
+        // Remote: the read command crosses outbound (latency only;
+        // commands are tiny), the bank services it, and the data
+        // crosses inbound at the link's serialized rate.
+        if (crossPost_) {
+            // Partitioned: the command hops to chip 1's queue; the
+            // data crossing rides the link's remote-post hook home.
+            crossPost_(
+                0, 1, eventQueue().now() + ioLink_->crossingLatency(),
+                CrossFn([this, ea, bytes,
+                         onDone = sim::EventQueue::Callback(
+                             std::forward<F>(onDone))]() mutable {
+                    banks_[1]->access(
+                        ea, bytes, false,
+                        [this, bytes,
+                         onDone = std::move(onDone)]() mutable {
+                            ioLink_->send(IoLink::Dir::Inbound, bytes,
+                                          std::move(onDone));
+                        });
+                }));
+            return;
+        }
+        eventQueue().schedule(
+            ioLink_->crossingLatency(),
+            [this, ea, bytes,
+             onDone = std::forward<F>(onDone)]() mutable {
+                banks_[1]->access(
+                    ea, bytes, false,
+                    [this, bytes, onDone = std::move(onDone)]() mutable {
+                        ioLink_->send(IoLink::Dir::Inbound, bytes,
+                                      std::move(onDone));
+                    });
+            });
+    }
 
     /**
      * Timing of a line write: @p onDone fires when the write has been
      * accepted by the target bank (writes are posted).
      */
-    void writeLine(EffAddr ea, std::uint32_t bytes,
-                   std::function<void()> onDone);
+    template <typename F>
+    void
+    writeLine(EffAddr ea, std::uint32_t bytes, F &&onDone)
+    {
+        if (bankOf(ea) == 0) {
+            banks_[0]->access(ea, bytes, true, std::forward<F>(onDone));
+            return;
+        }
+        if (crossPost_) {
+            // Partitioned: the write rides the link to chip 1, the far
+            // bank accepts it, and the ack crosses back — the return
+            // hop keeps the post inside the lookahead window even when
+            // an ablation shrinks the bank latency below the crossing.
+            ioLink_->send(
+                IoLink::Dir::Outbound, bytes,
+                [this, ea, bytes,
+                 onDone = sim::EventQueue::Callback(
+                     std::forward<F>(onDone))]() mutable {
+                    Tick completion =
+                        banks_[1]->reserveAccess(ea, bytes, true);
+                    crossPost_(1, 0,
+                               completion + ioLink_->crossingLatency(),
+                               CrossFn(std::move(onDone)));
+                });
+            return;
+        }
+        ioLink_->send(
+            IoLink::Dir::Outbound, bytes,
+            [this, ea, bytes, onDone = std::forward<F>(onDone)]() mutable {
+                banks_[1]->access(ea, bytes, true, std::move(onDone));
+            });
+    }
 
     BackingStore &store() { return store_; }
     const BackingStore &store() const { return store_; }
@@ -78,6 +165,7 @@ class MemorySystem : public sim::SimObject
     BackingStore store_;
     std::unique_ptr<DramBank> banks_[2];
     std::unique_ptr<IoLink> ioLink_;
+    CrossPost crossPost_;
 };
 
 } // namespace cellbw::mem

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "util/inline_function.hh"
 #include "util/types.hh"
 
 namespace cellbw::spe
@@ -85,6 +86,51 @@ struct ListElement
     std::uint32_t size;
 };
 
+/**
+ * Segment list of a DMA command.  The overwhelmingly common case — a
+ * plain get/put — is a single (ea, size) pair, stored inline so that
+ * enqueueing a command allocates nothing.  List commands (getl/putl)
+ * fall back to vector storage.  Elements are stable for the list's
+ * lifetime, so routing code can hold (pointer, count) views into it.
+ */
+class SegList
+{
+  public:
+    SegList() = default;
+
+    /** Single-element list for a plain get/put: no allocation. */
+    SegList(EffAddr ea, std::uint32_t size)
+        : single_{ea, size}, count_(1)
+    {
+    }
+
+    /** Multi-element list for getl/putl. */
+    SegList(std::vector<ListElement> elems)
+        : list_(std::move(elems)), count_(list_.size())
+    {
+    }
+
+    const ListElement *
+    data() const
+    {
+        return list_.empty() ? &single_ : list_.data();
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    const ListElement &operator[](std::size_t i) const { return data()[i]; }
+    const ListElement *begin() const { return data(); }
+    const ListElement *end() const { return data() + count_; }
+
+    /** Copy out to a vector (cold paths only: fault records). */
+    std::vector<ListElement> toVector() const { return {begin(), end()}; }
+
+  private:
+    ListElement single_{0, 0};
+    std::vector<ListElement> list_;
+    std::size_t count_ = 0;
+};
+
 /** Maximum transfer size of one DMA command or list element. */
 constexpr std::uint32_t maxDmaSize = 16 * 1024;
 
@@ -114,7 +160,9 @@ struct LineRequest
     std::uint32_t bytes;
     /** Injected fault: the router damages this line's payload. */
     bool corrupt = false;
-    std::function<void()> done; ///< invoked when the line has landed
+    /** Invoked when the line has landed.  Inline storage: completing a
+     *  line back to the MFC performs no allocation. */
+    util::InlineFunction<void()> done;
 };
 
 using LineHandler = std::function<void(LineRequest &&)>;

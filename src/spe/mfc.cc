@@ -27,6 +27,16 @@ Mfc::Mfc(std::string name, sim::EventQueue &eq, const sim::ClockSpec &clock,
         sim::fatal("%s: fault rates must be >= 0 and sum to <= 1",
                    this->name().c_str());
     }
+    // Fixed command arena: both queues can be full at once, so size the
+    // slot store to the combined depth.  The vector never grows again;
+    // Command pointers stay valid for a command's lifetime.
+    const std::size_t slots = params_.queueDepth + params_.proxyQueueDepth;
+    slotStore_.resize(slots);
+    freeSlots_.reserve(slots);
+    for (std::size_t i = slots; i-- > 0;)
+        freeSlots_.push_back(&slotStore_[i]);
+    queue_.reserve(slots);
+    active_.resize(slots, nullptr);
 }
 
 std::uint32_t
@@ -40,8 +50,7 @@ Mfc::tagsPendingMask() const
 }
 
 MfcError
-Mfc::validate(LsAddr lsa, const std::vector<ListElement> &segs,
-              bool isList) const
+Mfc::validate(LsAddr lsa, const SegList &segs, bool isList) const
 {
     if (isList && (segs.empty() || segs.size() > maxListElements))
         return MfcError::BadList;
@@ -73,9 +82,8 @@ Mfc::recordFault(DmaDir dir, bool isList, bool proxy, LsAddr lsa,
 }
 
 bool
-Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
-             std::vector<ListElement> segs, unsigned tag, Order order,
-             bool proxy)
+Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa, SegList segs,
+             unsigned tag, Order order, bool proxy)
 {
     if (tag >= numTags)
         sim::fatal("%s: DMA tag %u out of range", name().c_str(), tag);
@@ -94,38 +102,42 @@ Mfc::enqueue(DmaDir dir, bool isList, LsAddr lsa,
     if (MfcError err = validate(lsa, segs, isList); err != MfcError::None) {
         // Recoverable rejection: nothing enters the queue, the error is
         // latched on the tag group for the program to poll.
-        recordFault(dir, isList, proxy, lsa, std::move(segs), tag, err);
+        recordFault(dir, isList, proxy, lsa, segs.toVector(), tag, err);
         return false;
     }
 
-    Command c;
-    c.dir = dir;
-    c.tag = tag;
-    c.isList = isList;
-    c.isProxy = proxy;
-    c.order = order;
-    c.lsaStart = lsa;
-    c.lsaCursor = lsa;
-    c.enqueuedAt = curTick();
+    // Take a slot from the arena.  The queue-full checks above bound
+    // live commands below the combined depth, so a slot is always free.
+    Command *c = freeSlots_.back();
+    freeSlots_.pop_back();
+    *c = Command{};
+    c->dir = dir;
+    c->tag = tag;
+    c->isList = isList;
+    c->isProxy = proxy;
+    c->order = order;
+    c->lsaStart = lsa;
+    c->lsaCursor = lsa;
+    c->enqueuedAt = curTick();
     for (const auto &seg : segs)
-        c.totalBytes += seg.size;
-    c.segs = std::move(segs);
+        c->totalBytes += seg.size;
+    c->segs = std::move(segs);
     if (faultsEnabled_) {
         const auto &f = params_.faults;
         double u = faultRng_.uniformReal();
         if (u < f.dropRate) {
-            c.injected = MfcError::Dropped;
+            c->injected = MfcError::Dropped;
             ++dropsInjected_;
         } else if (u < f.dropRate + f.corruptRate) {
-            c.injected = MfcError::Corrupted;
-            c.corruptPending = true;
+            c->injected = MfcError::Corrupted;
+            c->corruptPending = true;
             ++corruptionsInjected_;
         } else if (u < f.dropRate + f.corruptRate + f.delayRate) {
-            c.extraDelay = f.delayTicks;
+            c->extraDelay = f.delayTicks;
             ++delaysInjected_;
         }
     }
-    queue_.push_back(std::move(c));
+    queue_.push_back(c);
     if (proxy)
         ++proxyCount_;
     else
@@ -146,44 +158,48 @@ bool
 Mfc::proxyGet(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
               Order order)
 {
-    return enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order,
-                   true);
+    return enqueue(DmaDir::Get, false, lsa, SegList(ea, size), tag,
+                   order, true);
 }
 
 bool
 Mfc::proxyPut(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
               Order order)
 {
-    return enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order,
-                   true);
+    return enqueue(DmaDir::Put, false, lsa, SegList(ea, size), tag,
+                   order, true);
 }
 
 bool
 Mfc::get(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
          Order order)
 {
-    return enqueue(DmaDir::Get, false, lsa, {{ea, size}}, tag, order);
+    return enqueue(DmaDir::Get, false, lsa, SegList(ea, size), tag,
+                   order);
 }
 
 bool
 Mfc::put(LsAddr lsa, EffAddr ea, std::uint32_t size, unsigned tag,
          Order order)
 {
-    return enqueue(DmaDir::Put, false, lsa, {{ea, size}}, tag, order);
+    return enqueue(DmaDir::Put, false, lsa, SegList(ea, size), tag,
+                   order);
 }
 
 bool
 Mfc::getList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
              Order order)
 {
-    return enqueue(DmaDir::Get, true, lsa, std::move(list), tag, order);
+    return enqueue(DmaDir::Get, true, lsa, SegList(std::move(list)), tag,
+                   order);
 }
 
 bool
 Mfc::putList(LsAddr lsa, std::vector<ListElement> list, unsigned tag,
              Order order)
 {
-    return enqueue(DmaDir::Put, true, lsa, std::move(list), tag, order);
+    return enqueue(DmaDir::Put, true, lsa, SegList(std::move(list)), tag,
+                   order);
 }
 
 std::uint32_t
@@ -230,10 +246,10 @@ Mfc::clearFaults()
 bool
 Mfc::issuable(const Command &c) const
 {
-    for (const auto &earlier : queue_) {
-        if (&earlier == &c)
+    for (const Command *earlier : queue_) {
+        if (earlier == &c)
             break;
-        if (earlier.tag != c.tag || earlier.done)
+        if (earlier->tag != c.tag || earlier->done)
             continue;
         // A fenced or barriered command waits for every earlier
         // incomplete command of its tag group.
@@ -241,7 +257,7 @@ Mfc::issuable(const Command &c) const
             return false;
         // Any command waits for an earlier incomplete barrier of its
         // tag group.
-        if (earlier.order == Order::Barrier)
+        if (earlier->order == Order::Barrier)
             return false;
     }
     return true;
@@ -256,9 +272,9 @@ Mfc::scheduleIssue()
     // not held back by tag-group fences/barriers.  Commands of other
     // tag groups may overtake a blocked one, as on real hardware.
     Command *next = nullptr;
-    for (auto &c : queue_) {
-        if (!c.issued && issuable(c)) {
-            next = &c;
+    for (Command *c : queue_) {
+        if (!c->issued && issuable(*c)) {
+            next = c;
             break;
         }
     }
@@ -271,6 +287,7 @@ Mfc::scheduleIssue()
         occ_bus += params_.listElemOverheadBus * next->segs.size();
     Tick start = std::max(curTick(), issueFreeAt_);
     issueFreeAt_ = start + clock_.busCycles(occ_bus);
+    sim::TagScope tag(eventQueue(), sim::EventTag::Mfc);
     eventQueue().scheduleAt(issueFreeAt_, [this, next] {
         finishIssue(next);
     });
@@ -288,7 +305,7 @@ Mfc::finishIssue(Command *c)
         c->allLinesIssued = true;
         commandComplete(c);
     } else {
-        activePool_.push_back(c);
+        activePushBack(c);
     }
     scheduleIssue();
     tryIssueLines();
@@ -301,20 +318,20 @@ Mfc::tryIssueLines()
     // has no token (memory) or window slot (LS) available, so LS
     // traffic is never head-of-line-blocked behind memory traffic or
     // vice versa.
-    std::size_t attempts = activePool_.size();
-    while (attempts-- > 0 && !activePool_.empty()) {
-        Command *c = activePool_.front();
+    std::size_t attempts = activeCount_;
+    while (attempts-- > 0 && activeCount_ > 0) {
+        Command *c = active_[activeHead_];
 
         const ListElement &seg = c->segs[c->nextSeg];
         bool is_ls = seg.ea >= lsApertureBase;
         if (is_ls ? (lsLinesInFlight_ >= params_.lsLines)
                   : (memLinesInFlight_ >= params_.memoryTokens)) {
             // Rotate and try another command.
-            activePool_.pop_front();
-            activePool_.push_back(c);
+            activePopFront();
+            activePushBack(c);
             continue;
         }
-        activePool_.pop_front();
+        activePopFront();
 
         if (c->isList && c->segOffset == 0) {
             c->lsaCursor =
@@ -350,7 +367,7 @@ Mfc::tryIssueLines()
         ++linesSent_;
 
         if (c->nextSeg < c->segs.size()) {
-            activePool_.push_back(c);   // round-robin across commands
+            activePushBack(c);          // round-robin across commands
             ++attempts;                 // progress was made; keep going
         } else {
             c->allLinesIssued = true;
@@ -382,6 +399,7 @@ Mfc::commandComplete(Command *c)
         // it the tag status update) arrives late.
         Tick d = c->extraDelay;
         c->extraDelay = 0;
+        sim::TagScope tag(eventQueue(), sim::EventTag::Mfc);
         eventQueue().schedule(d, [this, c] { finalizeCompletion(c); });
         return;
     }
@@ -393,8 +411,8 @@ Mfc::finalizeCompletion(Command *c)
 {
     c->done = true;
     if (c->injected != MfcError::None) {
-        recordFault(c->dir, c->isList, c->isProxy, c->lsaStart, c->segs,
-                    c->tag, c->injected);
+        recordFault(c->dir, c->isList, c->isProxy, c->lsaStart,
+                    c->segs.toVector(), c->tag, c->injected);
     }
     if (recorder_) {
         recorder_->dma({c->enqueuedAt, c->issuedAt, curTick(),
@@ -403,8 +421,8 @@ Mfc::finalizeCompletion(Command *c)
     }
     if (completionHook_) {
         completionHook_({speIndex_, c->tag, c->dir, c->isList,
-                         c->isProxy, c->lsaStart, &c->segs,
-                         c->injected});
+                         c->isProxy, c->lsaStart, c->segs.data(),
+                         c->segs.size(), c->injected});
     }
     if (tagPending_[c->tag] == 0)
         sim::panic("%s: tag %u underflow", name().c_str(), c->tag);
@@ -414,7 +432,12 @@ Mfc::finalizeCompletion(Command *c)
         --proxyCount_;
     else
         --spuCount_;
-    queue_.remove_if([c](const Command &q) { return &q == c; });
+    std::erase(queue_, c);
+    // Recycle the arena slot; drop any list storage with it.  Nothing
+    // references the command past this point: its line events have all
+    // fired and a delayed completion is itself this function.
+    c->segs = SegList();
+    freeSlots_.push_back(c);
     wakeWaiters();
     // A completion may unblock a fenced/barriered command.
     scheduleIssue();

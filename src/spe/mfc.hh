@@ -29,9 +29,7 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -228,7 +226,8 @@ class Mfc : public sim::SimObject
         bool isList;
         bool isProxy;
         LsAddr lsa;                         ///< original LS start
-        const std::vector<ListElement> *segs;
+        const ListElement *segs;            ///< element view, numSegs long
+        std::size_t numSegs;
         MfcError fault;
     };
 
@@ -418,7 +417,7 @@ class Mfc : public sim::SimObject
         Order order;
         LsAddr lsaStart;        ///< original LS address, for hooks/faults
         LsAddr lsaCursor;
-        std::vector<ListElement> segs;
+        SegList segs;
         // Progress through segs.
         std::size_t nextSeg = 0;
         std::uint32_t segOffset = 0;
@@ -437,13 +436,12 @@ class Mfc : public sim::SimObject
         bool corruptPending = false;
     };
 
-    bool enqueue(DmaDir dir, bool isList, LsAddr lsa,
-                 std::vector<ListElement> segs, unsigned tag,
-                 Order order, bool proxy = false);
+    bool enqueue(DmaDir dir, bool isList, LsAddr lsa, SegList segs,
+                 unsigned tag, Order order, bool proxy = false);
 
     /** Tag-group ordering: may @p c pass the issue engine now? */
     bool issuable(const Command &c) const;
-    MfcError validate(LsAddr lsa, const std::vector<ListElement> &segs,
+    MfcError validate(LsAddr lsa, const SegList &segs,
                       bool isList) const;
     void recordFault(DmaDir dir, bool isList, bool proxy, LsAddr lsa,
                      std::vector<ListElement> segs, unsigned tag,
@@ -462,8 +460,44 @@ class Mfc : public sim::SimObject
     LineHandler handler_;
     trace::Recorder *recorder_ = nullptr;
 
-    std::list<Command> queue_;
-    std::deque<Command *> activePool_;
+    /**
+     * Command storage: a fixed arena sized to the combined SPU+proxy
+     * queue depth at construction.  Slots are address-stable for a
+     * command's lifetime (in-flight events hold Command pointers) and
+     * recycle through freeSlots_, so steady-state command traffic
+     * allocates nothing.  queue_ lists the live commands in arrival
+     * order — the order CBEA tag-group fences/barriers are defined
+     * over; at <= 24 entries a contiguous pointer vector beats the
+     * pointer-chase of the std::list it replaces.
+     */
+    std::vector<Command> slotStore_;
+    std::vector<Command *> freeSlots_;
+    std::vector<Command *> queue_;
+
+    /**
+     * Issued commands with lines left to send, in round-robin order:
+     * a fixed-capacity ring (capacity = combined queue depth).
+     */
+    std::vector<Command *> active_;
+    std::size_t activeHead_ = 0;
+    std::size_t activeCount_ = 0;
+
+    Command *
+    activePopFront()
+    {
+        Command *c = active_[activeHead_];
+        activeHead_ = (activeHead_ + 1) % active_.size();
+        --activeCount_;
+        return c;
+    }
+
+    void
+    activePushBack(Command *c)
+    {
+        active_[(activeHead_ + activeCount_) % active_.size()] = c;
+        ++activeCount_;
+    }
+
     Tick issueFreeAt_ = 0;
     bool issueInProgress_ = false;
     unsigned memLinesInFlight_ = 0;

@@ -92,8 +92,9 @@ class InlineFunction<R(Args...), InlineBytes>
 
     explicit operator bool() const noexcept { return vtable_ != nullptr; }
 
+    /** Const like std::function's: the target is logically mutable. */
     R
-    operator()(Args... args)
+    operator()(Args... args) const
     {
         return vtable_->invoke(&storage_, std::forward<Args>(args)...);
     }
@@ -187,7 +188,7 @@ class InlineFunction<R(Args...), InlineBytes>
         }
     }
 
-    alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+    alignas(std::max_align_t) mutable unsigned char storage_[InlineBytes];
     const VTable *vtable_ = nullptr;
 };
 

@@ -102,6 +102,38 @@ if(NOT healed_out MATCHES "cache hits: 1/1")
     message(FATAL_ERROR "repaired entry did not hit:\n${healed_out}")
 endif()
 
+# --- 3b. cache prune ------------------------------------------------
+# A generous budget scans without evicting; the healed entry stays hot.
+run_cellbw(prune_noop 0 cache prune --max-bytes 1G --cache cache)
+if(NOT prune_noop_out MATCHES "1 entries / [0-9]+ bytes scanned")
+    message(FATAL_ERROR "prune scan miscounted:\n${prune_noop_out}")
+endif()
+if(NOT prune_noop_out MATCHES "0 entries / 0 bytes evicted")
+    message(FATAL_ERROR "no-op prune evicted:\n${prune_noop_out}")
+endif()
+run_cellbw(stillhot 0 suite mini.manifest --quick --out stillhot
+           --cache cache)
+if(NOT stillhot_out MATCHES "cache hits: 1/1")
+    message(FATAL_ERROR "entry lost by no-op prune:\n${stillhot_out}")
+endif()
+
+# Budget zero empties the cache; the next pass re-simulates.
+run_cellbw(prune_all 0 cache prune --max-bytes 0 --cache cache)
+if(NOT prune_all_out MATCHES "1 entries / [0-9]+ bytes evicted")
+    message(FATAL_ERROR "prune to zero kept entries:\n${prune_all_out}")
+endif()
+run_cellbw(cold2 0 suite mini.manifest --quick --out cold2
+           --cache cache)
+if(NOT cold2_out MATCHES "cache hits: 0/1")
+    message(FATAL_ERROR "evicted entry still hit:\n${cold2_out}")
+endif()
+
+# Missing --max-bytes is a usage error, not an accidental full wipe.
+run_cellbw(prune_bad nonzero cache prune --cache cache)
+if(NOT prune_bad_err MATCHES "--max-bytes")
+    message(FATAL_ERROR "prune usage message:\n${prune_bad_err}")
+endif()
+
 # --- 4. validate without baselines ----------------------------------
 run_cellbw(noval 2 validate --quick --baselines no/such/dir)
 if(NOT noval_err MATCHES "cellbw validate:")

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment_context.hh"
@@ -147,6 +149,100 @@ TEST(ResultCache, DamagedReportBytesAreAMiss)
     // Re-storing repairs the entry.
     ASSERT_TRUE(cache.store(key, material, report));
     EXPECT_TRUE(cache.load(key, material).has_value());
+}
+
+namespace
+{
+
+/** Store a minimal valid entry for @p name; returns (key, material). */
+std::pair<std::string, std::string>
+putEntry(const core::ResultCache &cache, const std::string &name)
+{
+    const std::string material = "salt x\nexperiment " + name + "\n";
+    const std::string key = core::ResultCache::hashKey(material);
+    const std::string report =
+        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"" + name + "\"}\n";
+    EXPECT_TRUE(cache.store(key, material, report));
+    return {key, material};
+}
+
+/** Backdate an entry's recency by @p age hours. */
+void
+ageEntry(const core::ResultCache &cache, const std::string &key,
+         int age)
+{
+    std::filesystem::last_write_time(
+        cache.root() + "/" + key.substr(0, 2) + "/" + key + ".json",
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(age));
+}
+
+} // namespace
+
+TEST(ResultCache, PruneEvictsLeastRecentlyUsedFirst)
+{
+    core::ResultCache cache(tempRoot("prune_lru"));
+    auto [ka, ma] = putEntry(cache, "a");
+    auto [kb, mb] = putEntry(cache, "b");
+    auto [kc, mc] = putEntry(cache, "c");
+    // Stamp distinct ages; store order says nothing about recency.
+    ageEntry(cache, ka, 3);
+    ageEntry(cache, kb, 2);
+    ageEntry(cache, kc, 1);
+
+    // A budget above the total is a pure scan.
+    auto scan = cache.prune(std::uint64_t(1) << 40);
+    EXPECT_EQ(scan.entries, 3u);
+    EXPECT_GT(scan.bytes, 0u);
+    EXPECT_EQ(scan.evicted, 0u);
+    EXPECT_TRUE(cache.load(ka, ma).has_value());
+
+    // Room for one entry: the two oldest go, newest survives.
+    ageEntry(cache, ka, 3);     // load() above refreshed a's recency
+    auto st = cache.prune(scan.bytes / 3);
+    EXPECT_EQ(st.evicted, 2u);
+    EXPECT_EQ(st.bytes - st.evictedBytes, st.bytes / 3);
+    EXPECT_FALSE(cache.load(ka, ma).has_value());
+    EXPECT_FALSE(cache.load(kb, mb).has_value());
+    EXPECT_TRUE(cache.load(kc, mc).has_value());
+}
+
+TEST(ResultCache, LoadRefreshesRecencySoHitsSurvivePrune)
+{
+    core::ResultCache cache(tempRoot("prune_touch"));
+    auto [ka, ma] = putEntry(cache, "a");
+    auto [kb, mb] = putEntry(cache, "b");
+    ageEntry(cache, ka, 2);
+    ageEntry(cache, kb, 3);
+    // b is older, but a hit makes it the most recently used.
+    ASSERT_TRUE(cache.load(kb, mb).has_value());
+
+    auto scan = cache.prune(std::uint64_t(1) << 40);
+    ASSERT_EQ(scan.entries, 2u);
+    auto st = cache.prune(scan.bytes / 2);
+    EXPECT_EQ(st.evicted, 1u);
+    EXPECT_FALSE(cache.load(ka, ma).has_value());
+    EXPECT_TRUE(cache.load(kb, mb).has_value());
+}
+
+TEST(ResultCache, PruneToZeroSparesForeignFiles)
+{
+    const std::string root = tempRoot("prune_zero");
+    core::ResultCache cache(root);
+    auto [ka, ma] = putEntry(cache, "a");
+    // Files that are not (json, key) pairs are not cache entries.
+    std::ofstream(root + "/README") << "not an entry\n";
+    std::ofstream(root + "/" + ka.substr(0, 2) + "/orphan.json")
+        << "{}\n";
+
+    auto st = cache.prune(0);
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.evicted, 1u);
+    EXPECT_EQ(st.evictedBytes, st.bytes);
+    EXPECT_FALSE(cache.load(ka, ma).has_value());
+    EXPECT_TRUE(std::filesystem::exists(root + "/README"));
+    EXPECT_TRUE(std::filesystem::exists(root + "/" + ka.substr(0, 2) +
+                                        "/orphan.json"));
 }
 
 TEST(ResultCache, HashKeyFormat)
