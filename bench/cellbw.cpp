@@ -12,6 +12,9 @@
  *   cellbw validate [targets] [opts]   check suite results against the
  *                                      paper expectations under
  *                                      baselines/paper/
+ *   cellbw serve [opts]                long-running HTTP JSON daemon
+ *                                      over the same registry, pool,
+ *                                      and result cache
  *
  * `run` and the legacy binaries share core::runExperimentCli(), so
  * `cellbw run fig08_spe_mem --quick` is byte-identical to
@@ -21,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +33,7 @@
 #include "core/result_cache.hh"
 #include "core/suite.hh"
 #include "core/validate.hh"
+#include "serve/server.hh"
 #include "util/strings.hh"
 
 using namespace cellbw;
@@ -60,10 +65,32 @@ usage(std::FILE *to)
         "    --cache DIR                result-cache root (default: "
         ".cellbw-cache)\n"
         "    --no-cache                 disable the result cache\n"
+        "    --cache-max-bytes SIZE     LRU-prune the cache to SIZE "
+        "after the suite\n"
         "    --terse                    suppress per-experiment "
         "progress lines\n"
         "    <other flags>              forwarded to every experiment "
         "(e.g. --quick)\n"
+        "  serve [options]              HTTP JSON daemon (POST /run, "
+        "GET /jobs/<id>,\n"
+        "                               GET /metrics, ...); SIGTERM "
+        "drains gracefully\n"
+        "    --host ADDR                bind address (default "
+        "127.0.0.1)\n"
+        "    --port N                   TCP port; 0 picks one "
+        "(default 8080)\n"
+        "    --port-file FILE           write the bound port here\n"
+        "    --active N                 concurrent experiment runs "
+        "(default 2)\n"
+        "    --jobs N                   shared worker-pool width "
+        "(default: all cores)\n"
+        "    --cache DIR / --no-cache   as for suite\n"
+        "    --cache-max-bytes SIZE     online LRU cache cap (prune "
+        "after each run)\n"
+        "    --spool DIR                per-job report files (default: "
+        "cellbw-serve-spool)\n"
+        "    --terse                    suppress per-request log "
+        "lines\n"
         "  compare <candidate> <baseline> [options]\n"
         "    --tol PCT                  global relative tolerance, "
         "percent (default 0)\n"
@@ -169,6 +196,19 @@ cmdSuite(int argc, char **argv)
             spec.cacheDir = argv[i];
         } else if (a == "--no-cache") {
             spec.useCache = false;
+        } else if (a == "--cache-max-bytes") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --cache-max-bytes needs a value\n",
+                           stderr);
+                return 2;
+            }
+            try {
+                spec.cacheMaxBytes = util::parseByteSize(argv[i]);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "cellbw: bad --cache-max-bytes "
+                             "value '%s': %s\n", argv[i], e.what());
+                return 2;
+            }
         } else if (a == "--terse") {
             spec.terse = true;
         } else if (a == "--help" || a == "-h") {
@@ -374,6 +414,95 @@ cmdCache(int argc, char **argv)
     return 0;
 }
 
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServeSpec spec;
+    auto needValue = [&](const char *flag, int &i) -> const char * {
+        if (++i >= argc) {
+            std::fprintf(stderr, "cellbw: %s needs a value\n", flag);
+            return nullptr;
+        }
+        return argv[i];
+    };
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *v = nullptr;
+        if (a == "--host") {
+            if (!(v = needValue("--host", i)))
+                return 2;
+            spec.host = v;
+        } else if (a == "--port") {
+            if (!(v = needValue("--port", i)))
+                return 2;
+            try {
+                std::uint64_t p = util::parseUint64(v);
+                if (p > 65535)
+                    throw std::runtime_error("out of range");
+                spec.port = static_cast<std::uint16_t>(p);
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "cellbw: bad --port value '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (a == "--port-file") {
+            if (!(v = needValue("--port-file", i)))
+                return 2;
+            spec.portFile = v;
+        } else if (a == "--active") {
+            if (!(v = needValue("--active", i)))
+                return 2;
+            try {
+                spec.active =
+                    static_cast<unsigned>(util::parseUint64(v));
+            } catch (const std::exception &) {
+                std::fprintf(stderr,
+                             "cellbw: bad --active value '%s'\n", v);
+                return 2;
+            }
+        } else if (a == "--jobs") {
+            if (!(v = needValue("--jobs", i)))
+                return 2;
+            try {
+                spec.jobs = static_cast<unsigned>(util::parseUint64(v));
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "cellbw: bad --jobs value '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (a == "--cache") {
+            if (!(v = needValue("--cache", i)))
+                return 2;
+            spec.cacheDir = v;
+        } else if (a == "--no-cache") {
+            spec.useCache = false;
+        } else if (a == "--cache-max-bytes") {
+            if (!(v = needValue("--cache-max-bytes", i)))
+                return 2;
+            try {
+                spec.cacheMaxBytes = util::parseByteSize(v);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "cellbw: bad --cache-max-bytes "
+                             "value '%s': %s\n", v, e.what());
+                return 2;
+            }
+        } else if (a == "--spool") {
+            if (!(v = needValue("--spool", i)))
+                return 2;
+            spec.spoolDir = v;
+        } else if (a == "--terse") {
+            spec.terse = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else {
+            std::fprintf(stderr, "cellbw: unknown serve flag '%s'\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+    return serve::runServe(spec);
+}
+
 } // namespace
 
 int
@@ -394,6 +523,8 @@ main(int argc, char **argv)
         return cmdValidate(argc - 2, argv + 2);
     if (cmd == "cache")
         return cmdCache(argc - 2, argv + 2);
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h" || cmd == "help")
         return usage(stdout);
     std::fprintf(stderr, "cellbw: unknown command '%s'\n", cmd.c_str());

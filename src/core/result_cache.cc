@@ -1,7 +1,7 @@
 #include "core/result_cache.hh"
 
 #include <algorithm>
-#include <cstdlib>
+#include <charconv>
 #include <filesystem>
 #include <vector>
 
@@ -12,6 +12,35 @@
 
 namespace cellbw::core
 {
+
+namespace
+{
+
+/**
+ * Canonical, locale-independent rendering of a Double option value.
+ * std::strtod/printf follow LC_NUMERIC — under a comma-decimal locale
+ * "2.1" parses as 2 and 2.1 renders as "2,1", so the same config
+ * hashed to a different key depending on the host locale.
+ * std::from_chars/std::to_chars always use the C grammar.
+ */
+std::string
+canonicalDouble(const std::string &text)
+{
+    double v = 0.0;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    // Skip leading whitespace the way the option parser tolerates it;
+    // from_chars does not.
+    while (first != last && (*first == ' ' || *first == '\t'))
+        ++first;
+    std::from_chars(first, last, v);
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, 17);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
 
 std::string
 ResultCache::materialFor(const std::string &experiment,
@@ -35,8 +64,7 @@ ResultCache::materialFor(const std::string &experiment,
             canon = std::to_string(util::parseUint64(o.text));
             break;
           case Options::OptionInfo::Type::Double:
-            canon = util::format("%.17g",
-                                 std::strtod(o.text.c_str(), nullptr));
+            canon = canonicalDouble(o.text);
             break;
           case Options::OptionInfo::Type::Bool: {
             std::string v = util::toLower(o.text);
@@ -79,6 +107,34 @@ ResultCache::dirFor(const std::string &key) const
     return root_ + "/" + key.substr(0, 2);
 }
 
+std::string
+ResultCache::lockPath() const
+{
+    return root_ + "/.lock";
+}
+
+bool
+ResultCache::lockRoot(util::FileLock &lock) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(root_, ec);
+    if (ec)
+        return false;
+    return lock.lock(lockPath());
+}
+
+bool
+ResultCache::validReport(const std::string &report)
+{
+    util::JsonValue doc;
+    std::string err;
+    if (!util::JsonValue::parse(report, doc, err))
+        return false;
+    const util::JsonValue *schema = doc.find("schema");
+    return schema && schema->isString() &&
+           schema->str() == JsonReport::kSchema;
+}
+
 std::optional<std::string>
 ResultCache::load(const std::string &key,
                   const std::string &material) const
@@ -90,27 +146,44 @@ ResultCache::load(const std::string &key,
     if (storedMaterial != material)
         return std::nullopt;
     std::string report;
-    if (!util::readFile(base + ".json", report))
-        return std::nullopt;
+    bool haveBytes = util::readFile(base + ".json", report);
     // A torn write or on-disk corruption can leave a valid .key next
-    // to damaged report bytes; replaying those would poison the output
-    // tree.  Sanity-parse the stored document and treat anything that
-    // is not a report of our schema as a miss (the caller reruns and
-    // overwrites the entry).
-    util::JsonValue doc;
-    std::string err;
-    if (!util::JsonValue::parse(report, doc, err))
+    // to missing or damaged report bytes; replaying those would poison
+    // the output tree.  Sanity-parse the stored document and treat
+    // anything that is not a report of our schema as a miss — and
+    // repair the entry so every later reader agrees it is a miss.
+    if (!haveBytes || !validReport(report)) {
+        recoverTornEntry(base, material);
         return std::nullopt;
-    const util::JsonValue *schema = doc.find("schema");
-    if (!schema || !schema->isString() ||
-        schema->str() != JsonReport::kSchema)
-        return std::nullopt;
+    }
     // Refresh the entry's recency so prune() evicts in true LRU order.
     std::error_code ec;
     std::filesystem::last_write_time(
         base + ".json", std::filesystem::file_time_type::clock::now(),
         ec);
     return report;
+}
+
+void
+ResultCache::recoverTornEntry(const std::string &base,
+                              const std::string &material) const
+{
+    // Serialize with writers: a store() may be completing this entry
+    // right now, in which case it is not torn and must be left alone.
+    util::FileLock lock;
+    lockRoot(lock);         // best effort; removal is safe regardless
+    std::string storedMaterial;
+    if (!util::readFile(base + ".key", storedMaterial) ||
+        storedMaterial != material)
+        return;             // already repaired or replaced
+    std::string report;
+    if (util::readFile(base + ".json", report) && validReport(report))
+        return;             // a writer completed it; entry is whole
+    // Key first: a half-removed entry must look like a miss, never
+    // like a valid entry with missing bytes.
+    std::error_code ec;
+    std::filesystem::remove(base + ".key", ec);
+    std::filesystem::remove(base + ".json", ec);
 }
 
 bool
@@ -121,6 +194,12 @@ ResultCache::store(const std::string &key, const std::string &material,
     std::filesystem::create_directories(dirFor(key), ec);
     if (ec)
         return false;
+    // Exclude concurrent store()/prune()/recovery in this and other
+    // processes.  The lock is advisory and best effort — if it cannot
+    // be taken the atomic rename protocol below still guarantees
+    // whole-file visibility, just not store-vs-prune ordering.
+    util::FileLock lock;
+    lockRoot(lock);
     const std::string base = dirFor(key) + "/" + key;
     // Report first, material last: an entry is visible to load() only
     // once its .key file exists, and by then the .json is complete.
@@ -141,8 +220,14 @@ ResultCache::prune(std::uint64_t maxBytes) const
         fs::file_time_type used;
     };
     PruneStats stats;
-    std::vector<Entry> entries;
     std::error_code ec;
+    if (!fs::exists(root_, ec) || ec)
+        return stats;
+    // Hold the writer lock across scan + eviction so a parallel
+    // store() can never interleave with the key/json removal pair.
+    util::FileLock lock;
+    lockRoot(lock);
+    std::vector<Entry> entries;
     for (fs::recursive_directory_iterator it(root_, ec), end;
          !ec && it != end; it.increment(ec)) {
         if (!it->is_regular_file(ec) || it->path().extension() != ".json")
@@ -151,11 +236,26 @@ ResultCache::prune(std::uint64_t maxBytes) const
         key.replace_extension(".key");
         if (!fs::exists(key, ec))
             continue;       // not a cache entry; leave it alone
+        // Stat each file individually and skip the entry when any stat
+        // fails: file_size() reports uintmax_t(-1) on error, and
+        // summing that unchecked once inflated stats.bytes enough to
+        // evict the whole cache.  Entries racing a concurrent writer
+        // or pruner simply drop out of this scan.
+        std::error_code sEc;
+        const auto jsonBytes = fs::file_size(it->path(), sEc);
+        if (sEc)
+            continue;
+        const auto keyBytes = fs::file_size(key, sEc);
+        if (sEc)
+            continue;
+        const auto used = fs::last_write_time(it->path(), sEc);
+        if (sEc)
+            continue;
         Entry e;
         e.json = it->path();
         e.key = key;
-        e.bytes = fs::file_size(e.json, ec) + fs::file_size(key, ec);
-        e.used = fs::last_write_time(e.json, ec);
+        e.bytes = jsonBytes + keyBytes;
+        e.used = used;
         entries.push_back(std::move(e));
     }
     for (const auto &e : entries) {

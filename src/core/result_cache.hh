@@ -36,6 +36,11 @@
 
 #include "util/options.hh"
 
+namespace cellbw::util
+{
+class FileLock;
+}
+
 namespace cellbw::core
 {
 
@@ -69,12 +74,20 @@ class ResultCache
     /**
      * The stored report bytes for @p key, or nullopt on miss.  The
      * stored material must equal @p material or the entry is treated
-     * as a miss (collision/corruption guard).
+     * as a miss (collision/corruption guard).  A torn entry (valid
+     * .key, missing/corrupt .json) is removed under the writer lock so
+     * the whole pair reads as a clean miss everywhere, then reruns.
      */
     std::optional<std::string> load(const std::string &key,
                                     const std::string &material) const;
 
-    /** Store @p reportBytes under @p key; false on I/O failure. */
+    /**
+     * Store @p reportBytes under @p key; false on I/O failure.  Holds
+     * the cross-process advisory lock (`<root>/.lock`) while writing
+     * so parallel writers and prune() serialize; the write itself is
+     * temp-file + rename, so even unlocked readers never see a torn
+     * file.
+     */
     bool store(const std::string &key, const std::string &material,
                const std::string &reportBytes) const;
 
@@ -91,12 +104,26 @@ class ResultCache
      * Evict least-recently-used entries until the cache holds at most
      * @p maxBytes (0 empties it).  Recency is the entry's file mtime;
      * load() refreshes it on every hit, so the order is true LRU, not
-     * insertion order.  Unpaired/foreign files are left alone.
+     * insertion order.  Unpaired/foreign files are left alone, as are
+     * entries whose stat fails mid-scan (e.g. racing an unlocked
+     * deleter).  Runs under the cross-process advisory lock.
      */
     PruneStats prune(std::uint64_t maxBytes) const;
 
+    /** True iff @p report parses as a document of our schema. */
+    static bool validReport(const std::string &report);
+
   private:
     std::string dirFor(const std::string &key) const;
+    std::string lockPath() const;
+
+    /** Create the root and take the advisory lock; false = proceed
+     *  unlocked (best effort). */
+    bool lockRoot(util::FileLock &lock) const;
+
+    /** Remove a torn (.key without valid .json) entry under the lock. */
+    void recoverTornEntry(const std::string &base,
+                          const std::string &material) const;
 
     std::string root_;
 };

@@ -262,6 +262,17 @@ runSuite(const SuiteSpec &spec, SuiteOutcome *outcome)
         ++counts.failures;
     }
 
+    if (spec.useCache && spec.cacheMaxBytes > 0) {
+        auto pruned = cache.prune(spec.cacheMaxBytes);
+        if (!spec.terse && pruned.evicted > 0)
+            std::printf("suite %s: cache pruned %llu entries / %llu "
+                        "bytes (budget %llu)\n",
+                        suiteId.c_str(),
+                        (unsigned long long)pruned.evicted,
+                        (unsigned long long)pruned.evictedBytes,
+                        (unsigned long long)spec.cacheMaxBytes);
+    }
+
     std::printf("suite %s: cache hits: %u/%u, ran %u, failures %u; "
                 "reports in %s\n",
                 suiteId.c_str(), counts.cacheHits, counts.selected,

@@ -33,6 +33,7 @@
 #ifndef CELLBW_CORE_SUITE_HH
 #define CELLBW_CORE_SUITE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,10 @@ struct SuiteSpec
 
     /** false disables lookup AND population (--no-cache). */
     bool useCache = true;
+
+    /** When non-zero, LRU-prune the cache to this many bytes after the
+     *  suite finishes (--cache-max-bytes). */
+    std::uint64_t cacheMaxBytes = 0;
 
     /** Shared pool width; 0 = one per hardware thread. */
     unsigned jobs = 0;

@@ -1,5 +1,7 @@
 #include "core/worker_pool.hh"
 
+#include "sim/logging.hh"
+
 namespace cellbw::core
 {
 
@@ -16,13 +18,7 @@ WorkerPool::WorkerPool(unsigned workers)
 
 WorkerPool::~WorkerPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto &t : threads_)
-        t.join();
+    shutdown();
 }
 
 void
@@ -30,9 +26,40 @@ WorkerPool::submit(std::function<void()> fn)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) {
+            // A task accepted here could be silently dropped (workers
+            // may already have observed the empty queue and exited) or
+            // run on a pool mid-join.  Refuse loudly instead.
+            sim::fatal("WorkerPool::submit after shutdown began; the "
+                       "caller must stop admitting work before "
+                       "draining the pool");
+        }
         queue_.push_back(std::move(fn));
     }
     cv_.notify_one();
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    std::lock_guard<std::mutex> join(joinMutex_);
+    if (joined_)
+        return;
+    for (auto &t : threads_)
+        t.join();
+    joined_ = true;
+}
+
+bool
+WorkerPool::stopping() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
 }
 
 void

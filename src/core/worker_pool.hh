@@ -15,6 +15,17 @@
  * Tasks must be independent (the seed-sweep runs are: one private
  * CellSystem each) and must never submit-and-wait recursively —
  * waiting happens on the submitting thread, never on a worker.
+ *
+ * Shutdown semantics (the serve daemon's drain path depends on these
+ * being exact):
+ *  - shutdown() (or the destructor, which calls it) marks the pool
+ *    stopping, drains every task already accepted — run to completion,
+ *    never dropped — and joins the workers.  Idempotent and safe to
+ *    call from multiple threads.
+ *  - submit() after shutdown has begun throws sim::FatalError instead
+ *    of silently dropping the task or racing a dead pool.  Callers
+ *    that can race shutdown (the daemon) must stop admitting work
+ *    before draining, which is exactly what the 503 path does.
  */
 
 #ifndef CELLBW_CORE_WORKER_POOL_HH
@@ -36,14 +47,29 @@ class WorkerPool
     /** Start @p workers threads; 0 means hardware_concurrency(). */
     explicit WorkerPool(unsigned workers);
 
-    /** Drains the queue, then joins. */
+    /** shutdown(): drains accepted tasks, then joins. */
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** Enqueue @p fn; it runs on some worker, FIFO. */
+    /**
+     * Enqueue @p fn; it runs on some worker, FIFO.  Throws
+     * sim::FatalError once shutdown has begun — an accepted task is
+     * guaranteed to run, so acceptance must be refused loudly rather
+     * than dropped silently.
+     */
     void submit(std::function<void()> fn);
+
+    /**
+     * Begin shutdown: refuse new submissions, run every already
+     * accepted task to completion, join the workers.  Idempotent;
+     * concurrent callers all block until the join finishes.
+     */
+    void shutdown();
+
+    /** True once shutdown has begun (submit() would throw). */
+    bool stopping() const;
 
     unsigned workers() const
     {
@@ -53,11 +79,15 @@ class WorkerPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stop_ = false;
     std::vector<std::thread> threads_;
+
+    /** Serializes the join phase of concurrent shutdown() calls. */
+    std::mutex joinMutex_;
+    bool joined_ = false;
 };
 
 } // namespace cellbw::core

@@ -1,0 +1,89 @@
+#include "serve/coalescer.hh"
+
+namespace cellbw::serve
+{
+
+std::pair<std::shared_ptr<Job>, bool>
+Coalescer::admit(const std::shared_ptr<Job> &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(job->key);
+    if (it != inflight_.end()) {
+        std::lock_guard<std::mutex> jobLock(it->second->mutex);
+        ++it->second->coalesced;
+        return {it->second, false};
+    }
+    inflight_.emplace(job->key, job);
+    return {job, true};
+}
+
+void
+Coalescer::finished(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+}
+
+std::size_t
+Coalescer::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_.size();
+}
+
+bool
+FairQueue::push(std::shared_ptr<Job> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return false;
+        auto &fifo = perClient_[job->client];
+        if (fifo.empty())
+            rotation_.push_back(job->client);
+        fifo.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::shared_ptr<Job>
+FairQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !rotation_.empty(); });
+    if (rotation_.empty())
+        return nullptr;         // closed and drained
+    const std::string client = std::move(rotation_.front());
+    rotation_.pop_front();
+    auto fifoIt = perClient_.find(client);
+    auto job = std::move(fifoIt->second.front());
+    fifoIt->second.pop_front();
+    if (fifoIt->second.empty())
+        perClient_.erase(fifoIt);
+    else
+        rotation_.push_back(client);    // back of the rotation
+    return job;
+}
+
+void
+FairQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+FairQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &kv : perClient_)
+        n += kv.second.size();
+    return n;
+}
+
+} // namespace cellbw::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Request coalescing and per-client fair scheduling.
+ *
+ * Coalescer — at most one in-flight Job per cache key.  Identical
+ * configs hash to the same core::ResultCache key, so "the same
+ * request" is exact, not heuristic.  The first cold request registers
+ * its job; every later identical request (until the run finishes)
+ * attaches to that job and shares its result.  Combined with the
+ * runner's start-of-run cache re-probe this gives an exactly-once
+ * guarantee per process: for any number of concurrent identical cold
+ * requests, the simulator runs once and the result fans out.
+ *
+ * FairQueue — the daemon's pending-run queue with per-client FIFO
+ * fairness: one FIFO per client identity, served round-robin, so a
+ * client that floods the queue with N configs cannot starve another
+ * client's single request behind all N.  Each client's own requests
+ * still run in their submission order.
+ */
+
+#ifndef CELLBW_SERVE_COALESCER_HH
+#define CELLBW_SERVE_COALESCER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/job_table.hh"
+
+namespace cellbw::serve
+{
+
+class Coalescer
+{
+  public:
+    /**
+     * Admit @p job under its key.  If an identical job is already
+     * in flight, returns it (the caller's job object is discarded and
+     * the in-flight job's coalesced count is bumped); otherwise
+     * registers @p job and returns it.  The bool is true when @p job
+     * itself was admitted (the caller must schedule it and later call
+     * finished()).
+     */
+    std::pair<std::shared_ptr<Job>, bool>
+    admit(const std::shared_ptr<Job> &job);
+
+    /**
+     * Unregister the in-flight job for @p key.  Must be called only
+     * after the job's result is visible wherever later requests will
+     * look first (the result cache), so a request that misses the
+     * coalescer re-finds the result there instead of re-running.
+     */
+    void finished(const std::string &key);
+
+    std::size_t inflight() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Job>> inflight_;
+};
+
+class FairQueue
+{
+  public:
+    /**
+     * Append @p job to its client's FIFO.  @return false (job not
+     * queued) once close() has been called.
+     */
+    bool push(std::shared_ptr<Job> job);
+
+    /**
+     * Pop the next job in round-robin client order; blocks while the
+     * queue is open and empty.  @return nullptr once closed and
+     * drained.
+     */
+    std::shared_ptr<Job> pop();
+
+    /** Stop accepting; pop() drains what is queued, then nullptr. */
+    void close();
+
+    std::size_t depth() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool closed_ = false;
+    /** Client identity -> that client's pending jobs, oldest first. */
+    std::map<std::string, std::deque<std::shared_ptr<Job>>> perClient_;
+    /** Round-robin order; clients are appended on first use and
+     *  removed when their FIFO empties. */
+    std::deque<std::string> rotation_;
+};
+
+} // namespace cellbw::serve
+
+#endif // CELLBW_SERVE_COALESCER_HH

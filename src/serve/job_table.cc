@@ -1,0 +1,73 @@
+#include "serve/job_table.hh"
+
+namespace cellbw::serve
+{
+
+Job::State
+Job::await()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] {
+        return state == State::Done || state == State::Failed;
+    });
+    return state;
+}
+
+void
+Job::finish(State s, std::shared_ptr<const std::string> bytes,
+            std::string err)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        state = s;
+        report = std::move(bytes);
+        error = std::move(err);
+    }
+    cv.notify_all();
+}
+
+const char *
+Job::stateName(State s)
+{
+    switch (s) {
+      case State::Queued:  return "queued";
+      case State::Running: return "running";
+      case State::Done:    return "done";
+      case State::Failed:  return "failed";
+    }
+    return "?";
+}
+
+std::shared_ptr<Job>
+JobTable::create(std::string experiment, std::vector<std::string> args,
+                 std::string client, std::string key,
+                 std::string material)
+{
+    auto job = std::make_shared<Job>();
+    job->experiment = std::move(experiment);
+    job->args = std::move(args);
+    job->client = std::move(client);
+    job->key = std::move(key);
+    job->material = std::move(material);
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = "j" + std::to_string(++next_);
+    jobs_.emplace(job->id, job);
+    return job;
+}
+
+std::shared_ptr<Job>
+JobTable::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::size_t
+JobTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+} // namespace cellbw::serve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The daemon's job table: every admitted experiment request as a
+ * tracked, waitable unit.
+ *
+ * A Job is one *distinct* piece of work — (experiment, canonical
+ * config), identified by the same content hash the result cache uses.
+ * Requests that coalesce onto an in-flight job (see serve::Coalescer)
+ * share the Job object and block on its condition variable; when the
+ * run finishes, the result fans out to every waiter at once.
+ *
+ * Jobs survive completion: `GET /jobs/<id>` answers for async
+ * (`"wait": false`) clients polling for their result, so the table
+ * keeps finished jobs until the daemon exits.  Report bytes are held
+ * by shared_ptr so a job that outlives its cache entry still serves
+ * the exact bytes its run produced.
+ */
+
+#ifndef CELLBW_SERVE_JOB_TABLE_HH
+#define CELLBW_SERVE_JOB_TABLE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellbw::serve
+{
+
+struct Job
+{
+    enum class State { Queued, Running, Done, Failed };
+
+    /** Table-assigned id ("j1", "j2", ...). */
+    std::string id;
+    /** Experiment name (registry key). */
+    std::string experiment;
+    /** Request flags, exactly as received (without the name). */
+    std::vector<std::string> args;
+    /** Fairness identity of the submitting client. */
+    std::string client;
+    /** Result-cache identity of the canonical config. */
+    std::string key;
+    std::string material;
+
+    /** @name Mutable state; guarded by @ref mutex. */
+    /** @{ */
+    State state = State::Queued;
+    bool hit = false;           ///< answered from the cache, no run
+    unsigned coalesced = 0;     ///< requests that attached to this job
+    std::string error;          ///< non-empty iff Failed
+    /** The finished report, byte-identical to `cellbw run --json`. */
+    std::shared_ptr<const std::string> report;
+    /** @} */
+
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    /** Block until the job is Done or Failed; returns the state. */
+    State await();
+
+    /** Publish a result (or failure) and wake every waiter. */
+    void finish(State s, std::shared_ptr<const std::string> bytes,
+                std::string err);
+
+    static const char *stateName(State s);
+};
+
+class JobTable
+{
+  public:
+    /** Create and register a job; the id is assigned here. */
+    std::shared_ptr<Job> create(std::string experiment,
+                                std::vector<std::string> args,
+                                std::string client, std::string key,
+                                std::string material);
+
+    /** Lookup by id; nullptr when unknown. */
+    std::shared_ptr<Job> find(const std::string &id) const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::uint64_t next_ = 0;
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+};
+
+} // namespace cellbw::serve
+
+#endif // CELLBW_SERVE_JOB_TABLE_HH

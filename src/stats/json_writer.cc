@@ -1,5 +1,6 @@
 #include "stats/json_writer.hh"
 
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -223,14 +224,23 @@ JsonWriter::number(double d)
         return buf;
     }
     // Shortest representation that round-trips: try increasing
-    // precision until the parse matches.
+    // precision until the parse matches.  to_chars/from_chars, not
+    // %g/strtod: those follow LC_NUMERIC, and a comma-decimal locale
+    // would turn every non-integral number into invalid JSON.
+    // to_chars(general, prec) is defined as C-locale "%.*g", so the
+    // bytes are unchanged where it mattered before.
     char buf[40];
+    std::size_t len = 0;
     for (int prec = 15; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
-        if (std::strtod(buf, nullptr) == d)
+        auto res = std::to_chars(buf, buf + sizeof(buf), d,
+                                 std::chars_format::general, prec);
+        len = static_cast<std::size_t>(res.ptr - buf);
+        double back = 0.0;
+        std::from_chars(buf, res.ptr, back);
+        if (back == d)
             break;
     }
-    return buf;
+    return std::string(buf, len);
 }
 
 } // namespace cellbw::stats

@@ -1,7 +1,11 @@
 #include "util/file.hh"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 namespace cellbw::util
@@ -26,7 +30,15 @@ readFile(const std::string &path, std::string &out)
 bool
 writeFileAtomic(const std::string &path, const std::string &content)
 {
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    // The temp name must be unique per concurrent writer.  The pid
+    // alone is not: two threads of one process writing the same path
+    // would share a temp file and could rename interleaved garbage
+    // into place.  A process-wide sequence number disambiguates
+    // threads; the pid disambiguates processes.
+    static std::atomic<unsigned long> seq{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(seq.fetch_add(
+                          1, std::memory_order_relaxed));
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
@@ -39,6 +51,56 @@ writeFileAtomic(const std::string &path, const std::string &content)
     if (!ok)
         std::remove(tmp.c_str());
     return ok;
+}
+
+FileLock::~FileLock()
+{
+    unlock();
+}
+
+FileLock::FileLock(FileLock &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+FileLock &
+FileLock::operator=(FileLock &&other) noexcept
+{
+    if (this != &other) {
+        unlock();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+FileLock::lock(const std::string &path)
+{
+    unlock();
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (fd < 0)
+        return false;
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+void
+FileLock::unlock()
+{
+    if (fd_ < 0)
+        return;
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
 }
 
 } // namespace cellbw::util

@@ -1,11 +1,20 @@
 /**
  * @file
- * Tiny whole-file I/O helpers.
+ * Tiny whole-file I/O helpers and a cross-process advisory lock.
  *
  * The driver reads and writes small JSON documents (reports, cache
  * entries, manifests).  Reads slurp the file; writes go through a
- * same-directory temp file + rename so a crashed or concurrent run
- * never leaves a half-written report or cache entry behind.
+ * unique same-directory temp file + rename so a crashed or concurrent
+ * run never leaves a half-written report or cache entry behind, and
+ * two writers (threads or processes) racing on one path can never
+ * interleave bytes — last rename wins, whole-file.
+ *
+ * FileLock is the multi-process companion: an advisory `flock(2)` on a
+ * named lockfile, so cooperating processes (parallel suite runs, the
+ * serve daemon, `cellbw cache prune`) can serialize cache mutations
+ * without any daemon-side coordination.  It is advisory only — readers
+ * that skip the lock still see atomic whole files thanks to the
+ * rename protocol.
  */
 
 #ifndef CELLBW_UTIL_FILE_HH
@@ -20,10 +29,51 @@ namespace cellbw::util
 bool readFile(const std::string &path, std::string &out);
 
 /**
- * Write @p content to @p path atomically (temp file + rename in the
- * same directory).  @return false (errno set) on failure.
+ * Write @p content to @p path atomically (unique temp file + rename in
+ * the same directory).  Concurrent writers to the same path are safe:
+ * each writes its own temp file and the final renames are atomic, so
+ * the path always holds one writer's complete bytes, never a mix.
+ * @return false (errno set) on failure.
  */
 bool writeFileAtomic(const std::string &path, const std::string &content);
+
+/**
+ * A cross-process advisory lock: `flock(2)` held on an open lockfile
+ * descriptor, released on unlock() or destruction.  Blocking and
+ * exclusive; recursive acquisition is a caller bug (flock would
+ * silently allow it on the same fd, but each FileLock opens its own).
+ *
+ * Processes that never take the lock are not blocked from touching the
+ * protected files — this is coordination between cooperating writers
+ * (cache store/prune/recovery), not enforcement.
+ */
+class FileLock
+{
+  public:
+    FileLock() = default;
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+    FileLock(FileLock &&other) noexcept;
+    FileLock &operator=(FileLock &&other) noexcept;
+
+    /**
+     * Open-or-create @p path and block until the exclusive lock is
+     * held.  @return false (errno set) when the lockfile cannot be
+     * opened or flock fails; the caller decides whether to proceed
+     * unlocked (best effort) or bail.
+     */
+    bool lock(const std::string &path);
+
+    bool locked() const { return fd_ >= 0; }
+
+    /** Release and close; no-op when not locked. */
+    void unlock();
+
+  private:
+    int fd_ = -1;
+};
 
 } // namespace cellbw::util
 

@@ -298,6 +298,20 @@ JsonValue::find(const std::string &key) const
     return nullptr;
 }
 
+std::string
+JsonValue::strOr(const std::string &key, const std::string &def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str() : def;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean() : def;
+}
+
 /** One parse over one input; tracks position for error messages. */
 class JsonParser
 {

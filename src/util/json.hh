@@ -75,6 +75,15 @@ class JsonValue
     /** Object member lookup; nullptr when absent or not an object. */
     const JsonValue *find(const std::string &key) const;
 
+    /** @name Defaulted member accessors (request/config parsing).
+     * The default is returned when this is not an object, the member
+     * is absent, or it has the wrong kind. */
+    /** @{ */
+    std::string strOr(const std::string &key,
+                      const std::string &def) const;
+    bool boolOr(const std::string &key, bool def) const;
+    /** @} */
+
     /**
      * Serialize back to compact JSON.  Numbers emit their token
      * verbatim, so parse(dump(v)) == v for any parsed or built value.

@@ -1,5 +1,6 @@
 #include "util/options.hh"
 
+#include <charconv>
 #include <cstdio>
 #include <stdexcept>
 
@@ -39,7 +40,13 @@ void
 Options::addDouble(const std::string &name, double def,
                    const std::string &help)
 {
-    add(name, Kind::Double, format("%g", def), help);
+    // to_chars, not "%g": the default text feeds --help, report config
+    // sections, and the cache material, and %g renders "2,1" under a
+    // comma-decimal LC_NUMERIC.  Precision 6 matches C-locale %g.
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), def,
+                             std::chars_format::general, 6);
+    add(name, Kind::Double, std::string(buf, res.ptr), help);
 }
 
 void
@@ -81,11 +88,16 @@ Options::assign(const std::string &name, const std::string &value)
             (void)parseUint64(value);
             break;
           case Kind::Double: {
+            // from_chars, not stod: stod follows LC_NUMERIC, and a
+            // comma-decimal locale would reject "2.1" as trailing
+            // garbage (and accept "2,1", which nothing else parses).
             std::string v = trim(value);
-            size_t pos = 0;
-            (void)std::stod(v, &pos);
-            if (pos != v.size())
-                throw std::invalid_argument("trailing garbage");
+            double parsed = 0.0;
+            auto res = std::from_chars(v.data(), v.data() + v.size(),
+                                       parsed);
+            if (res.ec != std::errc() ||
+                res.ptr != v.data() + v.size())
+                throw std::invalid_argument("bad double");
             break;
           }
           case Kind::Bytes:
@@ -188,7 +200,13 @@ Options::getUint(const std::string &name) const
 double
 Options::getDouble(const std::string &name) const
 {
-    return std::stod(find(name, Kind::Double).value);
+    // from_chars, not stod: under a comma-decimal LC_NUMERIC stod
+    // reads "2.1" as 2 — the simulated machine would silently change
+    // with the host locale.
+    const std::string v = trim(find(name, Kind::Double).value);
+    double parsed = 0.0;
+    std::from_chars(v.data(), v.data() + v.size(), parsed);
+    return parsed;
 }
 
 bool

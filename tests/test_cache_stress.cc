@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Multi-process stress test for the result cache: N writer processes,
+ * M readers, and a concurrent pruner hammer ONE cache root.  The
+ * invariants under attack:
+ *
+ *  - no torn reads: a load() hit returns the exact stored bytes,
+ *    never a partial or interleaved file;
+ *  - prune() racing store() never corrupts an entry — an entry is
+ *    either fully present or fully absent;
+ *  - the advisory lock + atomic-rename protocol needs no cooperation
+ *    from the reader side (readers never block writers).
+ *
+ * Children do their checking with plain code and report through their
+ * exit status — gtest machinery is not fork-safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/result_cache.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+constexpr int kEntries = 6;
+constexpr int kIterations = 40;
+
+std::string
+materialOf(int i)
+{
+    return "salt stress\nexperiment e" + std::to_string(i) + "\n";
+}
+
+std::string
+reportOf(int i)
+{
+    // Real schema so load()'s validity check accepts it; a payload
+    // big enough that a torn read would show up as a mismatch.
+    return "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e" +
+           std::to_string(i) + "\",\"pad\":\"" +
+           std::string(2048, static_cast<char>('a' + i)) + "\"}\n";
+}
+
+int
+writerMain(const std::string &root, int seed)
+{
+    core::ResultCache cache(root);
+    for (int it = 0; it < kIterations; ++it) {
+        const int i = (it + seed) % kEntries;
+        if (!cache.store(core::ResultCache::hashKey(materialOf(i)),
+                         materialOf(i), reportOf(i)))
+            return 1;
+        // Immediately read back some other entry; a hit must be exact.
+        const int j = (it + seed + 1) % kEntries;
+        auto hit = cache.load(core::ResultCache::hashKey(materialOf(j)),
+                              materialOf(j));
+        if (hit && *hit != reportOf(j))
+            return 2;
+    }
+    return 0;
+}
+
+int
+readerMain(const std::string &root)
+{
+    core::ResultCache cache(root);
+    for (int it = 0; it < kIterations * 4; ++it) {
+        const int i = it % kEntries;
+        auto hit = cache.load(core::ResultCache::hashKey(materialOf(i)),
+                              materialOf(i));
+        if (hit && *hit != reportOf(i))
+            return 2;           // torn or mixed-up bytes
+    }
+    return 0;
+}
+
+int
+prunerMain(const std::string &root)
+{
+    core::ResultCache cache(root);
+    for (int it = 0; it < kIterations; ++it) {
+        // A budget of ~2 entries keeps eviction constantly active.
+        (void)cache.prune(2 * 2200);
+    }
+    return 0;
+}
+
+} // namespace
+
+TEST(CacheStress, ParallelWritersReadersAndPrunerStayConsistent)
+{
+    const std::string root =
+        testing::TempDir() + "cellbw_cache_stress";
+    std::filesystem::remove_all(root);
+
+    struct Child
+    {
+        pid_t pid;
+        const char *role;
+    };
+    std::vector<Child> children;
+    // Children _exit() straight from the fork so gtest never runs its
+    // teardown in a child process.
+    for (int w = 0; w < 4; ++w) {
+        pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0)
+            _exit(writerMain(root, w * 7));
+        children.push_back({pid, "writer"});
+    }
+    for (int r = 0; r < 2; ++r) {
+        pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0)
+            _exit(readerMain(root));
+        children.push_back({pid, "reader"});
+    }
+    {
+        pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0)
+            _exit(prunerMain(root));
+        children.push_back({pid, "pruner"});
+    }
+
+    for (const auto &c : children) {
+        int status = 0;
+        ASSERT_EQ(waitpid(c.pid, &status, 0), c.pid);
+        ASSERT_TRUE(WIFEXITED(status))
+            << c.role << " died on a signal";
+        EXPECT_EQ(WEXITSTATUS(status), 0)
+            << c.role << " saw an inconsistency (code "
+            << WEXITSTATUS(status) << ")";
+    }
+
+    // After the storm the cache is still a working cache: every entry
+    // stores and loads back bit-identically.
+    core::ResultCache cache(root);
+    for (int i = 0; i < kEntries; ++i) {
+        ASSERT_TRUE(cache.store(
+            core::ResultCache::hashKey(materialOf(i)), materialOf(i),
+            reportOf(i)));
+        auto hit = cache.load(core::ResultCache::hashKey(materialOf(i)),
+                              materialOf(i));
+        ASSERT_TRUE(hit.has_value()) << "entry " << i;
+        EXPECT_EQ(*hit, reportOf(i)) << "entry " << i;
+    }
+    std::filesystem::remove_all(root);
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <clocale>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "core/experiment_context.hh"
 #include "core/result_cache.hh"
+#include "stats/json_writer.hh"
 
 using namespace cellbw;
 
@@ -243,6 +245,120 @@ TEST(ResultCache, PruneToZeroSparesForeignFiles)
     EXPECT_TRUE(std::filesystem::exists(root + "/README"));
     EXPECT_TRUE(std::filesystem::exists(root + "/" + ka.substr(0, 2) +
                                         "/orphan.json"));
+}
+
+TEST(ResultCache, MaterialUsesLocaleIndependentDoubleForm)
+{
+    // The canonical material must carry the from_chars/to_chars
+    // rendering, never whatever LC_NUMERIC makes of %g.
+    auto [material, key] = keyOf({"--cpu-ghz", "2.1"});
+    EXPECT_NE(material.find("opt cpu-ghz=2.1000000000000001"),
+              std::string::npos)
+        << material;
+}
+
+namespace
+{
+
+/** RAII LC_NUMERIC switch; restores on scope exit. */
+class ScopedNumericLocale
+{
+  public:
+    ScopedNumericLocale()
+    {
+        const char *prev = std::setlocale(LC_NUMERIC, nullptr);
+        saved_ = prev ? prev : "C";
+        // Whichever comma-decimal locale this host has installed.
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+              "es_ES.UTF-8", "es_ES.utf8", "pt_BR.UTF-8", "it_IT.UTF-8",
+              "de_DE", "fr_FR"}) {
+            if (std::setlocale(LC_NUMERIC, name)) {
+                active_ = name;
+                break;
+            }
+        }
+    }
+
+    ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+    const char *active() const { return active_; }
+
+  private:
+    std::string saved_;
+    const char *active_ = nullptr;
+};
+
+} // namespace
+
+TEST(ResultCache, KeysAreLocaleIndependent)
+{
+    // The regression this guards: strtod/%g follow LC_NUMERIC, so the
+    // same flags hashed to a different key under a comma-decimal
+    // locale — a warm cache went cold (or worse, keys collided) when
+    // the daemon and the CLI ran under different locales.
+    const std::vector<std::string> args = {"--cpu-ghz", "2.1",
+                                           "--bank0-share", "0.35"};
+    auto base = keyOf(args);
+
+    ScopedNumericLocale loc;
+    if (!loc.active())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    auto under = keyOf(args);
+    EXPECT_EQ(under.first, base.first);
+    EXPECT_EQ(under.second, base.second);
+
+    // Report bytes must stay valid JSON with '.' decimals too.
+    stats::JsonWriter w;
+    w.value(2.5);
+    EXPECT_EQ(w.str(), "2.5");
+}
+
+TEST(ResultCache, PruneSkipsEntriesItCannotStat)
+{
+    // The regression this guards: prune() summed file_size(..., ec)
+    // without checking ec, and the error value uintmax_t(-1) inflated
+    // the scanned total enough to evict the entire cache.
+    const std::string root = tempRoot("prune_stat");
+    core::ResultCache cache(root);
+    auto [ka, ma] = putEntry(cache, "a");
+    auto [kb, mb] = putEntry(cache, "b");
+
+    // A .json whose sibling .key exists but is not statable as a file:
+    // fs::exists() passes, fs::file_size() errors.
+    std::filesystem::create_directories(root + "/zz");
+    std::ofstream(root + "/zz/phantom.json")
+        << "{\"schema\":\"cellbw-bench-v2\"}\n";
+    std::filesystem::create_directories(root + "/zz/phantom.key");
+
+    auto scan = cache.prune(std::uint64_t(1) << 40);
+    EXPECT_EQ(scan.entries, 2u);            // phantom skipped, counted
+    EXPECT_LT(scan.bytes, std::uint64_t(1) << 20);
+    EXPECT_EQ(scan.evicted, 0u);            // ample budget: evict none
+    EXPECT_TRUE(cache.load(ka, ma).has_value());
+    EXPECT_TRUE(cache.load(kb, mb).has_value());
+}
+
+TEST(ResultCache, TornEntryIsRepairedOnLoad)
+{
+    const std::string root = tempRoot("torn");
+    core::ResultCache cache(root);
+    auto [key, material] = putEntry(cache, "a");
+    const std::string base =
+        root + "/" + key.substr(0, 2) + "/" + key;
+
+    // A crash between the .key and .json writes (or a partial prune)
+    // leaves the material without its report.  load() must miss AND
+    // remove the stale .key so the entry does not stay half-dead.
+    std::filesystem::remove(base + ".json");
+    EXPECT_FALSE(cache.load(key, material).has_value());
+    EXPECT_FALSE(std::filesystem::exists(base + ".key"));
+
+    // The repaired slot accepts a fresh store.
+    auto [key2, material2] = putEntry(cache, "a");
+    EXPECT_EQ(key2, key);
+    EXPECT_TRUE(cache.load(key, material).has_value());
 }
 
 TEST(ResultCache, HashKeyFormat)
