@@ -13,7 +13,7 @@ namespace cellbw::cell
 {
 
 CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
-    : cfg_(cfg)
+    : cfg_(cfg), placementSeed_(placementSeed)
 {
     unsigned slots = cfg_.numChips * eib::numPhysicalSpes;
     if (cfg_.numChips < 1 || cfg_.numChips > 2)

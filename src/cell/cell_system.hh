@@ -81,6 +81,9 @@ class CellSystem
     }
     const sim::ClockSpec &clock() const { return cfg_.clock; }
     const CellConfig &config() const { return cfg_; }
+    /** The seed this run was built with (workloads derive their own
+     *  streams from it so a run is a pure function of cfg + seed). */
+    std::uint64_t placementSeed() const { return placementSeed_; }
     unsigned numSpes() const { return cfg_.numSpes; }
     unsigned numChips() const { return cfg_.numChips; }
     spe::Spe &spe(unsigned logical);
@@ -323,6 +326,7 @@ class CellSystem
     void readEa(EffAddr ea, std::uint8_t *buf, std::uint32_t bytes);
 
     CellConfig cfg_;
+    std::uint64_t placementSeed_ = 0;
     std::unique_ptr<sim::EventQueue> eq_;            ///< numChips == 1
     std::unique_ptr<sim::PartitionedEngine> engine_; ///< numChips == 2
     std::unique_ptr<mem::MemorySystem> memory_;

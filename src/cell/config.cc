@@ -99,6 +99,14 @@ CellConfig::registerOptions(util::Options &opts)
     opts.addDouble("bank1-gbps", 15.5, "remote XDR bank sustained GB/s");
     opts.addDouble("io-gbps", 7.0, "IOIF link GB/s per direction");
     opts.addDouble("mem-latency-ns", 110.0, "bank access latency, ns");
+    opts.addBool("mem-row-timing", false,
+                 "timing row-buffer model (open page): row hits pay "
+                 "CAS only, each activate adds bank occupancy");
+    opts.addDouble("mem-row-hit-ns", 30.0,
+                   "row-hit (CAS-only) completion latency, ns");
+    opts.addDouble("mem-row-miss-ns", 80.0,
+                   "precharge+activate occupancy per row miss, ns");
+    opts.addUint("mem-row-bytes", 2048, "DRAM row (page) size in bytes");
     opts.addDouble("bank0-share", 0.65,
                    "fraction of interleaved pages on the local bank");
     opts.addString("numa", "interleave",
@@ -164,6 +172,16 @@ CellConfig::fromOptions(const util::Options &opts)
     cfg.memory.bank0.accessLatency =
         cfg.clock.fromNs(opts.getDouble("mem-latency-ns"));
     cfg.memory.bank1.accessLatency = cfg.memory.bank0.accessLatency;
+    cfg.memory.bank0.rowTiming = opts.getBool("mem-row-timing");
+    cfg.memory.bank0.rowHitLatency =
+        cfg.clock.fromNs(opts.getDouble("mem-row-hit-ns"));
+    cfg.memory.bank0.rowMissPenalty =
+        cfg.clock.fromNs(opts.getDouble("mem-row-miss-ns"));
+    cfg.memory.bank0.rowBytes = opts.getUint("mem-row-bytes");
+    cfg.memory.bank1.rowTiming = cfg.memory.bank0.rowTiming;
+    cfg.memory.bank1.rowHitLatency = cfg.memory.bank0.rowHitLatency;
+    cfg.memory.bank1.rowMissPenalty = cfg.memory.bank0.rowMissPenalty;
+    cfg.memory.bank1.rowBytes = cfg.memory.bank0.rowBytes;
 
     const std::string &numa = opts.getString("numa");
     if (numa == "interleave") {

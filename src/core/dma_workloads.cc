@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "util/align.hh"
 
 namespace cellbw::core
 {
@@ -19,6 +21,13 @@ maskOf(unsigned first, unsigned count)
     for (unsigned i = 0; i < count; ++i)
         m |= 1u << (first + i);
     return m;
+}
+
+/** Independent child seed for pipeline slot @p slot of @p base. */
+std::uint64_t
+slotSeed(std::uint64_t base, unsigned slot)
+{
+    return base ^ ((slot + 1) * 0x9E3779B97F4A7C15ull);
 }
 
 } // namespace
@@ -256,6 +265,130 @@ dmaCopyStream(cell::CellSystem &sys, unsigned speIndex, EffAddr src,
     }
     for (auto &st : stages)
         co_await st;
+}
+
+namespace
+{
+
+/**
+ * One RMW chain of the GUPS stream: GET a random element into this
+ * slot's LS buffer, wait for the data, PUT the "updated" element back
+ * to the same address, wait for the ack, repeat.
+ */
+sim::Task
+updateSlot(cell::CellSystem &sys, const RandomUpdateSpec &spec,
+           std::uint64_t nElems, unsigned slot)
+{
+    auto &mfc = sys.spe(spec.speIndex).mfc();
+    const std::uint32_t elem = spec.elemBytes;
+    const LsAddr lsa = spec.lsBase +
+                       static_cast<LsAddr>(slot * util::roundUp(elem, 16));
+    const std::uint32_t mask = 1u << slot;
+    sim::Rng rng(slotSeed(spec.seed, slot));
+    for (std::uint64_t u = slot; u < spec.updates; u += spec.slots) {
+        EffAddr ea =
+            spec.tableBase + rng.uniformInt(0, nElems - 1) * elem;
+        co_await mfc.queueSpace();
+        mfc.get(lsa, ea, elem, slot);
+        co_await mfc.tagWait(mask);
+        co_await mfc.queueSpace();
+        mfc.put(lsa, ea, elem, slot);
+        co_await mfc.tagWait(mask);
+    }
+}
+
+} // namespace
+
+sim::Task
+randomUpdateStream(cell::CellSystem &sys, RandomUpdateSpec spec)
+{
+    const std::uint32_t elem = spec.elemBytes;
+    if (elem == 0 || spec.tableBytes == 0 || spec.tableBytes % elem != 0)
+        sim::fatal("randomUpdateStream: tableBytes must be a non-zero "
+                   "multiple of elemBytes");
+    if (spec.slots == 0 || spec.slots > 16)
+        sim::fatal("randomUpdateStream: slots must be 1..16");
+    const std::uint64_t n_elems = spec.tableBytes / elem;
+
+    std::vector<sim::Task> chains;
+    for (unsigned s = 0; s < spec.slots; ++s) {
+        chains.push_back(updateSlot(sys, spec, n_elems, s));
+        chains.back().start();
+    }
+    for (auto &c : chains)
+        co_await c;
+}
+
+sim::Task
+randomGatherStream(cell::CellSystem &sys, RandomGatherSpec spec)
+{
+    auto &mfc = sys.spe(spec.speIndex).mfc();
+    const std::uint32_t elem = spec.elemBytes;
+    if (elem == 0 || spec.tableBytes == 0 || spec.tableBytes % elem != 0)
+        sim::fatal("randomGatherStream: tableBytes must be a non-zero "
+                   "multiple of elemBytes");
+    if (spec.totalBytes % elem != 0)
+        sim::fatal("randomGatherStream: totalBytes must be a multiple "
+                   "of elemBytes");
+    const std::uint64_t n_table = spec.tableBytes / elem;
+    const std::uint64_t n = spec.totalBytes / elem;
+    sim::Rng rng(spec.seed);
+    auto random_ea = [&] {
+        return spec.tableBase + rng.uniformInt(0, n_table - 1) * elem;
+    };
+
+    if (!spec.useList) {
+        // Element-wise gather: one GET command per element, all on one
+        // tag, waiting only at the end (maximum overlap — the queue
+        // depth and the issue engine are the limiters).
+        const unsigned slots = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(mfc.queueDepth() + 1,
+                                       spec.lsBytes / elem));
+        const std::uint32_t mask = 1u << spec.tag;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            co_await mfc.queueSpace();
+            LsAddr lsa = spec.lsBase +
+                         static_cast<LsAddr>((i % slots) * elem);
+            mfc.get(lsa, random_ea(), elem, spec.tag);
+        }
+        co_await mfc.tagWait(mask);
+        co_return;
+    }
+
+    // DMA-list gather: elemsPerList scattered elements per command,
+    // software-pipelined over rotating LS slots / tags.  The MFC's LS
+    // cursor rounds each element up to 16 B, so a list's LS footprint
+    // is per_list * roundUp(elem, 16); lists longer than the LS region
+    // can land are clamped, exactly as real LS capacity would force.
+    const auto elem_ls =
+        static_cast<std::uint32_t>(util::roundUp(elem, 16));
+    const std::uint32_t per_list = std::max<std::uint32_t>(
+        1, std::min({static_cast<std::uint32_t>(spe::maxListElements),
+                     static_cast<std::uint32_t>(spec.elemsPerList),
+                     spec.lsBytes / elem_ls}));
+    const std::uint32_t list_ls = per_list * elem_ls;
+    const unsigned slots = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(spec.slots, spec.lsBytes / list_ls));
+    const std::uint32_t mask = maskOf(spec.tag, slots);
+
+    std::uint64_t issued = 0;
+    std::uint64_t cmd = 0;
+    while (issued < n) {
+        auto this_cmd = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(per_list, n - issued));
+        std::vector<spe::ListElement> list;
+        list.reserve(this_cmd);
+        for (std::uint32_t e = 0; e < this_cmd; ++e)
+            list.push_back({random_ea(), elem});
+        co_await mfc.queueSpace();
+        LsAddr lsa = spec.lsBase +
+                     static_cast<LsAddr>((cmd % slots) * list_ls);
+        unsigned tag = spec.tag + static_cast<unsigned>(cmd % slots);
+        mfc.getList(lsa, std::move(list), tag);
+        issued += this_cmd;
+        ++cmd;
+    }
+    co_await mfc.tagWait(mask);
 }
 
 } // namespace cellbw::core

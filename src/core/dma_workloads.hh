@@ -92,6 +92,55 @@ sim::Task dmaCopyStream(cell::CellSystem &sys, unsigned speIndex,
  *  commands double-buffer inside the default 64 KB slot region). */
 constexpr std::uint32_t listCommandBytes = 32 * 1024;
 
+/**
+ * GUPS-style random update stream: seeded random read-modify-write of
+ * elemBytes granules over a table in main memory.  Each pipeline slot
+ * owns one LS buffer and one tag and runs an independent GET → wait →
+ * PUT → wait chain (the RMW dependency is real: the PUT cannot issue
+ * before its GET data landed), so @ref slots chains overlap in the MFC
+ * queue.  Element addresses come from a per-slot generator derived
+ * from @ref seed, so the stream is a pure function of its spec.
+ */
+struct RandomUpdateSpec
+{
+    unsigned speIndex;          ///< logical SPE running the stream
+    EffAddr tableBase;          ///< base EA of the update table
+    std::uint64_t tableBytes;   ///< table size (multiple of elemBytes)
+    std::uint64_t updates;      ///< read-modify-write operations
+    std::uint32_t elemBytes;    ///< update granule (8..128 B)
+    std::uint64_t seed;         ///< base seed of the address stream
+    unsigned slots = 8;         ///< overlapped RMW chains (tags 0..)
+    LsAddr lsBase = 0;          ///< LS region for the slot buffers
+};
+
+sim::Task randomUpdateStream(cell::CellSystem &sys, RandomUpdateSpec spec);
+
+/**
+ * Pointer-chase/graph-traversal gather: read totalBytes of randomly
+ * scattered elemBytes elements from a table, either as element-wise
+ * GETs (one MFC command per element) or as software-pipelined DMA-list
+ * gathers of elemsPerList elements per command.  This is the Chen &
+ * Bader graph-analysis access pattern; the interesting output is the
+ * element-wise vs DMA-list crossover as elemBytes grows.
+ */
+struct RandomGatherSpec
+{
+    unsigned speIndex;          ///< logical SPE running the stream
+    EffAddr tableBase;          ///< base EA of the gather table
+    std::uint64_t tableBytes;   ///< table size (multiple of elemBytes)
+    std::uint64_t totalBytes;   ///< bytes to gather
+    std::uint32_t elemBytes;    ///< element size (8 B .. 16 KiB)
+    bool useList = false;       ///< DMA-list gather vs element GETs
+    unsigned elemsPerList = 256;///< list length in list mode
+    std::uint64_t seed;         ///< seed of the address stream
+    unsigned tag = 0;           ///< first MFC tag group
+    LsAddr lsBase = 0;          ///< LS landing region
+    std::uint32_t lsBytes = 64 * 1024;  ///< LS landing region size
+    unsigned slots = 4;         ///< list-mode pipeline depth
+};
+
+sim::Task randomGatherStream(cell::CellSystem &sys, RandomGatherSpec spec);
+
 } // namespace cellbw::core
 
 #endif // CELLBW_CORE_DMA_WORKLOADS_HH

@@ -271,4 +271,87 @@ runSpeSpe(cell::CellSystem &sys, const SpeSpeConfig &cfg)
     return sys.clock().bandwidthGBps(counted, sys.now() - t0);
 }
 
+/* ------------------------------------------------------------------ */
+/*  Random access                                                       */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+/** Address-stream seed for logical SPE @p i of this run. */
+std::uint64_t
+streamSeed(const cell::CellSystem &sys, unsigned i)
+{
+    return (sys.placementSeed() + 1) * 0xD1B54A32D192ED03ull ^
+           ((i + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+} // namespace
+
+double
+runRandGups(cell::CellSystem &sys, const RandGupsConfig &cfg)
+{
+    if (cfg.numSpes == 0 || cfg.numSpes > sys.numSpes())
+        sim::fatal("GUPS experiment: bad SPE count %u", cfg.numSpes);
+
+    // Update count independent of the granule so the elem sweep costs
+    // the same simulated work at every point.
+    const std::uint64_t updates =
+        std::max<std::uint64_t>(1, cfg.bytesPerSpe / 256);
+
+    Tick t0 = sys.now();
+    for (unsigned i = 0; i < cfg.numSpes; ++i) {
+        auto &s = sys.spe(i);
+        RandomUpdateSpec spec;
+        spec.speIndex = i;
+        spec.tableBase = sys.malloc(cfg.tableBytes);
+        spec.tableBytes = cfg.tableBytes;
+        spec.updates = updates;
+        spec.elemBytes = cfg.elemBytes;
+        spec.seed = streamSeed(sys, i);
+        spec.slots = cfg.slots;
+        spec.lsBase = s.lsAlloc(4 * util::KiB);
+        sys.launch(randomUpdateStream(sys, spec));
+    }
+    sys.run();
+
+    std::uint64_t counted = 2ull * updates * cfg.elemBytes * cfg.numSpes;
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
+double
+runRandChase(cell::CellSystem &sys, const RandChaseConfig &cfg)
+{
+    if (cfg.numSpes == 0 || cfg.numSpes > sys.numSpes())
+        sim::fatal("chase experiment: bad SPE count %u", cfg.numSpes);
+
+    // Fixed gathered volume per SPE, rounded to whole elements.
+    std::uint64_t total = cfg.bytesPerSpe / 16;
+    total = std::max<std::uint64_t>(
+        cfg.elemBytes, total - total % cfg.elemBytes);
+
+    Tick t0 = sys.now();
+    std::uint64_t counted = 0;
+    for (unsigned i = 0; i < cfg.numSpes; ++i) {
+        auto &s = sys.spe(i);
+        RandomGatherSpec spec;
+        spec.speIndex = i;
+        spec.tableBase = sys.malloc(cfg.tableBytes);
+        spec.tableBytes = cfg.tableBytes;
+        spec.totalBytes = total;
+        spec.elemBytes = cfg.elemBytes;
+        spec.useList = cfg.useList;
+        spec.elemsPerList = cfg.elemsPerList;
+        spec.seed = streamSeed(sys, i);
+        spec.tag = 0;
+        spec.lsBase = s.lsAlloc(64 * util::KiB);
+        spec.lsBytes = 64 * util::KiB;
+        spec.slots = cfg.slots;
+        counted += total;
+        sys.launch(randomGatherStream(sys, spec));
+    }
+    sys.run();
+    return sys.clock().bandwidthGBps(counted, sys.now() - t0);
+}
+
 } // namespace cellbw::core

@@ -104,6 +104,47 @@ struct SpeSpeConfig
 
 double runSpeSpe(cell::CellSystem &sys, const SpeSpeConfig &cfg);
 
+/* ------------------------------------------------------------------ */
+/*  Random access (Chen & Bader; ROADMAP item 2)                       */
+/* ------------------------------------------------------------------ */
+
+/**
+ * GUPS-style random updates: every SPE runs overlapped GET → update →
+ * PUT chains against its own table of elemBytes granules at seeded
+ * random addresses.  bytesPerSpe only sizes the run (the update count
+ * is elemBytes-independent so the sweep's simulation cost is flat).
+ */
+struct RandGupsConfig
+{
+    unsigned numSpes = 8;
+    std::uint32_t elemBytes = 8;        ///< update granule, 8..128 B
+    std::uint64_t tableBytes = 4 * util::MiB;   ///< per SPE
+    std::uint64_t bytesPerSpe = 4 * util::MiB;  ///< sizing knob
+    unsigned slots = 8;                 ///< overlapped RMW chains
+};
+
+/** @return sustained update bandwidth in GB/s (GET + PUT bytes). */
+double runRandGups(cell::CellSystem &sys, const RandGupsConfig &cfg);
+
+/**
+ * Pointer-chase / graph-traversal gather: every SPE reads a fixed
+ * byte volume of randomly scattered elemBytes elements from its own
+ * table, element-wise or as software-pipelined DMA-list gathers.
+ */
+struct RandChaseConfig
+{
+    unsigned numSpes = 4;
+    std::uint32_t elemBytes = 16;
+    std::uint64_t tableBytes = 4 * util::MiB;   ///< per SPE
+    std::uint64_t bytesPerSpe = 4 * util::MiB;  ///< sizing knob
+    bool useList = false;               ///< DMA-list vs element GETs
+    unsigned elemsPerList = 256;
+    unsigned slots = 4;                 ///< list pipeline depth
+};
+
+/** @return sustained gather bandwidth in GB/s. */
+double runRandChase(cell::CellSystem &sys, const RandChaseConfig &cfg);
+
 } // namespace cellbw::core
 
 #endif // CELLBW_CORE_EXPERIMENTS_HH

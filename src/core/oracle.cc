@@ -1,5 +1,6 @@
 #include "core/oracle.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "stats/json_writer.hh"
@@ -28,6 +29,28 @@ Oracle::Oracle(const cell::CellConfig &cfg)
     mem_ = bank0_ + bank1_;
     io_ = cfg.memory.ioLink.bytesPerTick * cpuHz / 1e9;
     micIoif_ = ramp_ + io_;
+    busHz_ = busHz;
+    elemOverheadBus_ = static_cast<unsigned>(cfg.spe.mfc.elemOverheadBus);
+    listElemOverheadBus_ =
+        static_cast<unsigned>(cfg.spe.mfc.listElemOverheadBus);
+}
+
+double
+Oracle::gatherElemPeak(std::uint32_t elemBytes) const
+{
+    if (elemOverheadBus_ == 0)
+        return ramp_;
+    double gbps = elemBytes * busHz_ / elemOverheadBus_ / 1e9;
+    return std::min(gbps, ramp_);
+}
+
+double
+Oracle::gatherListPeak(std::uint32_t elemBytes) const
+{
+    if (listElemOverheadBus_ == 0)
+        return ramp_;
+    double gbps = elemBytes * busHz_ / listElemOverheadBus_ / 1e9;
+    return std::min(gbps, ramp_);
 }
 
 bool
@@ -41,13 +64,21 @@ Oracle::peak(const std::string &name, double &out) const
     }
     auto colon = name.find(':');
     if (colon != std::string::npos) {
-        const std::string topo = name.substr(0, colon);
-        if (topo == "couples" || topo == "cycle") {
-            char *end = nullptr;
-            const char *num = name.c_str() + colon + 1;
-            unsigned long n = std::strtoul(num, &end, 10);
-            if (end != num && *end == '\0' && n > 0) {
+        const std::string kind = name.substr(0, colon);
+        char *end = nullptr;
+        const char *num = name.c_str() + colon + 1;
+        unsigned long n = std::strtoul(num, &end, 10);
+        if (end != num && *end == '\0' && n > 0) {
+            if (kind == "couples" || kind == "cycle") {
                 out = topologyPeak(static_cast<unsigned>(n));
+                return true;
+            }
+            if (kind == "gather-elem") {
+                out = gatherElemPeak(static_cast<std::uint32_t>(n));
+                return true;
+            }
+            if (kind == "gather-list") {
+                out = gatherListPeak(static_cast<std::uint32_t>(n));
                 return true;
             }
         }

@@ -68,12 +68,27 @@ class Oracle
     double ioPeak() const { return io_; }
     /** n-SPE couples / cycle topology peak: n ramps active. */
     double topologyPeak(unsigned spes) const { return spes * ramp_; }
+    /**
+     * Issue-engine bound of one SPE gathering scattered @p elemBytes
+     * elements with element-wise GETs: the MFC spends
+     * `dma-elem-overhead` bus cycles per command, so at most
+     * elemBytes per that many bus cycles flow regardless of the
+     * memory system (capped at the ramp).
+     */
+    double gatherElemPeak(std::uint32_t elemBytes) const;
+    /**
+     * Same bound for DMA-list gather: `dma-list-elem-overhead` bus
+     * cycles per element, the Chen & Bader reason small-element
+     * gather must use lists.
+     */
+    double gatherListPeak(std::uint32_t elemBytes) const;
     /** @} */
 
     /**
      * Look up a peak by baseline-file name: "ramp", "xdr" (alias of
      * ramp), "ls", "l1", "l2", "pair", "eib", "mem", "bank0", "bank1",
-     * "io", "mic+ioif", "couples:<n>", "cycle:<n>".
+     * "io", "mic+ioif", "couples:<n>", "cycle:<n>",
+     * "gather-elem:<bytes>", "gather-list:<bytes>".
      * @return false when @p name is not a known peak.
      */
     bool peak(const std::string &name, double &out) const;
@@ -95,6 +110,8 @@ class Oracle
   private:
     double ramp_ = 0, ls_ = 0, l1_ = 0, pair_ = 0, eib_ = 0;
     double mem_ = 0, bank0_ = 0, bank1_ = 0, io_ = 0, micIoif_ = 0;
+    double busHz_ = 0;
+    unsigned elemOverheadBus_ = 0, listElemOverheadBus_ = 0;
 };
 
 } // namespace cellbw::core

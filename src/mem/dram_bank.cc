@@ -25,7 +25,7 @@ DramBank::DramBank(std::string name, sim::EventQueue &eq,
 Tick
 DramBank::skipRefresh(Tick t)
 {
-    if (params_.refreshInterval == 0)
+    if (params_.refreshInterval == 0 || params_.refreshDuration == 0)
         return t;
     Tick phase = t % params_.refreshInterval;
     if (phase < params_.refreshDuration) {
@@ -38,9 +38,16 @@ DramBank::skipRefresh(Tick t)
 Tick
 DramBank::reserve(Tick earliest, Tick service)
 {
+    // Each refresh window that delays this access counts exactly once:
+    // skipRefresh() books the window containing the service start (if
+    // any), the loop below books each later window the service is
+    // split across.  Those sets are disjoint by construction — the
+    // loop always resumes *after* the window skipRefresh() cleared —
+    // and zero-length windows (refreshDuration == 0) delay nothing,
+    // so neither path may count them.
     Tick t = skipRefresh(std::max(earliest, freeAt_));
     Tick remaining = service;
-    if (params_.refreshInterval != 0) {
+    if (params_.refreshInterval != 0 && params_.refreshDuration != 0) {
         // Consume pin time between refresh windows.
         while (true) {
             Tick next_refresh =
@@ -76,21 +83,37 @@ DramBank::reserveAccess(EffAddr ea, std::uint32_t bytes,
     ++accesses_;
     if (freeAt_ > curTick())
         ++queueConflicts_;
-    std::uint64_t row =
-        params_.rowBytes ? ea / params_.rowBytes : 0;
-    if (rowOpen_ && row == openRow_)
+    // Walk the rows [ea, ea+bytes) touches.  The first row is a hit
+    // iff it is still open; every further row a spanning access
+    // crosses into forces its own activate, so each counts as a
+    // conflict, and the *last* row is what stays open.
+    std::uint64_t first = params_.rowBytes ? ea / params_.rowBytes : 0;
+    std::uint64_t last =
+        params_.rowBytes
+            ? (ea + (bytes ? bytes - 1 : 0)) / params_.rowBytes
+            : 0;
+    std::uint64_t activations = last - first;
+    if (rowOpen_ && first == openRow_)
         ++rowHits_;
     else
-        ++rowConflicts_;
-    openRow_ = row;
+        ++activations;
+    rowConflicts_ += activations;
+    openRow_ = last;
     rowOpen_ = true;
-    Tick service_end = reserve(curTick(), service);
+    Tick occupancy = service;
+    if (params_.rowTiming)
+        occupancy += activations * params_.rowMissPenalty;
+    Tick service_end = reserve(curTick(), occupancy);
     bytesServiced_ += bytes;
     // Reads return data after the array access; writes are acknowledged
     // to the requester's MFC after the same latency (tag completion on
     // the Cell requires the controller's ack, which is why the paper
-    // measures PUT ~= GET for a single SPE).
-    return service_end + params_.accessLatency;
+    // measures PUT ~= GET for a single SPE).  Under the timing row
+    // model the activate cost already occupied the bank, so completion
+    // pays only the CAS-side latency.
+    return service_end +
+           (params_.rowTiming ? params_.rowHitLatency
+                              : params_.accessLatency);
 }
 
 void

@@ -46,12 +46,37 @@ struct DramBankParams
     Tick refreshDuration = 512;
 
     /**
-     * Row (page) granularity for the row-hit/row-conflict utilization
-     * counters.  Purely observational: a hit/conflict changes no
-     * timing, it explains where the sustained-below-peak gap comes
-     * from.  XDR devices activate 2 KiB rows.
+     * Row (page) granularity for the row-hit/row-conflict counters
+     * and, when @ref rowTiming is set, the open-page timing model.
+     * XDR devices activate 2 KiB rows.  0 collapses everything into
+     * a single row.
      */
     std::uint64_t rowBytes = 2048;
+
+    /**
+     * @name Timing row-buffer model (open-page policy).
+     *
+     * Off (the default), the row counters are purely observational: a
+     * hit/conflict changes no timing, the sustained-below-peak service
+     * rate folds the activate/precharge work in, and every access
+     * completes accessLatency after its service slot — bit-identical
+     * to the historical model.
+     *
+     * On, the bank keeps one row open per the open-page policy: an
+     * access to the open row pays only the CAS-side rowHitLatency at
+     * completion, while every row the access newly activates adds
+     * rowMissPenalty ticks of bank occupancy (precharge + activate)
+     * before its data can serialize through the pins.  accessLatency
+     * is not used in this mode.  Random streams therefore lose
+     * bandwidth to row thrashing while sequential streams keep it —
+     * the Chen & Bader bank-sensitivity the random-access experiments
+     * measure.
+     */
+    /** @{ */
+    bool rowTiming = false;
+    Tick rowHitLatency = 63;    ///< CAS-only completion, ~30 ns
+    Tick rowMissPenalty = 168;  ///< precharge+activate occupancy, ~80 ns
+    /** @} */
 };
 
 /**
@@ -101,13 +126,23 @@ class DramBank : public sim::SimObject
     /** Total bytes serviced. */
     std::uint64_t bytesServiced() const { return bytesServiced_; }
 
-    /** Number of refresh windows that delayed service so far. */
+    /**
+     * Number of refresh windows that delayed service so far.  The
+     * pinned semantics: every refresh window that pushes back an
+     * access's service start or splits its pin time counts exactly
+     * once, and a window is never counted twice (a window that
+     * delayed access A leaves freeAt_ past itself, so it cannot also
+     * delay access B).  Zero-length windows (refreshDuration == 0)
+     * delay nothing and never count.
+     */
     std::uint64_t refreshStalls() const { return refreshStalls_; }
 
-    /** @name Utilization counters (observational; no timing effect).
-     *        An access to the row the bank last touched is a row hit;
-     *        switching rows is a row conflict (activate/precharge work
-     *        the sustained-rate model folds into its below-peak rate).
+    /** @name Utilization counters (no timing effect unless
+     *        rowTiming is set).
+     *        An access touching only the bank's open row is a row hit;
+     *        every row it newly activates — the first row when a
+     *        different row was open, plus each additional row a
+     *        spanning access crosses into — is a row conflict.
      *        A queue conflict is an access that arrived while the data
      *        pins were still busy with an earlier request. */
     /** @{ */

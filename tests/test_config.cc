@@ -91,3 +91,24 @@ TEST(CellConfig, AffinityNamesRoundTrip)
               cell::AffinityPolicy::Linear);
     EXPECT_STREQ(cell::toString(cell::AffinityPolicy::Paired), "paired");
 }
+
+TEST(CellConfig, RowTimingFlagsPlumbToBothBanks)
+{
+    auto off = parse({});
+    EXPECT_FALSE(off.memory.bank0.rowTiming);
+    EXPECT_FALSE(off.memory.bank1.rowTiming);
+    EXPECT_EQ(off.memory.bank0.rowBytes, 2048u);
+
+    auto cfg = parse({"--mem-row-timing", "--mem-row-hit-ns=20",
+                      "--mem-row-miss-ns=60", "--mem-row-bytes=4096"});
+    EXPECT_TRUE(cfg.memory.bank0.rowTiming);
+    EXPECT_TRUE(cfg.memory.bank1.rowTiming);
+    EXPECT_EQ(cfg.memory.bank0.rowBytes, 4096u);
+    EXPECT_EQ(cfg.memory.bank1.rowBytes, 4096u);
+    EXPECT_EQ(cfg.memory.bank0.rowHitLatency, cfg.clock.fromNs(20.0));
+    EXPECT_EQ(cfg.memory.bank0.rowMissPenalty, cfg.clock.fromNs(60.0));
+    EXPECT_EQ(cfg.memory.bank1.rowHitLatency,
+              cfg.memory.bank0.rowHitLatency);
+    EXPECT_EQ(cfg.memory.bank1.rowMissPenalty,
+              cfg.memory.bank0.rowMissPenalty);
+}

@@ -276,3 +276,96 @@ TEST(ExpSpuLs, ScalarAccessIsFarBelowPeak)
     double bw = core::runSpuLs(sys, lc);
     EXPECT_LT(bw, 0.3 * 33.6);
 }
+
+/* --- Random-access workloads (Chen & Bader) ------------------------- */
+
+namespace
+{
+
+double
+randChase(std::uint32_t elem, bool list, std::uint64_t seed = 1)
+{
+    cell::CellSystem sys(cfg(), seed);
+    core::RandChaseConfig rc;
+    rc.elemBytes = elem;
+    rc.useList = list;
+    rc.bytesPerSpe = 512 * util::KiB;
+    return core::runRandChase(sys, rc);
+}
+
+} // namespace
+
+TEST(ExpRand, ListGatherBeatsElementGetForSmallElements)
+{
+    EXPECT_GT(randChase(8, true), 1.5 * randChase(8, false));
+    EXPECT_GT(randChase(32, true), 1.5 * randChase(32, false));
+}
+
+TEST(ExpRand, CrossoverClosesForLargeElements)
+{
+    double elem = randChase(2048, false);
+    double list = randChase(2048, true);
+    EXPECT_GT(elem, 0.8 * list);
+    EXPECT_LT(elem, 1.25 * list);
+}
+
+TEST(ExpRand, GupsBandwidthGrowsWithGranule)
+{
+    auto gups = [](std::uint32_t elem) {
+        cell::CellSystem sys(cfg(), 1);
+        core::RandGupsConfig gc;
+        gc.elemBytes = elem;
+        gc.bytesPerSpe = 512 * util::KiB;
+        return core::runRandGups(sys, gc);
+    };
+    double g8 = gups(8);
+    double g64 = gups(64);
+    EXPECT_GT(g64, 4.0 * g8);   // per-command cost amortizes
+}
+
+TEST(ExpRand, RowTimingModelPunishesRandomUpdates)
+{
+    auto gups = [](bool timing) {
+        auto c = cfg();
+        c.memory.bank0.rowTiming = timing;
+        c.memory.bank1.rowTiming = timing;
+        cell::CellSystem sys(c, 1);
+        core::RandGupsConfig gc;
+        gc.elemBytes = 64;
+        gc.bytesPerSpe = 512 * util::KiB;
+        return core::runRandGups(sys, gc);
+    };
+    // Every random update activates a new row; with the timing model on
+    // the activate/precharge occupancy dominates.
+    EXPECT_GT(gups(false), 3.0 * gups(true));
+}
+
+TEST(ExpRand, SamplesAreBitIdenticalAcrossJobs)
+{
+    auto body = [](cell::CellSystem &sys) {
+        core::RandGupsConfig gc;
+        gc.numSpes = 2;
+        gc.elemBytes = 32;
+        gc.bytesPerSpe = 256 * util::KiB;
+        return core::runRandGups(sys, gc);
+    };
+    core::RepeatSpec spec{4, 42};
+    auto serial = core::repeatRuns(cfg(), spec, body,
+                                   core::ParallelSpec::serial());
+    auto threaded = core::repeatRuns(cfg(), spec, body,
+                                     core::ParallelSpec{4});
+    EXPECT_EQ(serial.samples(), threaded.samples());
+
+    auto chase = [](cell::CellSystem &sys) {
+        core::RandChaseConfig rc;
+        rc.numSpes = 2;
+        rc.useList = true;
+        rc.bytesPerSpe = 256 * util::KiB;
+        return core::runRandChase(sys, rc);
+    };
+    auto cs = core::repeatRuns(cfg(), spec, chase,
+                               core::ParallelSpec::serial());
+    auto ct = core::repeatRuns(cfg(), spec, chase,
+                               core::ParallelSpec{4});
+    EXPECT_EQ(cs.samples(), ct.samples());
+}

@@ -165,6 +165,122 @@ TEST(DramBank, SustainedRateMatchesConfig)
     EXPECT_EQ(done, 1000u * 16u + 100u);
 }
 
+TEST(DramBank, RowSpanningAccessCountsEachRowTouched)
+{
+    sim::EventQueue eq;
+    mem::DramBank bank("b", eq, fastBank());    // rowBytes = 2048
+    // First access ever: row 0 must be activated.
+    bank.access(0, 128, false, [] {});
+    EXPECT_EQ(bank.rowHits(), 0u);
+    EXPECT_EQ(bank.rowConflicts(), 1u);
+    // 128 B straddling rows 0 and 1: the starting row is still open
+    // (hit), the crossing into row 1 is a fresh activate (conflict).
+    bank.access(2048 - 64, 128, false, [] {});
+    EXPECT_EQ(bank.rowHits(), 1u);
+    EXPECT_EQ(bank.rowConflicts(), 2u);
+    // The spanning access left its *last* row open, not its first.
+    bank.access(2048, 64, false, [] {});
+    EXPECT_EQ(bank.rowHits(), 2u);
+    EXPECT_EQ(bank.rowConflicts(), 2u);
+    eq.run();
+}
+
+TEST(DramBank, RefreshWindowsCountExactlyOnce)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.refreshInterval = 100;
+    p.refreshDuration = 10;
+    mem::DramBank bank("b", eq, p);
+    // 1024 B = 128 ticks of pin time starting inside the t=0 window:
+    // one stall for the start push-back (to t=10), one for the split
+    // across the t=100 window — exactly two, nothing double-counted.
+    Tick first = 0;
+    bank.access(1024, true, [&] { first = eq.now(); });
+    eq.run();
+    EXPECT_EQ(first, 148u + p.accessLatency);
+    EXPECT_EQ(bank.refreshStalls(), 2u);
+    // A follow-up access starting clear of any window adds no stall.
+    // It is issued at t=248 (the first completion), pins 248..264, and
+    // the next window at t=300 never touches it.
+    Tick second = 0;
+    bank.access(128, true, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_EQ(second, 264u + p.accessLatency);
+    EXPECT_EQ(bank.refreshStalls(), 2u);
+}
+
+TEST(DramBank, ZeroDurationRefreshNeverStalls)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.refreshInterval = 100;
+    p.refreshDuration = 0;      // zero-length windows delay nothing
+    mem::DramBank bank("b", eq, p);
+    Tick done = 0;
+    bank.access(1024, false, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 128u + p.accessLatency);
+    EXPECT_EQ(bank.refreshStalls(), 0u);
+}
+
+TEST(DramBank, RowTimingOffKeepsConflictHeavyAndSequentialIdentical)
+{
+    sim::EventQueue eq;
+    mem::DramBank thrash("t", eq, fastBank());
+    mem::DramBank stream("s", eq, fastBank());
+    Tick thrash_done = 0, stream_done = 0;
+    for (int i = 0; i < 8; ++i) {
+        // Alternating rows vs one hot row: same completion times while
+        // the counters are observational.
+        thrash.access(i % 2 ? 4096 : 0, 128, false,
+                      [&] { thrash_done = eq.now(); });
+        stream.access(static_cast<EffAddr>(i) * 128, 128, false,
+                      [&] { stream_done = eq.now(); });
+    }
+    eq.run();
+    EXPECT_EQ(thrash_done, stream_done);
+    EXPECT_GT(thrash.rowConflicts(), stream.rowConflicts());
+}
+
+TEST(DramBank, RowTimingChargesActivatesAndCasOnlyHits)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.rowTiming = true;
+    p.rowHitLatency = 20;
+    p.rowMissPenalty = 30;
+    mem::DramBank bank("b", eq, p);
+    Tick a = 0, b = 0, c = 0;
+    // Miss: activate (30) + 16 service, completes +20 CAS.
+    bank.access(0, 128, false, [&] { a = eq.now(); });
+    // Hit on the open row: 16 service only.
+    bank.access(128, 128, false, [&] { b = eq.now(); });
+    // Miss on another row: activate again.
+    bank.access(4096, 128, false, [&] { c = eq.now(); });
+    eq.run();
+    EXPECT_EQ(a, 46u + 20u);
+    EXPECT_EQ(b, 46u + 16u + 20u);
+    EXPECT_EQ(c, 46u + 16u + 46u + 20u);
+    EXPECT_EQ(bank.rowHits(), 1u);
+    EXPECT_EQ(bank.rowConflicts(), 2u);
+}
+
+TEST(DramBank, RowTimingSpanningAccessPaysEveryActivate)
+{
+    sim::EventQueue eq;
+    auto p = fastBank();
+    p.rowTiming = true;
+    p.rowHitLatency = 20;
+    p.rowMissPenalty = 30;
+    mem::DramBank bank("b", eq, p);
+    // Fresh bank, 128 B spanning rows 0 and 1: two activates.
+    Tick done = 0;
+    bank.access(2048 - 64, 128, false, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 16u + 2u * 30u + 20u);
+}
+
 TEST(DramBank, InvalidParamsAreFatal)
 {
     sim::EventQueue eq;

@@ -314,6 +314,64 @@ TEST_F(MfcFixture, ValidationRejectsBadCommands)
     EXPECT_EQ(mfc->tagFaultMask(), 0u);
 }
 
+TEST_F(MfcFixture, ListAtMaxLengthIsAccepted)
+{
+    auto mfc = make();
+    // Exactly maxListElements (2048) is legal; 2048 x 16 B fits in
+    // 32 KiB of LS with room to spare.
+    std::vector<spe::ListElement> list(spe::maxListElements,
+                                       {0x10000, 16});
+    EXPECT_TRUE(mfc->getList(0, list, 1));
+    eq.run();
+    EXPECT_EQ(mfc->commandsFaulted(), 0u);
+    EXPECT_EQ(mfc->commandsCompleted(), 1u);
+    EXPECT_EQ(mfc->linesSent(), spe::maxListElements);
+    EXPECT_EQ(mfc->bytesTransferred(), spe::maxListElements * 16u);
+}
+
+TEST_F(MfcFixture, ListOneOverMaxIsRejectedCleanly)
+{
+    auto mfc = make();
+    std::vector<spe::ListElement> list(spe::maxListElements + 1,
+                                       {0x10000, 16});
+    EXPECT_FALSE(mfc->getList(0, list, 1));
+    // Rejection is a recoverable fault: nothing was queued, no tag is
+    // pending, and the error is latched on the tag group.
+    EXPECT_EQ(mfc->queueFree(), params.queueDepth);
+    EXPECT_EQ(mfc->tagsPendingMask(), 0u);
+    EXPECT_EQ(mfc->tagFaultCount(1), 1u);
+    eq.run();
+    EXPECT_TRUE(router.lines.empty());
+    auto faults = mfc->takeFaults(1);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].code, spe::MfcError::BadList);
+}
+
+TEST_F(MfcFixture, ListCursorRoundUpTriggersLsOverrun)
+{
+    auto mfc = make();
+    // Each list element starts on a fresh 16 B LS boundary.  Two 8 B
+    // elements starting 24 B below the top of LS land at lsSize-16 and
+    // lsSize (after round-up), so the second one runs past the end even
+    // though the raw sizes (16 B) would fit.
+    std::vector<spe::ListElement> list = {{0x10000, 8}, {0x10020, 8}};
+    EXPECT_FALSE(mfc->getList(params.lsSize - 24, list, 4));
+    EXPECT_EQ(mfc->tagsPendingMask(), 0u);
+    EXPECT_EQ(mfc->queueFree(), params.queueDepth);
+    auto faults = mfc->takeFaults(4);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].code, spe::MfcError::LsOverrun);
+
+    // The same two elements issued 8 B lower fit exactly: the final
+    // cursor lands on lsSize, which is in bounds.
+    EXPECT_TRUE(mfc->getList(params.lsSize - 32, list, 4));
+    eq.run();
+    EXPECT_EQ(mfc->commandsCompleted(), 1u);
+    ASSERT_EQ(router.lines.size(), 2u);
+    EXPECT_EQ(router.lines[0].lsa, params.lsSize - 32);
+    EXPECT_EQ(router.lines[1].lsa, params.lsSize - 16);
+}
+
 TEST_F(MfcFixture, RejectionDoesNotDisturbPendingCommands)
 {
     auto mfc = make();

@@ -120,3 +120,39 @@ TEST(Oracle, FromReportConfigRejectsBadDocuments)
         << err;
     EXPECT_FALSE(core::Oracle::fromReportConfig(nested, o, err));
 }
+
+TEST(Oracle, GatherPeaksFollowTheIssueOverheads)
+{
+    core::Oracle o{cell::CellConfig{}};
+    // 24 bus cycles per element-wise command vs 2 per list element at
+    // the 1.05 GHz bus: 8 B elements issue at 0.35 vs 4.2 GB/s.
+    EXPECT_NEAR(o.gatherElemPeak(8), 0.35, 1e-9);
+    EXPECT_NEAR(o.gatherListPeak(8), 4.2, 1e-9);
+    EXPECT_DOUBLE_EQ(o.gatherListPeak(8) / o.gatherElemPeak(8), 12.0);
+    // Large elements amortize the issue cost and cap at the XDR ramp.
+    EXPECT_DOUBLE_EQ(o.gatherElemPeak(16384), o.rampPeak());
+    EXPECT_DOUBLE_EQ(o.gatherListPeak(64), o.rampPeak());
+}
+
+TEST(Oracle, GatherPeaksScaleWithTheConfiguredOverhead)
+{
+    cell::CellConfig cfg;
+    cfg.spe.mfc.elemOverheadBus *= 2;
+    cfg.spe.mfc.listElemOverheadBus *= 2;
+    core::Oracle o{cfg};
+    core::Oracle base{cell::CellConfig{}};
+    EXPECT_DOUBLE_EQ(o.gatherElemPeak(8), base.gatherElemPeak(8) / 2.0);
+    EXPECT_DOUBLE_EQ(o.gatherListPeak(8), base.gatherListPeak(8) / 2.0);
+}
+
+TEST(Oracle, GatherPeaksResolveByName)
+{
+    core::Oracle o{cell::CellConfig{}};
+    double v = 0;
+    ASSERT_TRUE(o.peak("gather-elem:8", v));
+    EXPECT_NEAR(v, 0.35, 1e-9);
+    ASSERT_TRUE(o.peak("gather-list:128", v));
+    EXPECT_DOUBLE_EQ(v, o.gatherListPeak(128));
+    EXPECT_FALSE(o.peak("gather-elem:", v));
+    EXPECT_FALSE(o.peak("gather-bogus:8", v));
+}
