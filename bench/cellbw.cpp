@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -48,7 +49,10 @@ usage(std::FILE *to)
         "usage: cellbw <command> [args...]\n"
         "\n"
         "commands:\n"
-        "  list                         list registered experiments\n"
+        "  list [--backend NAME]        list registered experiments "
+        "(optionally only\n"
+        "                               those of one backend: sim, "
+        "native)\n"
         "  run <name> [flags...]        run one experiment (flags as "
         "the legacy binary;\n"
         "                               try `cellbw run <name> "
@@ -89,6 +93,8 @@ usage(std::FILE *to)
         "after each run)\n"
         "    --spool DIR                per-job report files (default: "
         "cellbw-serve-spool)\n"
+        "    --sim-only                 refuse native-backend "
+        "experiments\n"
         "    --terse                    suppress per-request log "
         "lines\n"
         "  compare <candidate> <baseline> [options]\n"
@@ -142,10 +148,36 @@ parseDoubleArg(const char *flag, const char *val, double &out)
 }
 
 int
-cmdList()
+cmdList(int argc, char **argv)
 {
-    std::fputs(core::ExperimentRegistry::instance().listText().c_str(),
-               stdout);
+    std::optional<core::Backend> filter;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--backend") {
+            if (++i >= argc) {
+                std::fputs("cellbw: --backend needs a value\n", stderr);
+                return 2;
+            }
+            core::Backend b;
+            if (!core::parseBackend(argv[i], b)) {
+                std::fprintf(stderr,
+                             "cellbw: unknown backend '%s' (known "
+                             "backends: %s)\n",
+                             argv[i], core::knownBackends());
+                return 2;
+            }
+            filter = b;
+        } else if (a == "--help" || a == "-h") {
+            return usage(stdout);
+        } else {
+            std::fprintf(stderr, "cellbw: unknown list flag '%s'\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+    std::fputs(
+        core::ExperimentRegistry::instance().listText(filter).c_str(),
+        stdout);
     return 0;
 }
 
@@ -490,6 +522,8 @@ cmdServe(int argc, char **argv)
             if (!(v = needValue("--spool", i)))
                 return 2;
             spec.spoolDir = v;
+        } else if (a == "--sim-only") {
+            spec.simOnly = true;
         } else if (a == "--terse") {
             spec.terse = true;
         } else if (a == "--help" || a == "-h") {
@@ -512,7 +546,7 @@ main(int argc, char **argv)
         return usage(stderr);
     std::string cmd = argv[1];
     if (cmd == "list")
-        return cmdList();
+        return cmdList(argc - 2, argv + 2);
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "suite")

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pointer-chase load-to-use latency on the host memory hierarchy
+ * (native backend; ROADMAP item 1).
+ *
+ * A seeded random cyclic permutation per working set — every load
+ * depends on the previous one, so prefetchers cannot hide the memory
+ * level — walked for a fixed number of dependent loads per repetition.
+ * The working-set sweep (capped by --bytes-per-spe) steps the chase
+ * through the host cache levels the way the paper's figures step Cell
+ * through LS/L2/memory.  Validation checks the ring is one full cycle
+ * and that the timed walk ended exactly where an untimed reference
+ * walk says it must; per-point statistics are median/p95/stddev/CV of
+ * ns per access.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hh"
+#include "native/kernels.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+/** Working-set sweep (ring bytes), stepping 16 KiB..cap by 4x. */
+std::vector<std::uint64_t>
+sizeSweep(std::uint64_t maxBytes)
+{
+    std::vector<std::uint64_t> sizes;
+    const std::uint64_t cap = std::max<std::uint64_t>(
+        maxBytes, 16 * util::KiB);
+    for (std::uint64_t s = 16 * util::KiB; s < cap; s *= 4)
+        sizes.push_back(s);
+    sizes.push_back(cap);
+    return sizes;
+}
+
+int
+run(core::ExperimentContext &b)
+{
+    b.header("Native C",
+             "pointer-chase load-to-use latency on the host memory "
+             "hierarchy");
+
+    stats::Table table({"bytes", "ns/access(median)", "ns/access(p95)",
+                        "ns/access(stddev)", "cv(%)", "checksum"});
+    bool allOk = true;
+    for (std::uint64_t bytes : sizeSweep(b.bytesPerSpe)) {
+        const std::size_t elems = static_cast<std::size_t>(
+            bytes / sizeof(std::uint32_t));
+        native::ChaseRing ring(elems, b.repeat.seed);
+        // Enough dependent loads to swamp timer granularity, bounded so
+        // large rings stay quick.
+        const std::uint64_t steps =
+            std::max<std::uint64_t>(2 * elems, 1u << 18);
+
+        native::CheckResult check = ring.validate();
+        stats::Distribution d;
+        for (unsigned r = 0; check.ok && r < b.repeat.warmup; ++r) {
+            std::size_t end = 0;
+            ring.runChase(steps, end);
+        }
+        for (unsigned r = 0; check.ok && r < b.repeat.runs; ++r) {
+            std::size_t end = 0;
+            double secs = ring.runChase(steps, end);
+            if (end != ring.expectedFinal(steps)) {
+                check.ok = false;
+                check.firstBadIndex = end;
+                check.expected = static_cast<double>(
+                    ring.expectedFinal(steps));
+                check.got = static_cast<double>(end);
+                break;
+            }
+            d.add(secs * 1e9 / static_cast<double>(steps));
+        }
+        allOk = allOk && check.ok;
+        table.addRow({std::to_string(bytes),
+                      stats::Table::num(d.median()),
+                      stats::Table::num(d.p95()),
+                      stats::Table::num(d.stddev()),
+                      stats::Table::num(d.cv()),
+                      check.describe()});
+    }
+    b.emit(table, "chase");
+
+    if (!allOk) {
+        b.printf("CHECKSUM FAILURE: at least one ring failed "
+                 "validation (see the checksum column)\n");
+        b.finish();
+        return 1;
+    }
+    b.printf("host measurement: %u timed + %u warmup walks per point; "
+             "gate with `cellbw compare --tol`, not bit-identity\n",
+             b.repeat.runs, b.repeat.warmup);
+    return b.finish();
+}
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(native_chase, "Native C",
+                           "pointer-chase load-to-use latency on the "
+                           "host memory hierarchy",
+                           run, core::Backend::Native)

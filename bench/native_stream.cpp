@@ -1,0 +1,99 @@
+/**
+ * @file
+ * STREAM-shaped bandwidth on the host memory hierarchy (native
+ * backend; ROADMAP item 1).
+ *
+ * The same controlled-access-pattern methodology the paper applies to
+ * Cell, pointed at the machine running the suite: copy/scale/add/triad
+ * over aligned, prefaulted buffers, a working-set sweep derived from
+ * --bytes-per-spe, --warmup discarded passes per point (default 1),
+ * and checksum validation of every kernel's output against its exact
+ * closed form.  Because these are measurements, the report carries
+ * median/p95/stddev/CV per point and is marked non-reproducible — gate
+ * it with `cellbw compare --tol`, never bit-identity.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hh"
+#include "native/kernels.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+/** Working-set sweep (bytes per array) from the --bytes-per-spe cap. */
+std::vector<std::uint64_t>
+sizeSweep(std::uint64_t maxBytes)
+{
+    const std::uint64_t floor = 64 * util::KiB;
+    std::vector<std::uint64_t> sizes = {
+        std::max(maxBytes / 16, floor),
+        std::max(maxBytes / 4, floor),
+        std::max(maxBytes, floor),
+    };
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    return sizes;
+}
+
+int
+run(core::ExperimentContext &b)
+{
+    b.header("Native S",
+             "STREAM copy/scale/add/triad on the host memory "
+             "hierarchy");
+
+    stats::Table table({"kernel", "bytes", "GB/s(median)", "GB/s(p95)",
+                        "GB/s(stddev)", "cv(%)", "checksum"});
+    bool allOk = true;
+    for (std::uint64_t bytes : sizeSweep(b.bytesPerSpe)) {
+        const std::size_t elems =
+            static_cast<std::size_t>(bytes / sizeof(double));
+        native::StreamBuffers bufs(elems);
+        for (native::StreamKernel k : native::allStreamKernels()) {
+            bufs.init();
+            for (unsigned w = 0; w < b.repeat.warmup; ++w)
+                native::runStream(k, bufs);
+            stats::Distribution d;
+            for (unsigned r = 0; r < b.repeat.runs; ++r) {
+                double secs = native::runStream(k, bufs);
+                double gbps =
+                    secs > 0.0
+                        ? static_cast<double>(
+                              native::streamBytes(k, elems)) /
+                              secs / 1e9
+                        : 0.0;
+                d.add(gbps);
+            }
+            native::CheckResult check = native::checkStream(k, bufs);
+            allOk = allOk && check.ok;
+            table.addRow({native::toString(k), std::to_string(bytes),
+                          stats::Table::num(d.median()),
+                          stats::Table::num(d.p95()),
+                          stats::Table::num(d.stddev()),
+                          stats::Table::num(d.cv()),
+                          check.describe()});
+        }
+    }
+    b.emit(table, "stream");
+
+    if (!allOk) {
+        b.printf("CHECKSUM FAILURE: at least one kernel produced wrong "
+                 "values (see the checksum column)\n");
+        b.finish();
+        return 1;
+    }
+    b.printf("host measurement: %u timed + %u warmup passes per point; "
+             "gate with `cellbw compare --tol`, not bit-identity\n",
+             b.repeat.runs, b.repeat.warmup);
+    return b.finish();
+}
+
+} // namespace
+
+CELLBW_REGISTER_EXPERIMENT(native_stream, "Native S",
+                           "STREAM copy/scale/add/triad on the host "
+                           "memory hierarchy",
+                           run, core::Backend::Native)

@@ -1,0 +1,44 @@
+#include "core/backend.hh"
+
+namespace cellbw::core
+{
+
+const char *
+toString(Backend backend)
+{
+    switch (backend) {
+      case Backend::Sim:
+        return "sim";
+      case Backend::Native:
+        return "native";
+    }
+    return "sim";
+}
+
+bool
+parseBackend(const std::string &text, Backend &out)
+{
+    if (text == "sim") {
+        out = Backend::Sim;
+        return true;
+    }
+    if (text == "native") {
+        out = Backend::Native;
+        return true;
+    }
+    return false;
+}
+
+const char *
+knownBackends()
+{
+    return "sim, native";
+}
+
+bool
+backendIsCacheable(Backend backend)
+{
+    return backend == Backend::Sim;
+}
+
+} // namespace cellbw::core

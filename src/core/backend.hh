@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Execution backends: where an experiment's kernels actually run.
+ *
+ * Every registered experiment executes on exactly one backend:
+ *
+ *  - `sim`: the cellsim Cell BE model.  Results are a pure function of
+ *    the canonical configuration (the whole repo is built around that:
+ *    bit-identical seed-sweep merges, the content-addressed result
+ *    cache, byte-identical warm suite replays).
+ *
+ *  - `native`: the host memory hierarchy, measured with the same
+ *    controlled-access-pattern methodology the paper applies to Cell
+ *    (STREAM-shaped copy/scale/add/triad, pointer-chase latency).
+ *    Results are *measurements* — reproducible in distribution, never
+ *    bit-identical — so native reports are marked non-reproducible,
+ *    are gated by `cellbw compare` tolerances instead of bit-identity,
+ *    and are never stored in (or served from) the result cache.
+ *
+ * The backend is part of the canonical configuration: it appears in
+ * the v3 report envelope and config section and in the result-cache
+ * key material, so a sim config and a native config of the same
+ * experiment name can never share a cache key.
+ */
+
+#ifndef CELLBW_CORE_BACKEND_HH
+#define CELLBW_CORE_BACKEND_HH
+
+#include <string>
+
+namespace cellbw::core
+{
+
+enum class Backend
+{
+    Sim,    ///< the cellsim Cell BE model (deterministic)
+    Native, ///< the host memory hierarchy (measured, non-reproducible)
+};
+
+/** Canonical flag/report spelling: "sim" or "native". */
+const char *toString(Backend backend);
+
+/**
+ * Parse a --backend value.  @return false when @p text names no known
+ * backend (callers report it with knownBackends()).
+ */
+bool parseBackend(const std::string &text, Backend &out);
+
+/** "sim, native" — for the unknown-backend diagnostic. */
+const char *knownBackends();
+
+/**
+ * True iff results from @p backend may be stored in and replayed from
+ * the result cache.  Only deterministic backends qualify: replaying a
+ * cached native measurement would present a stale number as fresh.
+ */
+bool backendIsCacheable(Backend backend);
+
+} // namespace cellbw::core
+
+#endif // CELLBW_CORE_BACKEND_HH

@@ -24,7 +24,8 @@ schemaOk(const JsonValue &doc, const char *which, std::string &err)
         return false;
     }
     const std::string &s = schema->str();
-    if (s != "cellbw-bench-v1" && s != "cellbw-bench-v2") {
+    if (s != "cellbw-bench-v1" && s != "cellbw-bench-v2" &&
+        s != "cellbw-bench-v3") {
         err = util::format("%s: unsupported schema '%s'", which,
                            s.c_str());
         return false;

@@ -12,13 +12,20 @@ namespace cellbw::core
 {
 
 ExperimentContext::ExperimentContext(std::string prog,
-                                     std::string description)
-    : opts(std::move(prog), std::move(description))
+                                     std::string description,
+                                     Backend backend)
+    : opts(std::move(prog), std::move(description)), backend(backend)
 {
     cell::CellConfig::registerOptions(opts);
-    opts.addUint("runs", 10,
-                 "placement-randomized repetitions per point");
-    opts.addUint("seed", 42, "base placement seed");
+    // The repeat spec owns its options; native defaults to one warmup
+    // repetition (first-touch host caches), sim to none so existing
+    // reports stay byte-identical.
+    RepeatSpec::registerOptions(opts,
+                                backend == Backend::Native ? 1 : 0);
+    opts.addString("backend", toString(backend),
+                   "execution backend (sim, native); part of the "
+                   "canonical config, must match the experiment's "
+                   "registration");
     opts.addUint("jobs", 0,
                  "worker threads for the seed sweep (0 = one per "
                  "hardware thread; results are identical for any "
@@ -58,16 +65,32 @@ ExperimentContext::parse(int argc, const char *const *argv)
                      e.what());
         return false;
     }
-    if (opts.getUint("runs") == 0) {
+    // --backend is canonical config: an unknown value is an error with
+    // a named diagnostic, and a known value must match the backend the
+    // experiment was registered for (bodies are written against one).
+    Backend requested;
+    if (!parseBackend(opts.getString("backend"), requested)) {
         std::fprintf(stderr,
-                     "%s: --runs must be at least 1 (0 runs would "
-                     "produce an empty distribution and NaN "
-                     "summaries)\n",
-                     opts.prog().c_str());
+                     "%s: unknown backend '%s' (known backends: %s)\n",
+                     opts.prog().c_str(),
+                     opts.getString("backend").c_str(),
+                     knownBackends());
         return false;
     }
-    repeat.runs = static_cast<unsigned>(opts.getUint("runs"));
-    repeat.seed = opts.getUint("seed");
+    if (requested != backend) {
+        std::fprintf(stderr,
+                     "%s: this experiment runs on the %s backend, not "
+                     "'%s'\n",
+                     opts.prog().c_str(), toString(backend),
+                     toString(requested));
+        return false;
+    }
+    std::string repeatErr;
+    if (!repeat.fromOptions(opts, repeatErr)) {
+        std::fprintf(stderr, "%s: %s\n", opts.prog().c_str(),
+                     repeatErr.c_str());
+        return false;
+    }
     par.jobs = static_cast<unsigned>(opts.getUint("jobs"));
     bytesPerSpe = opts.getBytes("bytes-per-spe");
     csv = opts.getBool("csv");
@@ -84,6 +107,7 @@ ExperimentContext::parse(int argc, const char *const *argv)
     cacheMaterial_ = ResultCache::materialFor(opts.prog(), opts);
     cacheKey_ = ResultCache::hashKey(cacheMaterial_);
     json.setExperiment(opts.prog());
+    json.setBackend(toString(backend), backendIsCacheable(backend));
     json.setCacheInfo(ResultCache::salt(), cacheKey_);
     return true;
 }
@@ -93,6 +117,13 @@ ExperimentContext::header(const char *figure, const char *what)
 {
     json.setBench(opts.prog(), figure, what);
     printf("== %s: %s ==\n", figure, what);
+    if (backend == Backend::Native) {
+        printf("   machine: native host backend, %u runs/point "
+               "(+%u warmup), %s per buffer\n\n",
+               repeat.runs, repeat.warmup,
+               util::bytesToString(bytesPerSpe).c_str());
+        return;
+    }
     printf("   machine: %.1f GHz Cell blade, %u EIB rings, "
            "ramp peak %.1f GB/s, %u runs/point, %s per "
            "SPE/stream\n\n",
@@ -144,7 +175,10 @@ ExperimentContext::finish()
     json.setConfig(opts);
     std::string doc = json.render();
     doc += '\n';
-    if (cache_)
+    // Native measurements are never cached: replaying a stored number
+    // as a fresh measurement would be wrong (the cache contract is
+    // bit-identical deterministic replay).
+    if (cache_ && backendIsCacheable(backend))
         cache_->store(cacheKey_, cacheMaterial_, doc);
     if (jsonPath.empty())
         return 0;

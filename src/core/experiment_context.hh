@@ -14,9 +14,10 @@
  *
  * On top of the legacy lifecycle the context knows about suites and
  * the result cache: it computes the canonical cache key of its parsed
- * configuration, stamps suite/cache metadata into the v2 report, can
- * run quietly (suite mode: JSON only, no stdout), and stores its
- * finished report into an attached core::ResultCache.
+ * configuration, stamps suite/cache/backend metadata into the report,
+ * can run quietly (suite mode: JSON only, no stdout), and stores its
+ * finished report into an attached core::ResultCache (sim backend
+ * only — native measurements are never cached).
  */
 
 #ifndef CELLBW_CORE_EXPERIMENT_CONTEXT_HH
@@ -26,6 +27,7 @@
 #include <string>
 
 #include "cell/config.hh"
+#include "core/backend.hh"
 #include "core/json_report.hh"
 #include "core/runner.hh"
 #include "stats/table.hh"
@@ -46,11 +48,21 @@ class ExperimentContext
     std::uint64_t bytesPerSpe = 0;
     bool csv = false;
 
+    /**
+     * The backend the experiment was registered for.  Fixed at
+     * construction; --backend is accepted (it is part of the canonical
+     * config) but parse() rejects a value that contradicts the
+     * registration.  Native contexts default --warmup to 1 and never
+     * store results into the cache.
+     */
+    Backend backend = Backend::Sim;
+
     /** --json target path; empty when no JSON report was requested. */
     std::string jsonPath;
     JsonReport json;
 
-    ExperimentContext(std::string prog, std::string description);
+    ExperimentContext(std::string prog, std::string description,
+                      Backend backend = Backend::Sim);
 
     /**
      * Parse argv and validate (--runs 0 and inconsistent machine

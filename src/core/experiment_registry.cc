@@ -44,12 +44,18 @@ ExperimentRegistry::sorted() const
 }
 
 std::string
-ExperimentRegistry::listText() const
+ExperimentRegistry::listText(std::optional<Backend> filter) const
 {
-    std::string out = util::format("%zu experiments:\n", size());
+    std::vector<const Experiment *> shown;
     for (const Experiment *e : sorted()) {
-        out += util::format("  %-20s %-12s %s\n", e->name.c_str(),
-                            e->figure.c_str(), e->description.c_str());
+        if (!filter || e->backend == *filter)
+            shown.push_back(e);
+    }
+    std::string out = util::format("%zu experiments:\n", shown.size());
+    for (const Experiment *e : shown) {
+        out += util::format("  %-20s %-12s %-8s %s\n", e->name.c_str(),
+                            e->figure.c_str(), toString(e->backend),
+                            e->description.c_str());
     }
     return out;
 }
@@ -66,7 +72,7 @@ runExperimentCli(const std::string &name, int argc,
                      name.c_str());
         return 1;
     }
-    ExperimentContext ctx(e->name, e->description);
+    ExperimentContext ctx(e->name, e->description, e->backend);
     if (!ctx.parse(argc, argv))
         return 1;
     return e->body(ctx);

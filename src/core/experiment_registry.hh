@@ -2,12 +2,17 @@
  * @file
  * The experiment registry: every bench as a named, runnable unit.
  *
- * A core::Experiment is (name, figure tag, description, body).  Bench
- * translation units register themselves with
+ * A core::Experiment is (name, figure tag, description, body,
+ * backend).  Bench translation units register themselves with
  * CELLBW_REGISTER_EXPERIMENT at static-initialization time; the
  * `cellbw` driver then lists, runs, schedules, caches, and compares
  * them uniformly, and each legacy per-figure binary is a one-line shim
  * over runExperimentCli() with its experiment's name baked in.
+ *
+ * The backend is the fifth, optional registration argument and
+ * defaults to Backend::Sim, so sim experiments register exactly as
+ * they always have; native experiments pass core::Backend::Native and
+ * the driver routes cache/suite/serve decisions off it.
  *
  * @code
  *   namespace {
@@ -31,9 +36,11 @@
 #define CELLBW_CORE_EXPERIMENT_REGISTRY_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/experiment_context.hh"
 
 namespace cellbw::core
@@ -49,6 +56,9 @@ struct Experiment
     std::string description;
     /** The experiment; returns the process exit code. */
     int (*body)(ExperimentContext &);
+    /** Where the experiment's kernels run (sim unless registered
+     *  otherwise). */
+    Backend backend = Backend::Sim;
 };
 
 class ExperimentRegistry
@@ -68,8 +78,11 @@ class ExperimentRegistry
 
     std::size_t size() const { return experiments_.size(); }
 
-    /** The `cellbw list` rendering of sorted(). */
-    std::string listText() const;
+    /**
+     * The `cellbw list` rendering of sorted(); with @p filter set,
+     * only experiments of that backend (the --backend filter).
+     */
+    std::string listText(std::optional<Backend> filter = {}) const;
 
   private:
     std::map<std::string, Experiment> experiments_;
@@ -86,11 +99,13 @@ int runExperimentCli(const std::string &name, int argc,
 
 } // namespace cellbw::core
 
-#define CELLBW_REGISTER_EXPERIMENT(name, figure, description, body)     \
+/** Optional 5th argument: the backend (defaults to Backend::Sim). */
+#define CELLBW_REGISTER_EXPERIMENT(name, figure, description, body, ...) \
     namespace {                                                         \
     const bool cellbw_experiment_reg_##name = [] {                      \
         ::cellbw::core::ExperimentRegistry::instance().add(             \
-            {#name, figure, description, body});                        \
+            {#name, figure, description, body __VA_OPT__(, )            \
+             __VA_ARGS__});                                             \
         return true;                                                    \
     }();                                                                \
     } // namespace

@@ -62,6 +62,13 @@ JsonReport::setSuite(std::string suite)
 }
 
 void
+JsonReport::setBackend(std::string backend, bool reproducible)
+{
+    backend_ = std::move(backend);
+    reproducible_ = reproducible;
+}
+
+void
 JsonReport::setCacheInfo(std::string salt, std::string key)
 {
     cacheSalt_ = std::move(salt);
@@ -99,6 +106,8 @@ JsonReport::render() const
     w.key("experiment").value(experiment_.empty() ? bench_ : experiment_);
     w.key("figure").value(figure_);
     w.key("description").value(description_);
+    w.key("backend").value(backend_);
+    w.key("reproducible").value(reproducible_);
     if (!suite_.empty())
         w.key("suite").value(suite_);
     if (!cacheKey_.empty()) {

@@ -8,12 +8,15 @@
  *
  * @code
  *   {
- *     "schema": "cellbw-bench-v2",
- *     "schema_version": 2,
+ *     "schema": "cellbw-bench-v3",
+ *     "schema_version": 3,
  *     "bench": "fig08_spe_mem",
  *     "experiment": "fig08_spe_mem",
  *     "figure": "Fig. 8",
  *     "description": "SPE<->memory DMA bandwidth",
+ *     "backend": "sim",                       // "sim" or "native"
+ *     "reproducible": true,                   // false: measured, gate
+ *                                             // with tolerances
  *     "suite": "ci",                          // only when part of one
  *     "cache": { "salt": "...", "key": "..." },  // only when computed
  *     "config": { "cpu-ghz": 2.1, "spes": 8, ... },
@@ -21,6 +24,11 @@
  *     "metrics": { "eib0.ring0.grants": 1234, ... }
  *   }
  * @endcode
+ *
+ * v3 (this version) adds `backend`/`reproducible` to the envelope and,
+ * on measured backends, per-point statistics columns — native tables
+ * carry median/p95/stddev/CV per point, flattened into `points` like
+ * any other columns.
  *
  * `config` carries every registered command-line option with its final
  * (post-parse) value, typed: uints/doubles/bytes as numbers, bools as
@@ -33,9 +41,9 @@
  * become JSON numbers.  `metrics` is the accumulated
  * stats::MetricsRegistry snapshot across all runs of all points.
  *
- * `cellbw compare` accepts both this document and its v1 predecessor
- * (no schema_version/experiment/suite/cache, config unfiltered), so
- * committed v1 baselines keep working.
+ * `cellbw compare` accepts this document and both predecessors — v1
+ * (no schema_version/experiment/suite/cache, config unfiltered) and v2
+ * (no backend/reproducible) — so committed baselines keep working.
  */
 
 #ifndef CELLBW_CORE_JSON_REPORT_HH
@@ -55,9 +63,9 @@ class JsonReport
 {
   public:
     /** The `schema` string this writer emits. */
-    static constexpr const char *kSchema = "cellbw-bench-v2";
+    static constexpr const char *kSchema = "cellbw-bench-v3";
     /** The numeric `schema_version`. */
-    static constexpr int kSchemaVersion = 2;
+    static constexpr int kSchemaVersion = 3;
 
     /** Identify the producing bench (shown in the document header). */
     void setBench(std::string bench, std::string figure,
@@ -68,6 +76,13 @@ class JsonReport
 
     /** Suite id when this report is one experiment of a suite run. */
     void setSuite(std::string suite);
+
+    /**
+     * The executing backend and whether its results are bit-
+     * reproducible (sim: yes; native: no — gate with tolerances).
+     * Defaults to "sim"/true so bare reports stay valid v3.
+     */
+    void setBackend(std::string backend, bool reproducible);
 
     /** Result-cache identity (invalidation salt + content key). */
     void setCacheInfo(std::string salt, std::string key);
@@ -105,6 +120,8 @@ class JsonReport
     std::string figure_;
     std::string description_;
     std::string suite_;
+    std::string backend_ = "sim";
+    bool reproducible_ = true;
     std::string cacheSalt_;
     std::string cacheKey_;
     std::vector<util::Options::OptionInfo> config_;

@@ -8,9 +8,35 @@
 #include <vector>
 
 #include "core/worker_pool.hh"
+#include "util/options.hh"
 
 namespace cellbw::core
 {
+
+void
+RepeatSpec::registerOptions(util::Options &opts, unsigned defaultWarmup)
+{
+    opts.addUint("runs", 10,
+                 "placement-randomized repetitions per point");
+    opts.addUint("seed", 42, "base placement seed");
+    opts.addUint("warmup", defaultWarmup,
+                 "discarded leading repetitions per point (recorded "
+                 "runs start at seed + warmup)");
+}
+
+bool
+RepeatSpec::fromOptions(const util::Options &opts, std::string &err)
+{
+    if (opts.getUint("runs") == 0) {
+        err = "--runs must be at least 1 (0 runs would produce an "
+              "empty distribution and NaN summaries)";
+        return false;
+    }
+    runs = static_cast<unsigned>(opts.getUint("runs"));
+    seed = opts.getUint("seed");
+    warmup = static_cast<unsigned>(opts.getUint("warmup"));
+    return true;
+}
 
 namespace
 {
@@ -88,9 +114,23 @@ repeatRunsPooled(const cell::CellConfig &cfg, const RepeatSpec &spec,
 } // namespace
 
 stats::Distribution
-repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &spec,
+repeatRuns(const cell::CellConfig &cfg, const RepeatSpec &requested,
            const ExperimentBody &body, const ParallelSpec &par)
 {
+    // Warmup runs execute serially up front and are discarded (no
+    // sample, no metrics); the recorded sweep then starts at
+    // seed + warmup, so the recorded samples are exactly those of a
+    // warmup-free sweep based at that seed.
+    RepeatSpec spec = requested;
+    if (spec.warmup > 0) {
+        RepeatSpec discard = spec;
+        discard.metrics = nullptr;
+        for (unsigned w = 0; w < spec.warmup; ++w)
+            runOne(cfg, discard, spec.seed + w, body);
+        spec.seed += spec.warmup;
+        spec.warmup = 0;
+    }
+
     if (par.pool)
         return repeatRunsPooled(cfg, spec, body, *par.pool);
 

@@ -20,9 +20,15 @@
 #define CELLBW_CORE_RUNNER_HH
 
 #include <functional>
+#include <string>
 
 #include "cell/cell_system.hh"
 #include "stats/distribution.hh"
+
+namespace cellbw::util
+{
+class Options;
+} // namespace cellbw::util
 
 namespace cellbw::stats
 {
@@ -41,12 +47,39 @@ struct RepeatSpec
     std::uint64_t seed = 42;
 
     /**
-     * When set, every run's CellSystem::snapshotMetrics() accumulates
-     * into this registry after its body returns.  The registry's
-     * counters are atomic and accumulation is commutative, so the
-     * totals are identical for any --jobs value.
+     * Discarded leading repetitions.  The warmup runs execute at seeds
+     * [seed, seed + warmup) and their samples (and metrics) are thrown
+     * away; the recorded runs then start at seed + warmup.  That gives
+     * warmup a deterministic identity — (seed=s, warmup=w) records
+     * exactly the samples of (seed=s+w, warmup=0) — which is why the
+     * sim default stays 0: existing reports remain byte-identical.  On
+     * the native backend warmup is what pulls buffers through the host
+     * cache hierarchy before the first timed pass.
+     */
+    unsigned warmup = 0;
+
+    /**
+     * When set, every recorded run's CellSystem::snapshotMetrics()
+     * accumulates into this registry after its body returns.  The
+     * registry's counters are atomic and accumulation is commutative,
+     * so the totals are identical for any --jobs value.
      */
     stats::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Register the repeat options (--runs/--seed/--warmup) on @p opts.
+     * Every experiment used to copy-paste this block; the spec owns it
+     * now.  @p defaultWarmup lets native contexts default to a warmed
+     * first measurement while sim stays at 0.
+     */
+    static void registerOptions(util::Options &opts,
+                                unsigned defaultWarmup = 0);
+
+    /**
+     * Populate from parsed options.  @return false (with @p err set)
+     * when the values are invalid (--runs 0).
+     */
+    bool fromOptions(const util::Options &opts, std::string &err);
 };
 
 class WorkerPool;

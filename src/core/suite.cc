@@ -33,12 +33,17 @@ resolveManifest(const std::string &manifest,
 {
     auto &registry = ExperimentRegistry::instance();
     if (manifest == "ci") {
-        // The built-in campaign: every registered experiment with its
-        // default flags (callers narrow with forwarded flags like
-        // --quick).
+        // The built-in campaign: every registered sim experiment with
+        // its default flags (callers narrow with forwarded flags like
+        // --quick).  Native experiments are excluded by design: the
+        // suite's warm-replay contract is byte-identical cache hits,
+        // which measurements can never satisfy — run them explicitly
+        // or through a manifest file.
         suiteId = "ci";
-        for (const Experiment *e : registry.sorted())
-            entries.push_back({e, {}});
+        for (const Experiment *e : registry.sorted()) {
+            if (e->backend == Backend::Sim)
+                entries.push_back({e, {}});
+        }
         return true;
     }
 
@@ -117,7 +122,7 @@ runEntry(const SuiteSpec &spec, const std::string &suiteId,
     for (const auto &a : args)
         argv.push_back(a.c_str());
 
-    ExperimentContext ctx(e.name, e.description);
+    ExperimentContext ctx(e.name, e.description, e.backend);
     ctx.setQuiet(true);
     ctx.setSuite(suiteId);
     if (!ctx.parse(static_cast<int>(argv.size()), argv.data())) {
@@ -134,7 +139,8 @@ runEntry(const SuiteSpec &spec, const std::string &suiteId,
         std::fflush(stdout);
     };
 
-    if (spec.useCache) {
+    // Native measurements never hit or populate the cache.
+    if (spec.useCache && backendIsCacheable(e.backend)) {
         if (auto stored = cache.load(ctx.cacheKey(),
                                      ctx.cacheMaterial())) {
             if (!util::writeFileAtomic(outPath, *stored)) {

@@ -1,0 +1,355 @@
+#include "native/kernels.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cellbw::native
+{
+
+namespace
+{
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * A value no kernel's closed form can produce: every legitimate value
+ * in the suite is a small positive dyadic rational.
+ */
+constexpr double kPoison = -1.0e9;
+
+} // namespace
+
+std::string
+CheckResult::describe() const
+{
+    if (ok)
+        return "ok";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "checksum failed at index %zu: expected %g, got %g",
+                  firstBadIndex, expected, got);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Aligned, prefaulted host buffers.
+
+void *
+alignedAlloc(std::size_t bytes)
+{
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t rounded = (bytes + 63) & ~std::size_t{63};
+    void *p = std::aligned_alloc(64, rounded);
+    if (!p)
+        sim::fatal("native: failed to allocate %zu bytes", rounded);
+    // Prefault: touch every page so first-touch faults happen here, not
+    // inside a timed kernel pass.
+    constexpr std::size_t kPage = 4096;
+    auto *bytesP = static_cast<unsigned char *>(p);
+    for (std::size_t off = 0; off < rounded; off += kPage)
+        bytesP[off] = 0;
+    if (rounded)
+        bytesP[rounded - 1] = 0;
+    return p;
+}
+
+void
+alignedFree(void *p)
+{
+    std::free(p);
+}
+
+// ---------------------------------------------------------------------
+// STREAM-shaped kernels.
+
+const char *
+toString(StreamKernel k)
+{
+    switch (k) {
+      case StreamKernel::Copy:
+        return "copy";
+      case StreamKernel::Scale:
+        return "scale";
+      case StreamKernel::Add:
+        return "add";
+      case StreamKernel::Triad:
+        return "triad";
+    }
+    return "copy";
+}
+
+const std::vector<StreamKernel> &
+allStreamKernels()
+{
+    static const std::vector<StreamKernel> kAll = {
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    };
+    return kAll;
+}
+
+StreamBuffers::StreamBuffers(std::size_t elems) : elems_(elems)
+{
+    if (elems_ == 0)
+        sim::fatal("native: stream buffers need at least one element");
+    std::size_t bytes = elems_ * sizeof(double);
+    a_ = static_cast<double *>(alignedAlloc(bytes));
+    b_ = static_cast<double *>(alignedAlloc(bytes));
+    c_ = static_cast<double *>(alignedAlloc(bytes));
+    init();
+}
+
+StreamBuffers::~StreamBuffers()
+{
+    alignedFree(a_);
+    alignedFree(b_);
+    alignedFree(c_);
+}
+
+// The initial patterns are small multiples of 1/8: exact in binary
+// floating point, so kernel outputs (sums and products with the exact
+// scalar 3.0) are also exact and validation can use plain equality.
+
+double
+StreamBuffers::initA(std::size_t i)
+{
+    return 1.0 + static_cast<double>(i % 17) * 0.25;
+}
+
+double
+StreamBuffers::initB(std::size_t i)
+{
+    return 2.0 + static_cast<double>(i % 13) * 0.5;
+}
+
+double
+StreamBuffers::initC(std::size_t i)
+{
+    return 0.5 + static_cast<double>(i % 7) * 0.125;
+}
+
+void
+StreamBuffers::init()
+{
+    for (std::size_t i = 0; i < elems_; ++i) {
+        a_[i] = initA(i);
+        b_[i] = initB(i);
+        c_[i] = initC(i);
+    }
+}
+
+void
+StreamBuffers::corrupt(StreamKernel k, std::size_t index)
+{
+    if (index >= elems_)
+        sim::fatal("native: corrupt index %zu out of range (%zu elems)",
+                   index, elems_);
+    switch (k) {
+      case StreamKernel::Copy:
+      case StreamKernel::Add:
+        c_[index] = kPoison;
+        break;
+      case StreamKernel::Scale:
+        b_[index] = kPoison;
+        break;
+      case StreamKernel::Triad:
+        a_[index] = kPoison;
+        break;
+    }
+}
+
+double
+runStream(StreamKernel k, StreamBuffers &buf)
+{
+    std::size_t n = buf.elems();
+    double *a = buf.a();
+    double *b = buf.b();
+    double *c = buf.c();
+    double t0 = now();
+    switch (k) {
+      case StreamKernel::Copy:
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = a[i];
+        break;
+      case StreamKernel::Scale:
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = kStreamScalar * c[i];
+        break;
+      case StreamKernel::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = a[i] + b[i];
+        break;
+      case StreamKernel::Triad:
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] = b[i] + kStreamScalar * c[i];
+        break;
+    }
+    return now() - t0;
+}
+
+std::uint64_t
+streamBytes(StreamKernel k, std::size_t elems)
+{
+    std::uint64_t n = elems;
+    switch (k) {
+      case StreamKernel::Copy:
+      case StreamKernel::Scale:
+        return 2 * n * sizeof(double); // one read + one write per elem
+      case StreamKernel::Add:
+      case StreamKernel::Triad:
+        return 3 * n * sizeof(double); // two reads + one write per elem
+    }
+    return 0;
+}
+
+CheckResult
+checkStream(StreamKernel k, const StreamBuffers &buf)
+{
+    // Each kernel reads arrays it never writes, so any number of passes
+    // over freshly init()ed buffers yields the same closed form:
+    //   copy:  c[i] = initA(i)
+    //   scale: b[i] = s * initC(i)
+    //   add:   c[i] = initA(i) + initB(i)
+    //   triad: a[i] = initB(i) + s * initC(i)
+    CheckResult r;
+    std::size_t n = buf.elems();
+    for (std::size_t i = 0; i < n; ++i) {
+        double expected = 0.0;
+        double got = 0.0;
+        switch (k) {
+          case StreamKernel::Copy:
+            expected = StreamBuffers::initA(i);
+            got = buf.c()[i];
+            break;
+          case StreamKernel::Scale:
+            expected = kStreamScalar * StreamBuffers::initC(i);
+            got = buf.b()[i];
+            break;
+          case StreamKernel::Add:
+            expected = StreamBuffers::initA(i) + StreamBuffers::initB(i);
+            got = buf.c()[i];
+            break;
+          case StreamKernel::Triad:
+            expected = StreamBuffers::initB(i) +
+                       kStreamScalar * StreamBuffers::initC(i);
+            got = buf.a()[i];
+            break;
+        }
+        if (got != expected) {
+            r.ok = false;
+            r.firstBadIndex = i;
+            r.expected = expected;
+            r.got = got;
+            return r;
+        }
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Pointer-chase latency kernel.
+
+ChaseRing::ChaseRing(std::size_t elems, std::uint64_t seed)
+{
+    if (elems < 2)
+        sim::fatal("native: chase ring needs at least 2 elements");
+    if (elems > UINT32_MAX)
+        sim::fatal("native: chase ring of %zu elements is too large", elems);
+    // Sattolo's algorithm: an in-place shuffle whose result is always a
+    // single cycle over all n indices (swap i with j < i, never j == i).
+    ring_.resize(elems);
+    for (std::size_t i = 0; i < elems; ++i)
+        ring_[i] = static_cast<std::uint32_t>(i);
+    sim::Rng rng(seed);
+    for (std::size_t i = elems - 1; i > 0; --i) {
+        auto j = static_cast<std::size_t>(rng.uniformInt(0, i - 1));
+        std::swap(ring_[i], ring_[j]);
+    }
+}
+
+CheckResult
+ChaseRing::validate() const
+{
+    CheckResult r;
+    std::size_t n = ring_.size();
+    // Walk the cycle from 0: after exactly n steps we must be back at 0
+    // having visited every index exactly once.
+    std::vector<bool> seen(n, false);
+    std::size_t at = 0;
+    for (std::size_t step = 0; step < n; ++step) {
+        if (seen[at]) {
+            // Revisit before the cycle closed: the ring is not one cycle.
+            r.ok = false;
+            r.firstBadIndex = at;
+            r.expected = 0.0;
+            r.got = 1.0;
+            return r;
+        }
+        seen[at] = true;
+        std::size_t next = ring_[at];
+        if (next >= n) {
+            r.ok = false;
+            r.firstBadIndex = at;
+            r.expected = static_cast<double>(n - 1);
+            r.got = static_cast<double>(next);
+            return r;
+        }
+        at = next;
+    }
+    if (at != 0) {
+        r.ok = false;
+        r.firstBadIndex = at;
+        r.expected = 0.0;
+        r.got = static_cast<double>(at);
+    }
+    return r;
+}
+
+void
+ChaseRing::corrupt(std::size_t index)
+{
+    if (index >= ring_.size())
+        sim::fatal("native: corrupt index %zu out of range (%zu elems)",
+                   index, ring_.size());
+    ring_[index] = static_cast<std::uint32_t>(index);
+}
+
+double
+ChaseRing::runChase(std::uint64_t steps, std::size_t &finalIndex) const
+{
+    const std::uint32_t *ring = ring_.data();
+    std::uint32_t at = 0;
+    double t0 = now();
+    for (std::uint64_t s = 0; s < steps; ++s)
+        at = ring[at]; // each load depends on the previous one
+    double elapsed = now() - t0;
+    finalIndex = at;
+    return elapsed;
+}
+
+std::size_t
+ChaseRing::expectedFinal(std::uint64_t steps) const
+{
+    // The ring is one cycle of length n, so a walk of `steps` loads is a
+    // walk of steps % n loads.
+    std::uint64_t effective = steps % ring_.size();
+    std::size_t at = 0;
+    for (std::uint64_t s = 0; s < effective; ++s)
+        at = ring_[at];
+    return at;
+}
+
+} // namespace cellbw::native

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Native host-memory kernels: the bandwidth suite on real silicon.
+ *
+ * The paper's method is "measure sustained bandwidth with
+ * controlled-access-pattern microbenchmarks"; this library applies the
+ * same method to the *host* memory hierarchy so sim-vs-native becomes
+ * a first-class comparison scenario:
+ *
+ *  - STREAM-shaped kernels (copy c=a, scale b=s*c, add c=a+b, triad
+ *    a=b+s*c) over aligned, prefaulted buffers, one timed pass per
+ *    repetition.
+ *
+ *  - A pointer-chase latency kernel over a seeded random cyclic
+ *    permutation (every load depends on the previous one, defeating
+ *    prefetchers), reporting nanoseconds per dependent access.
+ *
+ * Every kernel is checksum-validated: buffer initialization uses small
+ * dyadic rationals (exact in binary floating point) so each kernel's
+ * result has an exact closed form, and validation compares every
+ * element against it, reporting the FIRST divergent index on mismatch.
+ * The chase ring validates that its permutation is one full cycle and
+ * that the timed walk ended where an untimed reference walk says it
+ * must.  Both expose a corrupt() hook so tests can inject a failure
+ * and assert the diagnostic names the exact index.
+ *
+ * Unlike the simulator, these kernels measure wall-clock time: results
+ * are never bit-reproducible and must be gated by tolerances
+ * (`cellbw compare --tol`), not identity.
+ */
+
+#ifndef CELLBW_NATIVE_KERNELS_HH
+#define CELLBW_NATIVE_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellbw::native
+{
+
+/** Outcome of a kernel's checksum validation. */
+struct CheckResult
+{
+    bool ok = true;
+    /** First array index whose value diverges (valid when !ok). */
+    std::size_t firstBadIndex = 0;
+    double expected = 0.0; ///< what the closed form requires there
+    double got = 0.0;      ///< what the buffer actually holds
+
+    /** "checksum failed at index 17: expected 3.25, got 0" */
+    std::string describe() const;
+};
+
+// ---------------------------------------------------------------------
+// STREAM-shaped bandwidth kernels.
+
+enum class StreamKernel
+{
+    Copy,  ///< c[i] = a[i]           (2 x N x 8 bytes per pass)
+    Scale, ///< b[i] = s * c[i]       (2 x N x 8 bytes per pass)
+    Add,   ///< c[i] = a[i] + b[i]    (3 x N x 8 bytes per pass)
+    Triad, ///< a[i] = b[i] + s*c[i]  (3 x N x 8 bytes per pass)
+};
+
+const char *toString(StreamKernel k);
+
+/** The four kernels, in STREAM's canonical order. */
+const std::vector<StreamKernel> &allStreamKernels();
+
+/** The scalar STREAM's scale/triad use; exact in binary FP. */
+inline constexpr double kStreamScalar = 3.0;
+
+/**
+ * Three aligned (64 B), prefaulted double arrays of @p elems elements
+ * each, initialized to deterministic dyadic-rational patterns so every
+ * kernel's output is exactly predictable.
+ */
+class StreamBuffers
+{
+  public:
+    explicit StreamBuffers(std::size_t elems);
+    ~StreamBuffers();
+
+    StreamBuffers(const StreamBuffers &) = delete;
+    StreamBuffers &operator=(const StreamBuffers &) = delete;
+
+    std::size_t elems() const { return elems_; }
+
+    /** Reset a/b/c to the initial patterns (call before each kernel). */
+    void init();
+
+    /** Exact initial values (the closed forms build on these). */
+    static double initA(std::size_t i);
+    static double initB(std::size_t i);
+    static double initC(std::size_t i);
+
+    /**
+     * Overwrite one element of @p k's destination array with a value
+     * the closed form cannot produce — the checksum-failure injection
+     * hook.  check() must then report @p index as the first divergence
+     * (when no lower index was also corrupted).
+     */
+    void corrupt(StreamKernel k, std::size_t index);
+
+    double *a() { return a_; }
+    double *b() { return b_; }
+    double *c() { return c_; }
+    const double *a() const { return a_; }
+    const double *b() const { return b_; }
+    const double *c() const { return c_; }
+
+  private:
+    std::size_t elems_;
+    double *a_ = nullptr;
+    double *b_ = nullptr;
+    double *c_ = nullptr;
+};
+
+/**
+ * One timed pass of @p k over @p buf.
+ * @return seconds of wall-clock time the pass took (steady clock).
+ */
+double runStream(StreamKernel k, StreamBuffers &buf);
+
+/** Bytes one pass of @p k moves (STREAM counting: reads + writes). */
+std::uint64_t streamBytes(StreamKernel k, std::size_t elems);
+
+/**
+ * Validate @p k's destination array against its exact closed form.
+ * Assumes buf.init() ran before the first pass of @p k and no other
+ * kernel touched the buffers since (every kernel is idempotent over
+ * its own passes: inputs are never its own output).
+ */
+CheckResult checkStream(StreamKernel k, const StreamBuffers &buf);
+
+// ---------------------------------------------------------------------
+// Pointer-chase latency kernel.
+
+/**
+ * A random cyclic permutation of [0, elems): ring[i] is the index the
+ * chase visits after i.  Built with Sattolo's algorithm from a seeded
+ * PRNG, so a (seed, elems) pair always yields the same single cycle —
+ * the *layout* is deterministic even though the *timing* is not.
+ */
+class ChaseRing
+{
+  public:
+    /** Build the cycle for @p elems indices (elems >= 2). */
+    ChaseRing(std::size_t elems, std::uint64_t seed);
+
+    std::size_t elems() const { return ring_.size(); }
+
+    /**
+     * Check the ring is one full cycle over every index.  On a broken
+     * ring (corruption, injection) reports the first index where the
+     * walk diverges from a permutation — an out-of-range target or a
+     * revisited index.
+     */
+    CheckResult validate() const;
+
+    /** Injection hook: make ring[index] a self-loop (breaks the cycle). */
+    void corrupt(std::size_t index);
+
+    /**
+     * Chase @p steps dependent loads starting at index 0.
+     * @param finalIndex the index the walk ended on (for validation)
+     * @return seconds of wall-clock time for all @p steps loads
+     */
+    double runChase(std::uint64_t steps, std::size_t &finalIndex) const;
+
+    /** Where a @p steps walk from 0 must end (untimed reference). */
+    std::size_t expectedFinal(std::uint64_t steps) const;
+
+  private:
+    std::vector<std::uint32_t> ring_;
+};
+
+// ---------------------------------------------------------------------
+// Host-buffer plumbing shared by the kernels.
+
+/**
+ * Allocate @p bytes aligned to 64 B and prefault every page (touch at
+ * page stride) so first-touch page faults never land inside a timed
+ * region.  fatal()s on allocation failure.  Free with alignedFree().
+ */
+void *alignedAlloc(std::size_t bytes);
+void alignedFree(void *p);
+
+} // namespace cellbw::native
+
+#endif // CELLBW_NATIVE_KERNELS_HH

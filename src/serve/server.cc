@@ -324,6 +324,7 @@ Server::handleExperiments() const
         w.key("name").value(e->name);
         w.key("figure").value(e->figure);
         w.key("description").value(e->description);
+        w.key("backend").value(core::toString(e->backend));
         w.endObject();
     }
     w.endArray();
@@ -398,9 +399,36 @@ Server::handleRun(const HttpRequest &req, const std::string &peer)
         return makeError(404, "unknown experiment '" + name +
                                   "' (see GET /experiments)");
 
+    // An explicit "backend" in the request config must name a known
+    // backend and match the experiment's registration.
+    if (const util::JsonValue *b = body.find("backend")) {
+        if (!b->isString())
+            return makeError(400, "\"backend\" must be a string");
+        core::Backend requested;
+        if (!core::parseBackend(b->str(), requested)) {
+            return makeError(
+                400, "unknown backend '" + b->str() +
+                         "' (known backends: " +
+                         std::string(core::knownBackends()) + ")");
+        }
+        if (requested != e->backend) {
+            return makeError(400, "experiment '" + name +
+                                      "' runs on the " +
+                                      core::toString(e->backend) +
+                                      " backend, not '" + b->str() +
+                                      "'");
+        }
+    }
+    if (spec_.simOnly && e->backend == core::Backend::Native) {
+        metrics_.counter("serve.rejected_native").increment();
+        return makeError(403, "this daemon was started --sim-only; "
+                              "native-backend experiments are "
+                              "refused");
+    }
+
     // Validate the flags and compute the canonical cache identity
     // through the exact parse path `cellbw run` uses.
-    core::ExperimentContext ctx(e->name, e->description);
+    core::ExperimentContext ctx(e->name, e->description, e->backend);
     ctx.setQuiet(true);
     std::vector<std::string> argStore;
     argStore.push_back(e->name);
@@ -413,7 +441,7 @@ Server::handleRun(const HttpRequest &req, const std::string &peer)
     if (!ctx.parse(static_cast<int>(argv.size()), argv.data()))
         return makeError(400, "invalid experiment flags");
 
-    if (spec_.useCache) {
+    if (spec_.useCache && core::backendIsCacheable(e->backend)) {
         if (auto stored =
                 cache_.load(ctx.cacheKey(), ctx.cacheMaterial())) {
             metrics_.counter("serve.cache_hits").increment();
@@ -555,13 +583,27 @@ Server::runJob(const std::shared_ptr<Job> &job)
         job->state = Job::State::Running;
     }
 
+    const core::Experiment *e =
+        core::ExperimentRegistry::instance().find(job->experiment);
+    if (!e) {
+        // handleRun only admits registered names; the registry is
+        // immutable after static init, so this cannot happen.
+        job->finish(Job::State::Failed, nullptr,
+                    "experiment vanished from the registry");
+        coalescer_.finished(job->key);
+        return;
+    }
+
     // Exactly-once guard: a request probes the cache *before* it wins
     // the coalescer slot, so an identical run finishing in that window
     // (store -> coalescer.finished) would be invisible to it.  The
     // store is ordered before finished(), so re-probing here after
     // winning the slot closes the window: either we see the entry, or
-    // no identical run has completed and we are the one run.
-    if (spec_.useCache) {
+    // no identical run has completed and we are the one run.  Native
+    // jobs skip this (nothing is ever stored for them): coalescing
+    // still dedups concurrent identical requests, but every fresh
+    // request measures.
+    if (spec_.useCache && core::backendIsCacheable(e->backend)) {
         if (auto stored = cache_.load(job->key, job->material)) {
             metrics_.counter("serve.cache_hits").increment();
             {
@@ -575,17 +617,6 @@ Server::runJob(const std::shared_ptr<Job> &job)
             coalescer_.finished(job->key);
             return;
         }
-    }
-
-    const core::Experiment *e =
-        core::ExperimentRegistry::instance().find(job->experiment);
-    if (!e) {
-        // handleRun only admits registered names; the registry is
-        // immutable after static init, so this cannot happen.
-        job->finish(Job::State::Failed, nullptr,
-                    "experiment vanished from the registry");
-        coalescer_.finished(job->key);
-        return;
     }
     const std::string reportPath =
         spec_.spoolDir + "/" + job->id + ".json";
@@ -602,7 +633,7 @@ Server::runJob(const std::shared_ptr<Job> &job)
         argv.push_back(a.c_str());
 
     std::string err;
-    core::ExperimentContext ctx(e->name, e->description);
+    core::ExperimentContext ctx(e->name, e->description, e->backend);
     ctx.setQuiet(true);
     if (!ctx.parse(static_cast<int>(argv.size()), argv.data())) {
         err = "flag parse failed";

@@ -84,6 +84,11 @@ struct ServeSpec
     std::uint64_t cacheMaxBytes = 0;
     /** Where per-job report files are written. */
     std::string spoolDir = "cellbw-serve-spool";
+    /**
+     * Refuse native-backend experiments (403): a shared daemon's
+     * numbers should not depend on its own host load.
+     */
+    bool simOnly = false;
     /** Suppress per-request log lines. */
     bool terse = false;
 };

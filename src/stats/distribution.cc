@@ -117,6 +117,15 @@ Distribution::median() const
 }
 
 double
+Distribution::cv() const
+{
+    double m = mean();
+    if (samples_.empty() || m == 0.0)
+        return 0.0;
+    return 100.0 * stddev() / m;
+}
+
+double
 Distribution::quantile(double q) const
 {
     if (samples_.empty())

@@ -62,6 +62,18 @@ class Distribution
      */
     double quantile(double q) const;
 
+    /** The 95th percentile: quantile(0.95).  With one sample, that
+     *  sample. */
+    double p95() const { return quantile(0.95); }
+
+    /**
+     * Coefficient of variation as a percentage: 100 * stddev / mean.
+     * 0 when empty, when there is a single sample (stddev is 0), or
+     * when the mean is 0 (a zero-bandwidth point has no meaningful
+     * relative spread).
+     */
+    double cv() const;
+
     const std::vector<double> &samples() const { return samples_; }
 
   private:

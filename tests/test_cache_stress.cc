@@ -45,7 +45,7 @@ reportOf(int i)
 {
     // Real schema so load()'s validity check accepts it; a payload
     // big enough that a torn read would show up as a mismatch.
-    return "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e" +
+    return "{\"schema\":\"cellbw-bench-v3\",\"bench\":\"e" +
            std::to_string(i) + "\",\"pad\":\"" +
            std::string(2048, static_cast<char>('a' + i)) + "\"}\n";
 }

@@ -142,6 +142,30 @@ TEST(Compare, V1BaselineIsAccepted)
     EXPECT_TRUE(r.ok());
 }
 
+TEST(Compare, V2BaselineIsAccepted)
+{
+    auto r = compare(doc(point("results", "Get", 10.0)),
+                     doc(point("results", "Get", 10.0),
+                         "cellbw-bench-v2"));
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Compare, V3ReportsAreAccepted)
+{
+    // v3 on both sides, and v3 candidate against a v2 baseline (the
+    // committed-baseline upgrade path).
+    auto r = compare(doc(point("results", "Get", 10.0),
+                         "cellbw-bench-v3"),
+                     doc(point("results", "Get", 10.0),
+                         "cellbw-bench-v3"));
+    EXPECT_TRUE(r.ok());
+    auto up = compare(doc(point("results", "Get", 10.0),
+                          "cellbw-bench-v3"),
+                      doc(point("results", "Get", 10.0),
+                          "cellbw-bench-v2"));
+    EXPECT_TRUE(up.ok());
+}
+
 TEST(Compare, UnknownSchemaIsMalformed)
 {
     core::CompareResult result;

@@ -43,6 +43,11 @@ CELLBW_REGISTER_EXPERIMENT(test_registered_exp, "Test",
                            "a registered test experiment",
                            exitCodeBody)
 
+// A native-backend registration via the optional 5th macro argument.
+CELLBW_REGISTER_EXPERIMENT(test_native_exp, "Test N",
+                           "a registered native test experiment",
+                           trivialBody, core::Backend::Native)
+
 TEST(ExperimentRegistry, LookupAndList)
 {
     auto &reg = core::ExperimentRegistry::instance();
@@ -127,4 +132,64 @@ TEST(ExperimentContext, ComputesCacheKeyOnParse)
     EXPECT_EQ(ctx.cacheKey().size(), 16u);
     EXPECT_NE(ctx.cacheMaterial().find("experiment ctx_test"),
               std::string::npos);
+}
+
+TEST(ExperimentRegistry, BackendDefaultsToSimAndListsColumn)
+{
+    auto &reg = core::ExperimentRegistry::instance();
+    const auto *simExp = reg.find("test_registered_exp");
+    ASSERT_NE(simExp, nullptr);
+    EXPECT_EQ(simExp->backend, core::Backend::Sim);
+    const auto *natExp = reg.find("test_native_exp");
+    ASSERT_NE(natExp, nullptr);
+    EXPECT_EQ(natExp->backend, core::Backend::Native);
+
+    // The listing carries the backend column, and the filter narrows
+    // to one backend.
+    std::string all = reg.listText();
+    EXPECT_NE(all.find("test_native_exp"), std::string::npos);
+    std::string natOnly = reg.listText(core::Backend::Native);
+    EXPECT_NE(natOnly.find("test_native_exp"), std::string::npos);
+    EXPECT_NE(natOnly.find("native"), std::string::npos);
+    EXPECT_EQ(natOnly.find("test_registered_exp"), std::string::npos);
+    std::string simOnly = reg.listText(core::Backend::Sim);
+    EXPECT_EQ(simOnly.find("test_native_exp"), std::string::npos);
+    EXPECT_NE(simOnly.find("test_registered_exp"), std::string::npos);
+}
+
+TEST(ExperimentContext, RejectsUnknownBackendByName)
+{
+    core::ExperimentContext ctx("ctx_test", "d");
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(parseCtx(ctx, {"--backend", "gpu"}));
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("unknown backend 'gpu'"), std::string::npos);
+    EXPECT_NE(err.find("sim, native"), std::string::npos);
+}
+
+TEST(ExperimentContext, RejectsBackendMismatchingRegistration)
+{
+    core::ExperimentContext ctx("ctx_test", "d", core::Backend::Sim);
+    EXPECT_FALSE(parseCtx(ctx, {"--backend", "native"}));
+
+    core::ExperimentContext nat("ctx_test", "d", core::Backend::Native);
+    EXPECT_FALSE(parseCtx(nat, {"--backend", "sim"}));
+    core::ExperimentContext nat2("ctx_test", "d",
+                                 core::Backend::Native);
+    EXPECT_TRUE(parseCtx(nat2, {"--backend", "native"}));
+}
+
+TEST(ExperimentContext, WarmupDefaultsPerBackend)
+{
+    core::ExperimentContext sim("ctx_test", "d");
+    ASSERT_TRUE(parseCtx(sim, {}));
+    EXPECT_EQ(sim.repeat.warmup, 0u);
+
+    core::ExperimentContext nat("ctx_test", "d", core::Backend::Native);
+    ASSERT_TRUE(parseCtx(nat, {}));
+    EXPECT_EQ(nat.repeat.warmup, 1u);
+
+    core::ExperimentContext explicitWarm("ctx_test", "d");
+    ASSERT_TRUE(parseCtx(explicitWarm, {"--warmup", "3"}));
+    EXPECT_EQ(explicitWarm.repeat.warmup, 3u);
 }

@@ -196,9 +196,10 @@ TEST(JsonReport, GoldenSchema)
     rep.metrics().counter("eib0.packets").add(512);
 
     EXPECT_EQ(rep.render(),
-              "{\"schema\":\"cellbw-bench-v2\",\"schema_version\":2,"
+              "{\"schema\":\"cellbw-bench-v3\",\"schema_version\":3,"
               "\"bench\":\"bench_x\",\"experiment\":\"bench_x\","
               "\"figure\":\"Figure 1\",\"description\":\"a test\","
+              "\"backend\":\"sim\",\"reproducible\":true,"
               "\"config\":{\"runs\":10,\"ghz\":2.1,\"quick\":false,"
               "\"mode\":\"fast\",\"buf\":4096},"
               "\"points\":["
@@ -207,7 +208,7 @@ TEST(JsonReport, GoldenSchema)
               "\"metrics\":{\"eib0.packets\":512}}");
 }
 
-TEST(JsonReport, V2EnvelopeFields)
+TEST(JsonReport, V3EnvelopeFields)
 {
     util::Options opts("bench_x", "test bench");
     opts.addUint("runs", 10, "runs");
@@ -231,6 +232,19 @@ TEST(JsonReport, V2EnvelopeFields)
     // reports replay bit-identically regardless of --jobs/--json.
     EXPECT_EQ(doc.find("\"jobs\""), std::string::npos);
     EXPECT_NE(doc.find("\"runs\":10"), std::string::npos);
+    // v3: the backend defaults to sim/reproducible.
+    EXPECT_NE(doc.find("\"backend\":\"sim\""), std::string::npos);
+    EXPECT_NE(doc.find("\"reproducible\":true"), std::string::npos);
+}
+
+TEST(JsonReport, NativeBackendMarkedNonReproducible)
+{
+    core::JsonReport rep;
+    rep.setBench("native_x", "Native S", "a measurement");
+    rep.setBackend("native", false);
+    std::string doc = rep.render();
+    EXPECT_NE(doc.find("\"backend\":\"native\""), std::string::npos);
+    EXPECT_NE(doc.find("\"reproducible\":false"), std::string::npos);
 }
 
 TEST(JsonReport, NonNumericCellsStayStrings)

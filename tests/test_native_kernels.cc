@@ -1,0 +1,120 @@
+/** @file Tests for the native host-backend kernels. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "native/kernels.hh"
+#include "sim/logging.hh"
+
+using namespace cellbw;
+
+namespace
+{
+
+constexpr std::size_t kElems = 4096;
+
+} // namespace
+
+TEST(NativeStream, EveryKernelPassesItsChecksum)
+{
+    native::StreamBuffers bufs(kElems);
+    for (native::StreamKernel k : native::allStreamKernels()) {
+        bufs.init();
+        // Multiple passes must stay valid: no kernel reads an array it
+        // writes, so passes are idempotent.
+        native::runStream(k, bufs);
+        native::runStream(k, bufs);
+        native::CheckResult r = native::checkStream(k, bufs);
+        EXPECT_TRUE(r.ok) << native::toString(k) << ": " << r.describe();
+        EXPECT_EQ(r.describe(), "ok");
+    }
+}
+
+TEST(NativeStream, InjectedCorruptionReportsFirstDivergentIndex)
+{
+    for (native::StreamKernel k : native::allStreamKernels()) {
+        native::StreamBuffers bufs(kElems);
+        native::runStream(k, bufs);
+        const std::size_t bad = 1234;
+        bufs.corrupt(k, bad);
+        native::CheckResult r = native::checkStream(k, bufs);
+        ASSERT_FALSE(r.ok) << native::toString(k);
+        EXPECT_EQ(r.firstBadIndex, bad) << native::toString(k);
+        EXPECT_NE(r.describe().find("index 1234"), std::string::npos);
+
+        // With two corrupted elements, the FIRST one is reported.
+        bufs.corrupt(k, 17);
+        r = native::checkStream(k, bufs);
+        ASSERT_FALSE(r.ok);
+        EXPECT_EQ(r.firstBadIndex, 17u);
+    }
+}
+
+TEST(NativeStream, BytesFollowStreamCounting)
+{
+    using native::StreamKernel;
+    EXPECT_EQ(native::streamBytes(StreamKernel::Copy, 100), 1600u);
+    EXPECT_EQ(native::streamBytes(StreamKernel::Scale, 100), 1600u);
+    EXPECT_EQ(native::streamBytes(StreamKernel::Add, 100), 2400u);
+    EXPECT_EQ(native::streamBytes(StreamKernel::Triad, 100), 2400u);
+}
+
+TEST(NativeChase, RingIsOneSeededCycle)
+{
+    native::ChaseRing ring(kElems, 42);
+    native::CheckResult r = ring.validate();
+    EXPECT_TRUE(r.ok) << r.describe();
+
+    // Same (elems, seed) -> same layout: the reference walk agrees.
+    native::ChaseRing again(kElems, 42);
+    EXPECT_EQ(ring.expectedFinal(kElems / 2),
+              again.expectedFinal(kElems / 2));
+
+    // A full lap of a single cycle returns to the start.
+    EXPECT_EQ(ring.expectedFinal(kElems), 0u);
+}
+
+TEST(NativeChase, InjectedSelfLoopReportsDivergentIndex)
+{
+    native::ChaseRing ring(kElems, 42);
+    const std::size_t bad = 99;
+    ring.corrupt(bad);
+    native::CheckResult r = ring.validate();
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.firstBadIndex, bad);
+    EXPECT_NE(r.describe().find("index 99"), std::string::npos);
+}
+
+TEST(NativeChase, TimedWalkEndsWhereTheReferenceWalkSays)
+{
+    native::ChaseRing ring(kElems, 7);
+    std::size_t end = 0;
+    double secs = ring.runChase(3 * kElems + 5, end);
+    EXPECT_GE(secs, 0.0);
+    EXPECT_EQ(end, ring.expectedFinal(3 * kElems + 5));
+}
+
+TEST(NativeChase, TinyRingsAreRejected)
+{
+    EXPECT_THROW(native::ChaseRing(1, 42), sim::FatalError);
+}
+
+TEST(NativeBuffers, InitPatternsAreExactDyadicRationals)
+{
+    // The checksum contract rests on exact binary representability:
+    // every init value is a small multiple of 1/8 and every kernel
+    // output is a sum/product of them with scalar 3.0.
+    for (std::size_t i = 0; i < 64; ++i) {
+        double a = native::StreamBuffers::initA(i);
+        double b = native::StreamBuffers::initB(i);
+        double c = native::StreamBuffers::initC(i);
+        EXPECT_EQ(a * 8.0, static_cast<double>(
+                               static_cast<std::int64_t>(a * 8.0)));
+        EXPECT_EQ(b * 8.0, static_cast<double>(
+                               static_cast<std::int64_t>(b * 8.0)));
+        EXPECT_EQ(c * 8.0, static_cast<double>(
+                               static_cast<std::int64_t>(c * 8.0)));
+    }
+}

@@ -87,6 +87,24 @@ TEST(ResultCache, KeyDependsOnExperimentName)
     EXPECT_NE(a.cacheKey(), b.cacheKey());
 }
 
+TEST(ResultCache, SimAndNativeBackendsNeverShareAKey)
+{
+    // The backend is canonical config: the same experiment name with
+    // identical flags must hash differently per backend, so a native
+    // measurement can never collide with (or replay as) a sim result.
+    core::ExperimentContext sim("exp_x", "d", core::Backend::Sim);
+    core::ExperimentContext nat("exp_x", "d", core::Backend::Native);
+    const char *argv[] = {"prog", "--quick", "--warmup", "0"};
+    ASSERT_TRUE(sim.parse(4, argv));
+    ASSERT_TRUE(nat.parse(4, argv));
+    EXPECT_NE(sim.cacheKey(), nat.cacheKey());
+    EXPECT_NE(sim.cacheMaterial(), nat.cacheMaterial());
+    EXPECT_NE(sim.cacheMaterial().find("backend=sim"),
+              std::string::npos);
+    EXPECT_NE(nat.cacheMaterial().find("backend=native"),
+              std::string::npos);
+}
+
 TEST(ResultCache, MaterialNamesSaltAndExperiment)
 {
     auto [material, key] = keyOf({"--quick"});
@@ -103,7 +121,7 @@ TEST(ResultCache, StoreThenLoadIsBitIdentical)
     const std::string material = "salt x\nexperiment e\nopt runs=2\n";
     const std::string key = core::ResultCache::hashKey(material);
     const std::string report =
-        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+        "{\"schema\":\"cellbw-bench-v3\",\"bench\":\"e\"}\n";
 
     EXPECT_FALSE(cache.load(key, material).has_value());
     ASSERT_TRUE(cache.store(key, material, report));
@@ -118,7 +136,7 @@ TEST(ResultCache, MaterialMismatchIsAMiss)
     const std::string material = "salt x\nexperiment e\n";
     const std::string key = core::ResultCache::hashKey(material);
     const std::string report =
-        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+        "{\"schema\":\"cellbw-bench-v3\",\"bench\":\"e\"}\n";
     ASSERT_TRUE(cache.store(key, material, report));
     // Same key, different material: a collision (or corrupted entry)
     // must degrade to a miss, never a wrong replay.
@@ -133,7 +151,7 @@ TEST(ResultCache, DamagedReportBytesAreAMiss)
     const std::string material = "salt x\nexperiment e\n";
     const std::string key = core::ResultCache::hashKey(material);
     const std::string report =
-        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"e\"}\n";
+        "{\"schema\":\"cellbw-bench-v3\",\"bench\":\"e\"}\n";
     ASSERT_TRUE(cache.store(key, material, report));
     ASSERT_TRUE(cache.load(key, material).has_value());
 
@@ -163,7 +181,7 @@ putEntry(const core::ResultCache &cache, const std::string &name)
     const std::string material = "salt x\nexperiment " + name + "\n";
     const std::string key = core::ResultCache::hashKey(material);
     const std::string report =
-        "{\"schema\":\"cellbw-bench-v2\",\"bench\":\"" + name + "\"}\n";
+        "{\"schema\":\"cellbw-bench-v3\",\"bench\":\"" + name + "\"}\n";
     EXPECT_TRUE(cache.store(key, material, report));
     return {key, material};
 }
@@ -329,7 +347,7 @@ TEST(ResultCache, PruneSkipsEntriesItCannotStat)
     // fs::exists() passes, fs::file_size() errors.
     std::filesystem::create_directories(root + "/zz");
     std::ofstream(root + "/zz/phantom.json")
-        << "{\"schema\":\"cellbw-bench-v2\"}\n";
+        << "{\"schema\":\"cellbw-bench-v3\"}\n";
     std::filesystem::create_directories(root + "/zz/phantom.key");
 
     auto scan = cache.prune(std::uint64_t(1) << 40);

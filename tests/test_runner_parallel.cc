@@ -52,6 +52,27 @@ TEST(ParallelRunner, ParallelMatchesSerialBitIdentically)
     }
 }
 
+TEST(ParallelRunner, WarmupShiftsSeedsAndDiscardsSamples)
+{
+    // The warmup contract: (seed=s, warmup=w) records exactly the
+    // samples of (seed=s+w, warmup=0).  That identity is what lets the
+    // sim default of 0 keep every existing report byte-identical.
+    cell::CellConfig cfg;
+    core::RepeatSpec warm;
+    warm.runs = 4;
+    warm.seed = 42;
+    warm.warmup = 2;
+    core::RepeatSpec shifted;
+    shifted.runs = 4;
+    shifted.seed = 44;
+    auto a = core::repeatRuns(cfg, warm, speSpeBody,
+                              core::ParallelSpec{1});
+    auto b = core::repeatRuns(cfg, shifted, speSpeBody,
+                              core::ParallelSpec{1});
+    EXPECT_EQ(a.samples(), b.samples());
+    EXPECT_EQ(a.count(), 4u);
+}
+
 TEST(ParallelRunner, MetricsAccumulateIdenticallyForAnyJobCount)
 {
     // The --json path: every run snapshots its counters into one

@@ -70,6 +70,12 @@ CELLBW_REGISTER_EXPERIMENT(serve_test_exp, "Test",
                            "synthetic instant experiment for serve "
                            "tests", serveTestBody)
 
+// A native-backend registration so the --sim-only gate has something
+// to refuse.  The body itself is synthetic and instant.
+CELLBW_REGISTER_EXPERIMENT(serve_native_test_exp, "Test N",
+                           "synthetic native experiment for serve "
+                           "tests", serveTestBody, core::Backend::Native)
+
 // ---------------------------------------------------------------------
 // HTTP wire format.
 
@@ -319,7 +325,8 @@ get(std::uint16_t port, const std::string &target)
 class ServerFixture
 {
   public:
-    explicit ServerFixture(const char *name, bool useCache = true)
+    explicit ServerFixture(const char *name, bool useCache = true,
+                           bool simOnly = false)
     {
         root_ = testing::TempDir() + "cellbw_serve_test_" + name;
         std::filesystem::remove_all(root_);
@@ -331,6 +338,7 @@ class ServerFixture
         spec.useCache = useCache;
         spec.spoolDir = root_ + "/spool";
         spec.terse = true;
+        spec.simOnly = simOnly;
         server_ = std::make_unique<serve::Server>(spec);
         started_ = server_->start();
         if (started_)
@@ -540,6 +548,81 @@ TEST(Serve, RejectsBadRequests)
                    "\"args\":[\"--no-such-flag\"]}").status, 400);
     auto raw = httpRoundTrip(fx.port(), "garbage\r\n\r\n");
     EXPECT_EQ(raw.status, 400);
+}
+
+TEST(Serve, BackendFieldIsValidatedAgainstTheRegistration)
+{
+    ServerFixture fx("backend");
+    ASSERT_TRUE(fx.started());
+
+    // Naming the registered backend explicitly is accepted...
+    auto ok = post(fx.port(), "/run",
+                   "{\"experiment\":\"serve_test_exp\","
+                   "\"backend\":\"sim\","
+                   "\"args\":[\"--seed\",\"66\"]}");
+    EXPECT_EQ(ok.status, 200);
+
+    // ...an unknown backend, a mismatching one, and a non-string
+    // value are all 400s.
+    EXPECT_EQ(post(fx.port(), "/run",
+                   "{\"experiment\":\"serve_test_exp\","
+                   "\"backend\":\"gpu\"}").status, 400);
+    auto mismatch = post(fx.port(), "/run",
+                         "{\"experiment\":\"serve_test_exp\","
+                         "\"backend\":\"native\"}");
+    EXPECT_EQ(mismatch.status, 400);
+    EXPECT_NE(mismatch.body.find("sim"), std::string::npos);
+    EXPECT_EQ(post(fx.port(), "/run",
+                   "{\"experiment\":\"serve_test_exp\","
+                   "\"backend\":7}").status, 400);
+}
+
+TEST(Serve, SimOnlyRefusesNativeExperimentsWith403)
+{
+    ServerFixture fx("simonly", /*useCache=*/true, /*simOnly=*/true);
+    ASSERT_TRUE(fx.started());
+
+    // Sim experiments still run...
+    auto sim = post(fx.port(), "/run",
+                    "{\"experiment\":\"serve_test_exp\","
+                    "\"args\":[\"--seed\",\"77\"]}");
+    EXPECT_EQ(sim.status, 200);
+
+    // ...native ones are refused with a reason, and the refusal is
+    // counted.
+    auto nat = post(fx.port(), "/run",
+                    "{\"experiment\":\"serve_native_test_exp\"}");
+    EXPECT_EQ(nat.status, 403);
+    EXPECT_NE(nat.body.find("--sim-only"), std::string::npos);
+    EXPECT_GE(fx.server()
+                  .metrics()
+                  .counter("serve.rejected_native")
+                  .value(),
+              1u);
+}
+
+TEST(Serve, NativeRunsWorkWhenNotSimOnly)
+{
+    // The default daemon accepts native experiments; the synthetic
+    // body makes this a routing test, not a measurement test.
+    ServerFixture fx("native");
+    ASSERT_TRUE(fx.started());
+    auto nat = post(fx.port(), "/run",
+                    "{\"experiment\":\"serve_native_test_exp\","
+                    "\"backend\":\"native\","
+                    "\"args\":[\"--seed\",\"88\"]}");
+    EXPECT_EQ(nat.status, 200);
+    EXPECT_NE(nat.body.find("\"backend\":\"native\""),
+              std::string::npos);
+    EXPECT_NE(nat.body.find("\"reproducible\":false"),
+              std::string::npos);
+    // Native results never come from nor land in the result cache.
+    EXPECT_EQ(nat.headers["x-cellbw-cache"], "miss");
+    auto again = post(fx.port(), "/run",
+                      "{\"experiment\":\"serve_native_test_exp\","
+                      "\"args\":[\"--seed\",\"88\"]}");
+    EXPECT_EQ(again.status, 200);
+    EXPECT_EQ(again.headers["x-cellbw-cache"], "miss");
 }
 
 TEST(Serve, DrainingRejectsNewRunsWith503)

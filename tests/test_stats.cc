@@ -102,6 +102,45 @@ TEST(Distribution, EmptyIsAllZero)
     EXPECT_DOUBLE_EQ(d.median(), 0.0);
     EXPECT_DOUBLE_EQ(d.min(), 0.0);
     EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.p95(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cv(), 0.0);
+}
+
+TEST(Distribution, P95InterpolatesOrderStatistics)
+{
+    stats::Distribution d;
+    // 21 evenly spaced samples 0..100: quantiles are exact positions.
+    for (int i = 0; i <= 20; ++i)
+        d.add(i * 5.0);
+    EXPECT_DOUBLE_EQ(d.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(d.median(), 50.0);
+}
+
+TEST(Distribution, CvIsRelativeStddevPercent)
+{
+    stats::Distribution d;
+    for (double v : {4.0, 2.0, 8.0, 6.0})    // mean 5, stddev ~2.582
+        d.add(v);
+    EXPECT_NEAR(d.cv(), 100.0 * 2.5819888974716116 / 5.0, 1e-9);
+
+    // An all-zero distribution has mean 0; CV must degrade to 0, not
+    // NaN/inf.
+    stats::Distribution z;
+    z.add(0.0);
+    z.add(0.0);
+    EXPECT_DOUBLE_EQ(z.cv(), 0.0);
+}
+
+TEST(Distribution, SingleSampleStatisticsAreDegenerate)
+{
+    // n=1: median and p95 are the sample, stddev/CV are 0 — the native
+    // table with --runs 1 must stay finite.
+    stats::Distribution d;
+    d.add(7.5);
+    EXPECT_DOUBLE_EQ(d.median(), 7.5);
+    EXPECT_DOUBLE_EQ(d.p95(), 7.5);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cv(), 0.0);
 }
 
 TEST(Distribution, AddAfterQueryResorts)
