@@ -16,31 +16,55 @@ CellSystem::CellSystem(const CellConfig &cfg, std::uint64_t placementSeed)
     : cfg_(cfg), placementSeed_(placementSeed)
 {
     unsigned slots = cfg_.numChips * eib::numPhysicalSpes;
-    if (cfg_.numChips < 1 || cfg_.numChips > 2)
-        sim::fatal("numChips must be 1 or 2");
+    if (cfg_.numChips < 1) {
+        sim::fatal("numChips must be at least 1");
+    } else if (cfg_.numChips > kMaxChips) {
+        sim::fatal("numChips %u exceeds the flight handle's %u-bit chip "
+                   "field (max %u chips)", cfg_.numChips,
+                   32 - kChipShift, kMaxChips);
+    }
     if (cfg_.numSpes == 0 || cfg_.numSpes > slots)
         sim::fatal("numSpes must be 1..%u with %u chip(s)", slots,
                    cfg_.numChips);
+    // The cluster shape is authoritative here: tests and workloads set
+    // numChips/numBlades on the CellConfig directly, so sync the
+    // memory system's copy instead of trusting fromOptions to have run.
+    cfg_.memory.numChips = cfg_.numChips;
+    cfg_.memory.numBlades = cfg_.numBlades;
+    const auto shape = eib::ClusterShape::of(
+        std::max(cfg_.numChips, 2u), cfg_.numBlades);
+    if (!shape.valid()) {
+        sim::fatal("invalid cluster shape: %u chips on %u blades",
+                   cfg_.numChips, cfg_.numBlades);
+    }
 
     if (cfg_.numChips == 1) {
         eq_ = std::make_unique<sim::EventQueue>();
         memory_ =
             std::make_unique<mem::MemorySystem>("mem", *eq_, cfg_.memory);
     } else {
-        // Each chip is a partition; the IOIF crossing latency is the
-        // conservative lookahead (nothing on one chip can affect the
-        // other sooner than one crossing).
+        // Each chip is a partition; the smallest link crossing latency
+        // is the conservative lookahead (nothing on one chip can affect
+        // another sooner than one crossing).
+        Tick lookahead = cfg_.memory.ioLink.crossingLatency;
+        shape.forEachLink([&](unsigned, unsigned, bool interBlade) {
+            if (interBlade) {
+                lookahead = std::min(
+                    lookahead, cfg_.memory.bladeLink.crossingLatency);
+            }
+        });
         engine_ = std::make_unique<sim::PartitionedEngine>(
-            cfg_.numChips, cfg_.memory.ioLink.crossingLatency);
+            cfg_.numChips, lookahead);
+        std::vector<sim::EventQueue *> bankQueues;
+        for (unsigned c = 0; c < cfg_.numChips; ++c)
+            bankQueues.push_back(&engine_->queue(c));
         memory_ = std::make_unique<mem::MemorySystem>(
-            "mem", engine_->queue(0), cfg_.memory, &engine_->queue(1));
-        memory_->ioLink().setPartitioned(
-            &engine_->queue(0), &engine_->queue(1),
-            [this](mem::IoLink::Dir dir, Tick when,
+            "mem", engine_->queue(0), cfg_.memory, bankQueues);
+        memory_->links().setPartitioned(
+            [this](unsigned c) { return &engine_->queue(c); },
+            [this](unsigned src, unsigned dst, Tick when,
                    mem::IoLink::CrossingFn fn) {
-                unsigned src =
-                    (dir == mem::IoLink::Dir::Outbound) ? 0u : 1u;
-                engine_->post(src, 1 - src, when, std::move(fn));
+                engine_->post(src, dst, when, std::move(fn));
             });
         memory_->setPartitioned([this](unsigned src, unsigned dst,
                                        Tick when,
@@ -475,13 +499,15 @@ CellSystem::lsLand(std::uint32_t h)
 }
 
 /**
- * Memory routing, partitioned (numChips == 2).  Chip-local lines stay
+ * Memory routing, partitioned (numChips >= 2).  Chip-local lines stay
  * entirely on the issuing chip's queue.  A crossing line's far-side
- * stages (the other chip's bank and EIB) run on the far partition and
+ * stages (the target chip's bank and EIB) run on the far partition and
  * must not touch the home chip's arena — the arena vector can grow
  * concurrently — so they carry their routing state ({ea, bytes, handle,
- * home chip}) and, on the way home, the 128-byte payload by value
- * inside the cross-partition message.
+ * home and far chips}) and, on the way home, the 128-byte payload by
+ * value inside the cross-partition message.  Multi-hop routes (other
+ * blade) serialize on every link: LinkGraph::sendData re-posts from
+ * each intermediate chip's partition.
  */
 void
 CellSystem::partMemory(spe::LineRequest &&req)
@@ -505,14 +531,15 @@ CellSystem::partMemory(spe::LineRequest &&req)
         if (!crossing) {
             queue(sc).schedule(cmd, [this, h] { partMemGetAccess(h); });
         } else {
-            // The command phase crosses the blade: continue on the
-            // bank's chip, one crossing latency later.
-            const Tick L = memory_->ioLink().crossingLatency();
+            // The command phase crosses to the bank's chip (latency
+            // only — commands are tiny — but it pays every link of the
+            // route).
+            const Tick L = memory_->links().pathLatency(sc, bank);
             engine_->post(
                 sc, bank, queue(sc).now() + cmd + L,
                 sim::PartitionedEngine::ChannelFn(
-                    [this, ea, bytes, h, sc] {
-                        partMemGetFar(ea, bytes, h, sc);
+                    [this, ea, bytes, h, sc, bank] {
+                        partMemGetFar(ea, bytes, h, sc, bank);
                     }));
         }
     } else {
@@ -564,40 +591,43 @@ CellSystem::partMemGetLand(std::uint32_t h)
 
 void
 CellSystem::partMemGetFar(EffAddr ea, std::uint32_t bytes,
-                          std::uint32_t h, unsigned homeChip)
+                          std::uint32_t h, unsigned homeChip,
+                          unsigned farChip)
 {
-    memory_->bank(1 - homeChip)
-        .access(ea, bytes, false, [this, ea, bytes, h, homeChip] {
-            partMemGetFarRide(ea, bytes, h, homeChip);
+    memory_->bank(farChip).access(
+        ea, bytes, false, [this, ea, bytes, h, homeChip, farChip] {
+            partMemGetFarRide(ea, bytes, h, homeChip, farChip);
         });
 }
 
 void
 CellSystem::partMemGetFarRide(EffAddr ea, std::uint32_t bytes,
-                              std::uint32_t h, unsigned homeChip)
+                              std::uint32_t h, unsigned homeChip,
+                              unsigned farChip)
 {
-    eibs_[1 - homeChip]->transfer(eib::micRamp, eib::ioif0Ramp, bytes,
-                                  [this, ea, bytes, h, homeChip] {
-                                      partMemGetFarCross(ea, bytes, h,
-                                                         homeChip);
-                                  });
+    eibs_[farChip]->transfer(eib::micRamp, eib::ioif0Ramp, bytes,
+                             [this, ea, bytes, h, homeChip, farChip] {
+                                 partMemGetFarCross(ea, bytes, h,
+                                                    homeChip, farChip);
+                             });
 }
 
 void
 CellSystem::partMemGetFarCross(EffAddr ea, std::uint32_t bytes,
-                               std::uint32_t h, unsigned homeChip)
+                               std::uint32_t h, unsigned homeChip,
+                               unsigned farChip)
 {
     // The data leaves the far chip here: read it out of the backing
-    // store now and let the crossing message carry it home by value.
+    // store now and let the crossing message carry it home by value
+    // (serializing on every link of the route back).
     std::uint8_t buf[spe::lineBytes];
     memory_->store().read(ea, buf, bytes);
-    auto lane = (homeChip == 0) ? mem::IoLink::Dir::Inbound
-                                : mem::IoLink::Dir::Outbound;
-    memory_->ioLink().send(lane, bytes, [this, h, bytes, buf] {
-        Flight &f = flight(h);
-        std::memcpy(f.payload, buf, bytes);
-        partMemGetHome(h);
-    });
+    memory_->links().sendData(farChip, homeChip, bytes,
+                              [this, h, bytes, buf] {
+                                  Flight &f = flight(h);
+                                  std::memcpy(f.payload, buf, bytes);
+                                  partMemGetHome(h);
+                              });
 }
 
 void
@@ -652,29 +682,30 @@ CellSystem::partMemPutCross(std::uint32_t h)
     EffAddr ea = f.req.ea;
     std::uint32_t bytes = f.req.bytes;
     unsigned home = f.srcChip;
-    auto lane = (f.bank == 0) ? mem::IoLink::Dir::Inbound
-                              : mem::IoLink::Dir::Outbound;
-    memory_->ioLink().send(
-        lane, bytes, [this, ea, bytes, h, home, buf] {
+    unsigned far = f.bank;
+    memory_->links().sendData(
+        home, far, bytes, [this, ea, bytes, h, home, far, buf] {
             // Far chip: land the data and ride the far EIB to the MIC.
             memory_->store().write(ea, buf, bytes);
-            eibs_[1 - home]->transfer(eib::ioif0Ramp, eib::micRamp,
-                                      bytes, [this, ea, bytes, h, home] {
-                                          partMemPutFarRide(ea, bytes, h,
-                                                            home);
-                                      });
+            eibs_[far]->transfer(eib::ioif0Ramp, eib::micRamp, bytes,
+                                 [this, ea, bytes, h, home, far] {
+                                     partMemPutFarRide(ea, bytes, h,
+                                                       home, far);
+                                 });
         });
 }
 
 void
 CellSystem::partMemPutFarRide(EffAddr ea, std::uint32_t bytes,
-                              std::uint32_t h, unsigned homeChip)
+                              std::uint32_t h, unsigned homeChip,
+                              unsigned farChip)
 {
-    unsigned far = 1 - homeChip;
-    Tick completion = memory_->bank(far).reserveAccess(ea, bytes, true);
-    // The write acknowledgment crosses back to the issuing chip.
-    const Tick L = memory_->ioLink().crossingLatency();
-    engine_->post(far, homeChip, completion + L,
+    Tick completion =
+        memory_->bank(farChip).reserveAccess(ea, bytes, true);
+    // The write acknowledgment crosses back to the issuing chip
+    // (latency only, every link of the route).
+    const Tick L = memory_->links().pathLatency(farChip, homeChip);
+    engine_->post(farChip, homeChip, completion + L,
                   sim::PartitionedEngine::ChannelFn(
                       [this, h] { finishFlight(h); }));
 }
@@ -722,15 +753,15 @@ CellSystem::partLocalStore(spe::LineRequest &&req)
         // The command crosses to the data-holding chip; everything the
         // far side needs travels by value.
         Tick cmd = cfg_.clock.busCycles(cfg_.remoteCmdLatencyBus) +
-                   memory_->ioLink().crossingLatency();
+                   memory_->links().pathLatency(ic, pc);
         std::uint16_t peer = f.srcSpe;
         LsAddr peerLsa = f.srcLsa;
         engine_->post(ic, pc, queue(ic).now() + cmd,
                       sim::PartitionedEngine::ChannelFn(
-                          [this, peer, peerLsa, bytes, h, ic] {
+                          [this, peer, peerLsa, bytes, h, ic, pc] {
                               Tick read_done =
                                   spes_[peer]->ls().reservePort(bytes);
-                              queue(1 - ic).scheduleAt(
+                              queue(pc).scheduleAt(
                                   read_done,
                                   [this, peer, peerLsa, bytes, h, ic] {
                                       partLsGetFarRideFrom(peer, peerLsa,
@@ -796,20 +827,23 @@ CellSystem::partLsGetFarRideFrom(std::uint16_t peer, LsAddr peerLsa,
                                  std::uint32_t bytes, std::uint32_t h,
                                  unsigned homeChip)
 {
-    eibs_[1 - homeChip]->transfer(
+    // chipOf only reads the placement table, which is immutable once
+    // the system is built, so the far partition may call it.
+    unsigned peerChip = chipOf(peer);
+    eibs_[peerChip]->transfer(
         rampOf(peer), eib::ioif0Ramp, bytes,
-        [this, peer, peerLsa, bytes, h, homeChip] {
+        [this, peer, peerLsa, bytes, h, homeChip, peerChip] {
             // The data leaves the peer chip: read the peer LS now and
             // carry the line home inside the crossing message.
             std::uint8_t buf[spe::lineBytes];
             spes_[peer]->ls().read(peerLsa, buf, bytes);
-            auto lane = (homeChip == 0) ? mem::IoLink::Dir::Inbound
-                                        : mem::IoLink::Dir::Outbound;
-            memory_->ioLink().send(lane, bytes, [this, h, bytes, buf] {
-                Flight &f = flight(h);
-                std::memcpy(f.payload, buf, bytes);
-                partLsGetHome(h);
-            });
+            memory_->links().sendData(peerChip, homeChip, bytes,
+                                      [this, h, bytes, buf] {
+                                          Flight &f = flight(h);
+                                          std::memcpy(f.payload, buf,
+                                                      bytes);
+                                          partLsGetHome(h);
+                                      });
         });
 }
 
@@ -833,23 +867,22 @@ CellSystem::partLsPutCross(std::uint32_t h)
     bool corrupt = f.req.corrupt;
     std::uint32_t bytes = f.req.bytes;
     unsigned home = f.srcChip;
-    auto lane = (home == 0) ? mem::IoLink::Dir::Outbound
-                            : mem::IoLink::Dir::Inbound;
-    memory_->ioLink().send(
-        lane, bytes,
-        [this, dstSpe, dstLsa, corrupt, bytes, h, home, buf] {
+    unsigned dc = chipOf(f.dstSpe);
+    memory_->links().sendData(
+        home, dc, bytes,
+        [this, dstSpe, dstLsa, corrupt, bytes, h, home, dc, buf] {
             // Destination chip: park the line in a local flight slot
             // for the ride from the IOIF ramp to the target LS.
             spe::LineRequest tmp{};
             tmp.bytes = bytes;
             tmp.corrupt = corrupt;
-            std::uint32_t h2 = acquireFlight(1 - home, std::move(tmp));
+            std::uint32_t h2 = acquireFlight(dc, std::move(tmp));
             Flight &t = flight(h2);
             t.dstSpe = dstSpe;
             t.dstLsa = dstLsa;
             t.srcChip = static_cast<std::uint8_t>(home);
             std::memcpy(t.payload, buf, bytes);
-            eibs_[1 - home]->transfer(
+            eibs_[dc]->transfer(
                 eib::ioif0Ramp, rampOf(dstSpe), bytes,
                 [this, h2, h, home] { partLsPutFarLand(h2, h, home); });
         });
@@ -860,6 +893,7 @@ CellSystem::partLsPutFarLand(std::uint32_t tempH, std::uint32_t homeH,
                              unsigned homeChip)
 {
     Flight &t = flight(tempH);
+    unsigned dc = tempH >> kChipShift;
     spe::Spe *dst = spes_[t.dstSpe].get();
     Tick done_at = dst->ls().reservePort(t.req.bytes);
     if (t.req.corrupt)
@@ -867,8 +901,8 @@ CellSystem::partLsPutFarLand(std::uint32_t tempH, std::uint32_t homeH,
     dst->ls().write(t.dstLsa, t.payload, t.req.bytes);
     releaseFlight(tempH);
     // The completion acknowledgment crosses back to the issuing chip.
-    const Tick L = memory_->ioLink().crossingLatency();
-    engine_->post(1 - homeChip, homeChip, done_at + L,
+    const Tick L = memory_->links().pathLatency(dc, homeChip);
+    engine_->post(dc, homeChip, done_at + L,
                   sim::PartitionedEngine::ChannelFn(
                       [this, homeH] { finishFlight(homeH); }));
 }

@@ -11,11 +11,13 @@
  * beyond Random are the extension the paper asks libspe for).
  *
  * Execution engines.  A single-chip system runs on one event queue.
- * With numChips == 2 each chip becomes a partition of a conservative
+ * With numChips >= 2 each chip becomes a partition of a conservative
  * parallel engine (sim::PartitionedEngine): chip-local routing stays on
- * the chip's own queue, and anything that crosses the IOIF travels as a
+ * the chip's own queue, and anything that crosses a link (the on-blade
+ * IOIF or an inter-blade link — see mem::LinkGraph) travels as a
  * cross-partition message delivered at least one crossing latency
- * later.  The partitioned schedule is fixed — --sim-jobs only chooses
+ * later; multi-hop routes re-enter the router at each intermediate
+ * chip.  The partitioned schedule is fixed — --sim-jobs only chooses
  * how many worker threads execute it, so reports are bit-identical for
  * any value.
  *
@@ -65,6 +67,12 @@ constexpr EffAddr lsEaStride = 1ull << 24;
 class CellSystem
 {
   public:
+    /** Chip in the top handle bits so stages capture one word. */
+    static constexpr std::uint32_t kChipShift = 28;
+
+    /** The flight handle's chip field bounds the cluster size. */
+    static constexpr unsigned kMaxChips = 1u << (32 - kChipShift);
+
     CellSystem(const CellConfig &cfg, std::uint64_t placementSeed);
     ~CellSystem();
 
@@ -174,8 +182,8 @@ class CellSystem
      */
     unsigned runThreads() const;
 
-    /** @name Placement introspection.  With two chips, physical SPE
-     *        slots 0-7 live on chip 0 and 8-15 on chip 1. */
+    /** @name Placement introspection.  Physical SPE slots 8c..8c+7
+     *        live on chip c. */
     /** @{ */
     unsigned physicalOf(unsigned logical) const;
     unsigned chipOf(unsigned logical) const;
@@ -241,9 +249,6 @@ class CellSystem
         std::uint32_t free_ = kNone;
     };
 
-    /** Chip in the top handle bits so stages capture one word. */
-    static constexpr std::uint32_t kChipShift = 28;
-
     std::uint32_t
     acquireFlight(unsigned chip, spe::LineRequest &&req)
     {
@@ -290,7 +295,9 @@ class CellSystem
     void lsLand(std::uint32_t h);
     /** @} */
 
-    /** @name Partitioned routing stages (numChips == 2). */
+    /** @name Partitioned routing stages (numChips >= 2).  Far-side
+     *        stages carry {home, far} chip indices by value: the far
+     *        partition must not read the home chip's arena. */
     /** @{ */
     void partMemory(spe::LineRequest &&req);
     void partLocalStore(spe::LineRequest &&req);
@@ -300,15 +307,18 @@ class CellSystem
     void partMemPutRide(std::uint32_t h);
     void partMemPutStore(std::uint32_t h);
     void partMemGetFar(EffAddr ea, std::uint32_t bytes, std::uint32_t h,
-                       unsigned homeChip);
+                       unsigned homeChip, unsigned farChip);
     void partMemGetFarRide(EffAddr ea, std::uint32_t bytes,
-                           std::uint32_t h, unsigned homeChip);
+                           std::uint32_t h, unsigned homeChip,
+                           unsigned farChip);
     void partMemGetFarCross(EffAddr ea, std::uint32_t bytes,
-                            std::uint32_t h, unsigned homeChip);
+                            std::uint32_t h, unsigned homeChip,
+                            unsigned farChip);
     void partMemGetHome(std::uint32_t h);
     void partMemPutCross(std::uint32_t h);
     void partMemPutFarRide(EffAddr ea, std::uint32_t bytes,
-                           std::uint32_t h, unsigned homeChip);
+                           std::uint32_t h, unsigned homeChip,
+                           unsigned farChip);
     void partLsRead(std::uint32_t h);
     void partLsRide(std::uint32_t h);
     void partLsLand(std::uint32_t h);
@@ -328,7 +338,7 @@ class CellSystem
     CellConfig cfg_;
     std::uint64_t placementSeed_ = 0;
     std::unique_ptr<sim::EventQueue> eq_;            ///< numChips == 1
-    std::unique_ptr<sim::PartitionedEngine> engine_; ///< numChips == 2
+    std::unique_ptr<sim::PartitionedEngine> engine_; ///< numChips >= 2
     std::unique_ptr<mem::MemorySystem> memory_;
     std::vector<std::unique_ptr<eib::Eib>> eibs_;
     std::unique_ptr<ppe::Ppu> ppu_;

@@ -29,6 +29,10 @@ CellConfig::CellConfig()
     memory.bank1.accessLatency = clock.fromNs(110.0);
     memory.ioLink.bytesPerTick = bytesPerTick(7.0, clock.cpuHz);
     memory.ioLink.crossingLatency = clock.fromNs(40.0);
+    // Inter-blade links are an external fabric: narrower and farther
+    // than the on-blade IOIF (think an InfiniBand-class interconnect).
+    memory.bladeLink.bytesPerTick = bytesPerTick(2.0, clock.cpuHz);
+    memory.bladeLink.crossingLatency = clock.fromNs(400.0);
 }
 
 double
@@ -78,11 +82,37 @@ toString(AffinityPolicy a)
     return "?";
 }
 
+TaskPlacement
+placementFromString(const std::string &s)
+{
+    std::string v = util::toLower(s);
+    if (v == "round-robin" || v == "rr")
+        return TaskPlacement::RoundRobin;
+    if (v == "locality" || v == "local")
+        return TaskPlacement::Locality;
+    sim::fatal("unknown placement policy '%s' "
+               "(expected round-robin|locality)", s.c_str());
+}
+
+const char *
+toString(TaskPlacement p)
+{
+    switch (p) {
+      case TaskPlacement::RoundRobin:
+        return "round-robin";
+      case TaskPlacement::Locality:
+        return "locality";
+    }
+    return "?";
+}
+
 void
 CellConfig::registerOptions(util::Options &opts)
 {
     opts.addDouble("cpu-ghz", 2.1, "CPU clock in GHz");
-    opts.addUint("chips", 1, "Cell chips with active SPEs (1 or 2)");
+    opts.addUint("chips", 1, "Cell chips with active SPEs (1-16)");
+    opts.addUint("blades", 0,
+                 "blades holding the chips (0 = two chips per blade)");
     opts.addUint("spes", 8, "number of SPEs");
     opts.addUint("rings", 4, "EIB data rings");
     opts.addUint("eib-cmd-latency", 20, "EIB command phase, bus cycles");
@@ -98,6 +128,12 @@ CellConfig::registerOptions(util::Options &opts)
     opts.addDouble("bank0-gbps", 15.5, "local XDR bank sustained GB/s");
     opts.addDouble("bank1-gbps", 15.5, "remote XDR bank sustained GB/s");
     opts.addDouble("io-gbps", 7.0, "IOIF link GB/s per direction");
+    opts.addDouble("ioif-latency", 40.0,
+                   "one-way IOIF crossing latency, ns");
+    opts.addDouble("blade-link-gbps", 2.0,
+                   "inter-blade link GB/s per direction");
+    opts.addDouble("blade-latency", 400.0,
+                   "one-way inter-blade crossing latency, ns");
     opts.addDouble("mem-latency-ns", 110.0, "bank access latency, ns");
     opts.addBool("mem-row-timing", false,
                  "timing row-buffer model (open page): row hits pay "
@@ -115,6 +151,8 @@ CellConfig::registerOptions(util::Options &opts)
                  "pin each flow to one EIB ring (vs per-packet choice)");
     opts.addString("affinity", "random",
                    "SPE placement policy: random|linear|paired");
+    opts.addString("placement", "round-robin",
+                   "cluster work placement: round-robin|locality");
     opts.addDouble("fault-drop-rate", 0.0,
                    "P(a DMA command is silently dropped)");
     opts.addDouble("fault-corrupt-rate", 0.0,
@@ -143,8 +181,24 @@ CellConfig::fromOptions(const util::Options &opts)
     CellConfig cfg;
     cfg.clock.cpuHz = opts.getDouble("cpu-ghz") * 1e9;
     cfg.numChips = static_cast<unsigned>(opts.getUint("chips"));
-    if (cfg.numChips < 1 || cfg.numChips > 2)
-        sim::fatal("--chips must be 1 or 2");
+    if (cfg.numChips < 1) {
+        sim::fatal("--chips must be at least 1");
+    } else if (cfg.numChips > 16) {
+        // The flight arena packs the chip index into bits 28-31 of a
+        // 32-bit DMA handle (CellSystem::kChipShift), so the handle's
+        // chip field caps the cluster at 16 chips.
+        sim::fatal("--chips %u exceeds the flight handle's 4-bit chip "
+                   "field (max 16 chips)", cfg.numChips);
+    }
+    cfg.numBlades = static_cast<unsigned>(opts.getUint("blades"));
+    {
+        auto shape = eib::ClusterShape::of(cfg.numChips, cfg.numBlades);
+        if (!shape.valid()) {
+            sim::fatal("--blades %u cannot hold %u chips (blades carry "
+                       "one or two chips each and none may be empty)",
+                       cfg.numBlades, cfg.numChips);
+        }
+    }
     cfg.numSpes = static_cast<unsigned>(opts.getUint("spes"));
     if (cfg.numSpes == 0 ||
         cfg.numSpes > cfg.numChips * eib::numPhysicalSpes) {
@@ -169,6 +223,14 @@ CellConfig::fromOptions(const util::Options &opts)
         bytesPerTick(opts.getDouble("bank1-gbps"), cfg.clock.cpuHz);
     cfg.memory.ioLink.bytesPerTick =
         bytesPerTick(opts.getDouble("io-gbps"), cfg.clock.cpuHz);
+    cfg.memory.ioLink.crossingLatency =
+        cfg.clock.fromNs(opts.getDouble("ioif-latency"));
+    cfg.memory.bladeLink.bytesPerTick =
+        bytesPerTick(opts.getDouble("blade-link-gbps"), cfg.clock.cpuHz);
+    cfg.memory.bladeLink.crossingLatency =
+        cfg.clock.fromNs(opts.getDouble("blade-latency"));
+    cfg.memory.numChips = cfg.numChips;
+    cfg.memory.numBlades = cfg.numBlades;
     cfg.memory.bank0.accessLatency =
         cfg.clock.fromNs(opts.getDouble("mem-latency-ns"));
     cfg.memory.bank1.accessLatency = cfg.memory.bank0.accessLatency;
@@ -197,6 +259,7 @@ CellConfig::fromOptions(const util::Options &opts)
 
     cfg.eib.flowPinning = opts.getBool("flow-pinning");
     cfg.affinity = affinityFromString(opts.getString("affinity"));
+    cfg.placement = placementFromString(opts.getString("placement"));
 
     auto &faults = cfg.spe.mfc.faults;
     faults.dropRate = opts.getDouble("fault-drop-rate");

@@ -30,6 +30,16 @@ enum class AffinityPolicy
     Paired,     ///< logical 2k/2k+1 physically adjacent (paper's wish)
 };
 
+/**
+ * Cluster-level work placement policy: which chip's SPEs a task (or a
+ * stencil rank) should run on relative to the memory it touches.
+ */
+enum class TaskPlacement
+{
+    RoundRobin,  ///< spread tasks over the chips in dispatch order
+    Locality,    ///< run each task on the chip that owns its pages
+};
+
 struct CellConfig
 {
     sim::ClockSpec clock;
@@ -40,9 +50,15 @@ struct CellConfig
      * both chips' XDR banks stay reachable; numChips = 2 additionally
      * simulates the second chip's EIB and SPEs, reproducing the
      * conclusion's warning that cross-chip SPE pairs are "limited to
-     * 7 GB/s" through the IOIF.
+     * 7 GB/s" through the IOIF.  Beyond 2 the machine becomes a
+     * cluster: chips pair up on blades (eib::ClusterShape) joined by
+     * inter-blade links; the ceiling is the flight handle's 4-bit chip
+     * field (cell::CellSystem::kMaxChips = 16).
      */
     unsigned numChips = 1;
+
+    /** Blades in the cluster; 0 = auto (two chips per blade). */
+    unsigned numBlades = 0;
 
     unsigned numSpes = 8;
 
@@ -58,6 +74,9 @@ struct CellConfig
     mem::NumaPolicy numa = mem::NumaPolicy::interleave(0.65);
 
     AffinityPolicy affinity = AffinityPolicy::Random;
+
+    /** Cluster work placement for the offload runtime / stencils. */
+    TaskPlacement placement = TaskPlacement::RoundRobin;
 
     /**
      * Checked mode: cross-check every completed DMA command against the
@@ -110,6 +129,10 @@ struct CellConfig
 /** Parse an affinity policy name ("random", "linear", "paired"). */
 AffinityPolicy affinityFromString(const std::string &s);
 const char *toString(AffinityPolicy a);
+
+/** Parse a task placement name ("round-robin", "locality"). */
+TaskPlacement placementFromString(const std::string &s);
+const char *toString(TaskPlacement p);
 
 } // namespace cellbw::cell
 

@@ -111,7 +111,7 @@ statsReport(CellSystem &sys)
         auto &m = sys.memory();
         stats::Table t({"component", "bytes", "GB/s", "row hit%",
                         "conflicts", "refresh stalls"});
-        for (unsigned b = 0; b < 2; ++b) {
+        for (unsigned b = 0; b < m.numBanks(); ++b) {
             auto &bank = m.bank(b);
             double gbps = secs > 0.0
                               ? bank.bytesServiced() / secs / 1e9
@@ -126,12 +126,17 @@ statsReport(CellSystem &sys)
                       std::to_string(bank.queueConflicts()),
                       std::to_string(bank.refreshStalls())});
         }
-        std::uint64_t io =
-            m.ioLink().bytesSent(mem::IoLink::Dir::Outbound) +
-            m.ioLink().bytesSent(mem::IoLink::Dir::Inbound);
-        t.addRow({"ioif (both dirs)", util::bytesToString(io),
-                  stats::Table::num(secs > 0.0 ? io / secs / 1e9 : 0.0),
-                  "-", "-", "-"});
+        auto &links = m.links();
+        for (unsigned l = 0; l < links.numLinks(); ++l) {
+            std::uint64_t io =
+                links.link(l).bytesSent(mem::IoLink::Dir::Outbound) +
+                links.link(l).bytesSent(mem::IoLink::Dir::Inbound);
+            t.addRow({links.edge(l).suffix + " (both dirs)",
+                      util::bytesToString(io),
+                      stats::Table::num(secs > 0.0 ? io / secs / 1e9
+                                                   : 0.0),
+                      "-", "-", "-"});
+        }
         out += "\n";
         out += t.render();
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "eib/topology.hh"
 #include "stats/json_writer.hh"
 #include "util/json.hh"
 #include "util/strings.hh"
@@ -26,9 +27,21 @@ Oracle::Oracle(const cell::CellConfig &cfg)
     eib_ = cfg.eib.numRings * 2.0 * cfg.eib.bytesPerBusCycle * busHz / 1e9;
     bank0_ = cfg.memory.bank0.bytesPerTick * cpuHz / 1e9;
     bank1_ = cfg.memory.bank1.bytesPerTick * cpuHz / 1e9;
-    mem_ = bank0_ + bank1_;
+    // Every chip past the first contributes a bank1-rated XDR bank;
+    // single-chip runs still see the paper blade's two banks.
+    const unsigned banks = std::max(cfg.numChips, 2u);
+    mem_ = bank0_ + (banks - 1) * bank1_;
     io_ = cfg.memory.ioLink.bytesPerTick * cpuHz / 1e9;
     micIoif_ = ramp_ + io_;
+    bladeLink_ = cfg.memory.bladeLink.bytesPerTick * cpuHz / 1e9;
+    // Bisection: links crossing the chips/2 cut of the cluster shape.
+    const auto shape = eib::ClusterShape::of(banks, cfg.numBlades);
+    const unsigned cut = banks / 2;
+    bisection_ = 0;
+    shape.forEachLink([&](unsigned lo, unsigned hi, bool interBlade) {
+        if (lo < cut && hi >= cut)
+            bisection_ += interBlade ? bladeLink_ : io_;
+    });
     busHz_ = busHz;
     elemOverheadBus_ = static_cast<unsigned>(cfg.spe.mfc.elemOverheadBus);
     listElemOverheadBus_ =
@@ -94,6 +107,7 @@ Oracle::table() const
         {"l1", l1_},     {"l2", l1_},      {"pair", pair_},
         {"eib", eib_},   {"mem", mem_},    {"bank0", bank0_},
         {"bank1", bank1_}, {"io", io_},    {"mic+ioif", micIoif_},
+        {"blade-link", bladeLink_}, {"bisection", bisection_},
     };
 }
 

@@ -66,6 +66,15 @@ class Oracle
     double micIoifPeak() const { return micIoif_; }
     /** IOIF link, per direction. */
     double ioPeak() const { return io_; }
+    /** Inter-blade cluster link, per direction. */
+    double bladeLinkPeak() const { return bladeLink_; }
+    /**
+     * Cluster bisection bandwidth: the sum of per-direction link rates
+     * crossing the chips/2 cut (on-blade IOIFs count io, inter-blade
+     * links count blade-link).  At two chips this is just the IOIF —
+     * the conclusion's 7 GB/s cross-chip ceiling.
+     */
+    double bisectionPeak() const { return bisection_; }
     /** n-SPE couples / cycle topology peak: n ramps active. */
     double topologyPeak(unsigned spes) const { return spes * ramp_; }
     /**
@@ -87,8 +96,8 @@ class Oracle
     /**
      * Look up a peak by baseline-file name: "ramp", "xdr" (alias of
      * ramp), "ls", "l1", "l2", "pair", "eib", "mem", "bank0", "bank1",
-     * "io", "mic+ioif", "couples:<n>", "cycle:<n>",
-     * "gather-elem:<bytes>", "gather-list:<bytes>".
+     * "io", "mic+ioif", "blade-link", "bisection", "couples:<n>",
+     * "cycle:<n>", "gather-elem:<bytes>", "gather-list:<bytes>".
      * @return false when @p name is not a known peak.
      */
     bool peak(const std::string &name, double &out) const;
@@ -110,6 +119,7 @@ class Oracle
   private:
     double ramp_ = 0, ls_ = 0, l1_ = 0, pair_ = 0, eib_ = 0;
     double mem_ = 0, bank0_ = 0, bank1_ = 0, io_ = 0, micIoif_ = 0;
+    double bladeLink_ = 0, bisection_ = 0;
     double busHz_ = 0;
     unsigned elemOverheadBus_ = 0, listElemOverheadBus_ = 0;
 };

@@ -98,6 +98,88 @@ shortestHops(RampPos src, RampPos dst)
     return cw < ccw ? cw : ccw;
 }
 
+/**
+ * Shape of an N-chip cluster: chips grouped onto blades of at most two
+ * chips each.  The two chips of a blade talk over the blade's IOIF/BIF
+ * link; blades talk over inter-blade links that terminate at each
+ * blade's first chip (its *gateway*), so a cross-blade path is at most
+ * three link hops: chip -> own gateway -> far gateway -> chip.
+ *
+ * The shape is pure arithmetic shared by the link graph
+ * (mem::LinkGraph), the config validator, and the analytic oracle's
+ * bisection-bandwidth peak, so all three agree on which links exist.
+ */
+struct ClusterShape
+{
+    unsigned chips = 1;
+    unsigned blades = 1;
+
+    /** Default blade count: two chips per blade, rounded up. */
+    static constexpr unsigned
+    autoBlades(unsigned chips)
+    {
+        return (chips + 1) / 2;
+    }
+
+    /** Resolve a --blades flag (0 = auto) against a chip count. */
+    static constexpr ClusterShape
+    of(unsigned chips, unsigned blades = 0)
+    {
+        return {chips, blades ? blades : autoBlades(chips)};
+    }
+
+    constexpr unsigned
+    chipsPerBlade() const
+    {
+        return (chips + blades - 1) / blades;
+    }
+
+    constexpr unsigned
+    bladeOf(unsigned chip) const
+    {
+        return chip / chipsPerBlade();
+    }
+
+    /** The blade's first chip, where its inter-blade links terminate. */
+    constexpr unsigned
+    gatewayOf(unsigned blade) const
+    {
+        return blade * chipsPerBlade();
+    }
+
+    /**
+     * A shape is valid when every blade holds one or two chips and no
+     * blade is empty.
+     */
+    constexpr bool
+    valid() const
+    {
+        return chips >= 1 && blades >= 1 && blades <= chips &&
+               chipsPerBlade() <= 2 &&
+               gatewayOf(blades - 1) < chips;
+    }
+
+    /**
+     * Enumerate every link in deterministic order: the on-blade IOIF
+     * links in blade order, then the inter-blade links in (a, b)
+     * lexicographic order.  @p fn is called as fn(lo, hi, interBlade)
+     * with lo < hi the endpoint chips.
+     */
+    template <typename F>
+    constexpr void
+    forEachLink(F &&fn) const
+    {
+        for (unsigned b = 0; b < blades; ++b) {
+            unsigned lo = gatewayOf(b);
+            if (lo + 1 < chips && bladeOf(lo + 1) == b)
+                fn(lo, lo + 1, false);
+        }
+        for (unsigned a = 0; a < blades; ++a)
+            for (unsigned b = a + 1; b < blades; ++b)
+                fn(gatewayOf(a), gatewayOf(b), true);
+    }
+};
+
 } // namespace cellbw::eib
 
 #endif // CELLBW_EIB_TOPOLOGY_HH

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "stats/metrics.hh"
 #include "util/strings.hh"
@@ -9,18 +11,23 @@ namespace cellbw::mem
 
 MemorySystem::MemorySystem(std::string name, sim::EventQueue &eq,
                            const MemorySystemParams &params,
-                           sim::EventQueue *bank1Queue)
+                           const std::vector<sim::EventQueue *> &bankQueues)
     : sim::SimObject(std::move(name), eq),
-      allocator_(params.pageBytes, 2),
-      store_(params.pageBytes)
+      allocator_(params.pageBytes, std::max(params.numChips, 2u)),
+      store_(params.pageBytes),
+      numBanks_(std::max(params.numChips, 2u))
 {
-    banks_[0] = std::make_unique<DramBank>(this->name() + ".bank0", eq,
-                                           params.bank0);
-    banks_[1] = std::make_unique<DramBank>(this->name() + ".bank1",
-                                           bank1Queue ? *bank1Queue : eq,
-                                           params.bank1);
-    ioLink_ = std::make_unique<IoLink>(this->name() + ".ioif", eq,
-                                       params.ioLink);
+    for (unsigned b = 0; b < numBanks_; ++b) {
+        sim::EventQueue &bq =
+            b < bankQueues.size() && bankQueues[b] ? *bankQueues[b] : eq;
+        banks_.push_back(std::make_unique<DramBank>(
+            this->name() + util::format(".bank%u", b), bq,
+            b == 0 ? params.bank0 : params.bank1));
+    }
+    links_ = std::make_unique<LinkGraph>(
+        this->name(), eq,
+        eib::ClusterShape::of(numBanks_, params.numBlades),
+        params.ioLink, params.bladeLink);
 }
 
 EffAddr
@@ -32,7 +39,7 @@ MemorySystem::alloc(std::uint64_t bytes, const NumaPolicy &policy)
 DramBank &
 MemorySystem::bank(unsigned i)
 {
-    if (i > 1)
+    if (i >= numBanks_)
         sim::fatal("bank index %u out of range", i);
     return *banks_[i];
 }
@@ -41,14 +48,11 @@ void
 MemorySystem::registerMetrics(stats::MetricsRegistry &reg,
                               const std::string &prefix) const
 {
-    for (unsigned b = 0; b < 2; ++b) {
+    for (unsigned b = 0; b < numBanks_; ++b) {
         banks_[b]->registerMetrics(reg,
                                    prefix + util::format(".bank%u", b));
     }
-    reg.counter(prefix + ".ioif.bytes_outbound")
-        .add(ioLink_->bytesSent(IoLink::Dir::Outbound));
-    reg.counter(prefix + ".ioif.bytes_inbound")
-        .add(ioLink_->bytesSent(IoLink::Dir::Inbound));
+    links_->registerMetrics(reg, prefix);
 }
 
 } // namespace cellbw::mem

@@ -1,7 +1,9 @@
 /**
  * @file
- * The blade's main-storage domain: two XDR banks, the IOIF link to the
- * second chip's bank, the NUMA page allocator, and the data contents.
+ * The cluster's main-storage domain: one XDR bank per chip (at least
+ * two, so the single-chip blade still sees the second bank behind the
+ * IOIF), the inter-chip link graph, the NUMA page allocator, and the
+ * data contents.
  *
  * Timing and data are deliberately separate: MemorySystem answers
  * "when is this line available at the MIC/IOIF ramp" while the caller
@@ -14,10 +16,11 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mem/backing_store.hh"
 #include "mem/dram_bank.hh"
-#include "mem/io_link.hh"
+#include "mem/link_graph.hh"
 #include "mem/page_allocator.hh"
 #include "sim/sim_object.hh"
 
@@ -30,19 +33,26 @@ struct MemorySystemParams
     DramBankParams bank0;
     DramBankParams bank1;
     IoLinkParams ioLink;
+
+    /** Inter-blade link (slower, longer than the on-blade IOIF). */
+    IoLinkParams bladeLink;
+
+    /** Cluster shape; a bank exists per chip (minimum two). */
+    unsigned numChips = 1;
+    unsigned numBlades = 0;    ///< 0 = auto: two chips per blade
 };
 
 class MemorySystem : public sim::SimObject
 {
   public:
     /**
-     * @p bank1Queue binds the remote bank to another event queue (the
-     * second chip's partition in a partitioned simulation); by default
-     * both banks live on @p eq.
+     * @p bankQueues binds bank i to another event queue (chip i's
+     * partition in a partitioned simulation); by default every bank
+     * lives on @p eq.
      */
     MemorySystem(std::string name, sim::EventQueue &eq,
                  const MemorySystemParams &params,
-                 sim::EventQueue *bank1Queue = nullptr);
+                 const std::vector<sim::EventQueue *> &bankQueues = {});
 
     /**
      * Partitioned-simulation hook for the PPE's remote line paths: the
@@ -64,47 +74,50 @@ class MemorySystem : public sim::SimObject
 
     /**
      * Timing of a line read: @p onDone fires when the line's data is
-     * available at the memory-side EIB ramp (MIC for bank 0, IOIF for
-     * bank 1; remote reads pay the link crossing both ways).
+     * available at the memory-side EIB ramp of chip 0 (MIC for bank 0,
+     * IOIF for a remote bank; remote reads pay the route's crossings
+     * both ways, serialized on every link on the way back).
      */
     template <typename F>
     void
     readLine(EffAddr ea, std::uint32_t bytes, F &&onDone)
     {
-        if (bankOf(ea) == 0) {
+        const unsigned b = bankOf(ea);
+        if (b == 0) {
             banks_[0]->access(ea, bytes, false, std::forward<F>(onDone));
             return;
         }
-        // Remote: the read command crosses outbound (latency only;
-        // commands are tiny), the bank services it, and the data
-        // crosses inbound at the link's serialized rate.
+        // Remote: the read command crosses to the bank's chip (latency
+        // only; commands are tiny), the bank services it, and the data
+        // crosses back at the links' serialized rates.
+        const Tick cmd = links_->pathLatency(0, b);
         if (crossPost_) {
-            // Partitioned: the command hops to chip 1's queue; the
-            // data crossing rides the link's remote-post hook home.
+            // Partitioned: the command hops to chip b's queue; the
+            // data crossings ride the links' remote-post hooks home.
             crossPost_(
-                0, 1, eventQueue().now() + ioLink_->crossingLatency(),
-                CrossFn([this, ea, bytes,
+                0, b, eventQueue().now() + cmd,
+                CrossFn([this, ea, bytes, b,
                          onDone = sim::EventQueue::Callback(
                              std::forward<F>(onDone))]() mutable {
-                    banks_[1]->access(
+                    banks_[b]->access(
                         ea, bytes, false,
-                        [this, bytes,
+                        [this, bytes, b,
                          onDone = std::move(onDone)]() mutable {
-                            ioLink_->send(IoLink::Dir::Inbound, bytes,
-                                          std::move(onDone));
+                            links_->sendData(b, 0, bytes,
+                                             std::move(onDone));
                         });
                 }));
             return;
         }
         eventQueue().schedule(
-            ioLink_->crossingLatency(),
-            [this, ea, bytes,
+            cmd,
+            [this, ea, bytes, b,
              onDone = std::forward<F>(onDone)]() mutable {
-                banks_[1]->access(
+                banks_[b]->access(
                     ea, bytes, false,
-                    [this, bytes, onDone = std::move(onDone)]() mutable {
-                        ioLink_->send(IoLink::Dir::Inbound, bytes,
-                                      std::move(onDone));
+                    [this, bytes, b,
+                     onDone = std::move(onDone)]() mutable {
+                        links_->sendData(b, 0, bytes, std::move(onDone));
                     });
             });
     }
@@ -117,45 +130,53 @@ class MemorySystem : public sim::SimObject
     void
     writeLine(EffAddr ea, std::uint32_t bytes, F &&onDone)
     {
-        if (bankOf(ea) == 0) {
+        const unsigned b = bankOf(ea);
+        if (b == 0) {
             banks_[0]->access(ea, bytes, true, std::forward<F>(onDone));
             return;
         }
         if (crossPost_) {
-            // Partitioned: the write rides the link to chip 1, the far
+            // Partitioned: the write rides the links to chip b, the far
             // bank accepts it, and the ack crosses back — the return
             // hop keeps the post inside the lookahead window even when
             // an ablation shrinks the bank latency below the crossing.
-            ioLink_->send(
-                IoLink::Dir::Outbound, bytes,
-                [this, ea, bytes,
+            links_->sendData(
+                0, b, bytes,
+                [this, ea, bytes, b,
                  onDone = sim::EventQueue::Callback(
                      std::forward<F>(onDone))]() mutable {
                     Tick completion =
-                        banks_[1]->reserveAccess(ea, bytes, true);
-                    crossPost_(1, 0,
-                               completion + ioLink_->crossingLatency(),
+                        banks_[b]->reserveAccess(ea, bytes, true);
+                    crossPost_(b, 0,
+                               completion + links_->pathLatency(b, 0),
                                CrossFn(std::move(onDone)));
                 });
             return;
         }
-        ioLink_->send(
-            IoLink::Dir::Outbound, bytes,
-            [this, ea, bytes, onDone = std::forward<F>(onDone)]() mutable {
-                banks_[1]->access(ea, bytes, true, std::move(onDone));
+        links_->sendData(
+            0, b, bytes,
+            [this, ea, bytes, b, onDone = std::forward<F>(onDone)]() mutable {
+                banks_[b]->access(ea, bytes, true, std::move(onDone));
             });
     }
 
     BackingStore &store() { return store_; }
     const BackingStore &store() const { return store_; }
     PageAllocator &allocator() { return allocator_; }
+    unsigned numBanks() const { return numBanks_; }
     DramBank &bank(unsigned i);
-    IoLink &ioLink() { return *ioLink_; }
+
+    LinkGraph &links() { return *links_; }
+    const LinkGraph &links() const { return *links_; }
+
+    /** The dual-Cell blade's IOIF (link 0), kept for the 2-chip API. */
+    IoLink &ioLink() { return links_->link(0); }
 
     /**
      * Accumulate the memory system's utilization counters into @p reg:
-     * both banks under `<prefix>.bank<i>.*` and the IOIF link's bytes
-     * under `<prefix>.ioif.bytes_outbound` / `.bytes_inbound`.
+     * every bank under `<prefix>.bank<i>.*` and every link's bytes
+     * under `<prefix>.<link>.bytes_outbound` / `.bytes_inbound` (the
+     * blade's IOIF keeps its `.ioif.*` names).
      */
     void registerMetrics(stats::MetricsRegistry &reg,
                          const std::string &prefix) const;
@@ -163,8 +184,9 @@ class MemorySystem : public sim::SimObject
   private:
     PageAllocator allocator_;
     BackingStore store_;
-    std::unique_ptr<DramBank> banks_[2];
-    std::unique_ptr<IoLink> ioLink_;
+    unsigned numBanks_;
+    std::vector<std::unique_ptr<DramBank>> banks_;
+    std::unique_ptr<LinkGraph> links_;
     CrossPost crossPost_;
 };
 

@@ -44,9 +44,20 @@ PageAllocator::alloc(std::uint64_t bytes, const NumaPolicy &policy)
                     bank = 0;
                     carry_ -= 1.0;
                 } else {
-                    bank = 1;
+                    // Remote pages rotate over the non-local banks; on
+                    // a two-bank blade this is always bank 1.
+                    bank = 1 + static_cast<unsigned>(
+                                   spill_++ % (numBanks_ - 1));
                 }
             }
+            break;
+          case NumaPolicy::Kind::Fixed:
+            if (policy.fixedBank >= numBanks_) {
+                sim::fatal("NUMA policy pins bank %u but only %u banks "
+                           "exist",
+                           policy.fixedBank, numBanks_);
+            }
+            bank = policy.fixedBank;
             break;
         }
         pageBank_.push_back(static_cast<std::uint8_t>(bank));
@@ -76,6 +87,7 @@ PageAllocator::reset()
     pageBank_.clear();
     pageBank_.push_back(0);
     carry_ = 0.0;
+    spill_ = 0;
 }
 
 } // namespace cellbw::mem

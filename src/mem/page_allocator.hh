@@ -31,10 +31,12 @@ struct NumaPolicy
         LocalOnly,      ///< all pages on bank 0 (behind the MIC)
         RemoteOnly,     ///< all pages on bank 1 (behind the IOIF)
         Interleave,     ///< deterministic mix with bank0Share on bank 0
+        Fixed,          ///< all pages on one named bank (cluster slabs)
     };
 
     Kind kind = Kind::Interleave;
     double bank0Share = 0.65;
+    unsigned fixedBank = 0;
 
     static NumaPolicy local() { return {Kind::LocalOnly, 1.0}; }
     static NumaPolicy remote() { return {Kind::RemoteOnly, 0.0}; }
@@ -43,6 +45,17 @@ struct NumaPolicy
     interleave(double share)
     {
         return {Kind::Interleave, share};
+    }
+
+    /** Pin every page of the allocation to bank @p b (chip b's XDR). */
+    static NumaPolicy
+    onBank(unsigned b)
+    {
+        NumaPolicy p;
+        p.kind = Kind::Fixed;
+        p.bank0Share = b == 0 ? 1.0 : 0.0;
+        p.fixedBank = b;
+        return p;
     }
 };
 
@@ -73,6 +86,7 @@ class PageAllocator
     unsigned numBanks_;
     std::vector<std::uint8_t> pageBank_;   // page index -> bank
     double carry_ = 0.0;                   // error-diffusion accumulator
+    std::uint64_t spill_ = 0;              // interleave remote rotation
 };
 
 } // namespace cellbw::mem

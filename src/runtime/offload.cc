@@ -65,10 +65,33 @@ OffloadRuntime::start()
 sim::Task
 OffloadRuntime::dispatcher()
 {
-    // Round-robin dispatch through the 4-entry inbound mailboxes; a
-    // busy worker's full mailbox applies backpressure naturally.
+    // Dispatch through the 4-entry inbound mailboxes; a busy worker's
+    // full mailbox applies backpressure naturally.  Locality placement
+    // steers each task to a worker on the chip owning its input pages
+    // (rotating among that chip's workers); round-robin — the default,
+    // and the fallback when the home chip has no workers — spreads
+    // tasks over the workers in dispatch order.
+    const cell::TaskPlacement policy =
+        params_.placement ? *params_.placement : sys_.config().placement;
+    std::vector<std::vector<unsigned>> byChip(sys_.numChips());
+    std::vector<std::size_t> cursor(sys_.numChips(), 0);
+    if (policy == cell::TaskPlacement::Locality)
+        for (unsigned w = 0; w < params_.workers; ++w)
+            byChip[sys_.chipOf(w)].push_back(w);
+    std::size_t spill = 0;
     for (std::size_t t = 0; t < tasks_.size(); ++t) {
-        unsigned w = static_cast<unsigned>(t % params_.workers);
+        unsigned w;
+        if (policy == cell::TaskPlacement::Locality) {
+            const unsigned home = sys_.memory().bankOf(tasks_[t].input);
+            if (home < byChip.size() && !byChip[home].empty()) {
+                const auto &local = byChip[home];
+                w = local[cursor[home]++ % local.size()];
+            } else {
+                w = static_cast<unsigned>(spill++ % params_.workers);
+            }
+        } else {
+            w = static_cast<unsigned>(t % params_.workers);
+        }
         co_await sys_.spe(w).inboundMailbox().write(
             static_cast<std::uint32_t>(t));
     }

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "cell/cell_system.hh"
@@ -76,6 +77,15 @@ struct OffloadParams
 
     /** Base retry backoff, ticks; doubles with each failed attempt. */
     Tick retryBackoff = 1000;
+
+    /**
+     * Where a task runs relative to the chip owning its input pages.
+     * Unset inherits the system config's --placement.  RoundRobin keeps
+     * the classic `task % workers` dispatch; Locality prefers a worker
+     * SPE on the task's home chip, falling back to round-robin when
+     * that chip has no workers.
+     */
+    std::optional<cell::TaskPlacement> placement;
 };
 
 class OffloadRuntime

@@ -49,6 +49,14 @@ endforeach()
 expect_identical(dual_j1.json dual_j2.json "abl_dualchip")
 expect_identical(dual_j1.json dual_j4.json "abl_dualchip")
 
+# --- cluster: four partitions (2 blades) under 1, 2 and 4 workers ---
+foreach(jobs 1 2 4)
+    run_quiet(run cluster_halo --quick --sim-jobs ${jobs}
+              --json cluster_j${jobs}.json)
+endforeach()
+expect_identical(cluster_j1.json cluster_j2.json "cluster_halo")
+expect_identical(cluster_j1.json cluster_j4.json "cluster_halo")
+
 # --- single-chip: --sim-jobs must be a no-op on the legacy path -----
 foreach(jobs 1 4)
     run_quiet(run fig08_spe_mem --quick --sim-jobs ${jobs}

@@ -75,12 +75,53 @@ TEST(CellConfig, BadValuesAreFatal)
 {
     EXPECT_THROW(parse({"--spes=0"}), sim::FatalError);
     EXPECT_THROW(parse({"--spes=9"}), sim::FatalError);
-    EXPECT_THROW(parse({"--chips=3"}), sim::FatalError);
+    // 17 chips would overflow the flight handle's 4-bit chip field.
+    EXPECT_THROW(parse({"--chips=17"}), sim::FatalError);
+    // More blades than chips would leave a blade empty; five chips on
+    // two blades would need three on one blade.
+    EXPECT_THROW(parse({"--chips=2", "--blades=3"}), sim::FatalError);
+    EXPECT_THROW(parse({"--chips=5", "--blades=2"}), sim::FatalError);
     EXPECT_THROW(parse({"--numa=bogus"}), sim::FatalError);
     EXPECT_THROW(parse({"--affinity=bogus"}), sim::FatalError);
+    EXPECT_THROW(parse({"--placement=bogus"}), sim::FatalError);
     // Two chips raise the SPE ceiling.
     auto cfg = parse({"--chips=2", "--spes=16"});
     EXPECT_EQ(cfg.numSpes, 16u);
+}
+
+TEST(CellConfig, ClusterFlagsReachTheRightFields)
+{
+    auto cfg = parse({"--chips=4", "--blades=2", "--spes=32",
+                      "--affinity=linear", "--placement=locality",
+                      "--blade-link-gbps=4", "--blade-latency=200",
+                      "--ioif-latency=50"});
+    EXPECT_EQ(cfg.numChips, 4u);
+    EXPECT_EQ(cfg.numBlades, 2u);
+    EXPECT_EQ(cfg.placement, cell::TaskPlacement::Locality);
+    EXPECT_NEAR(cfg.memory.bladeLink.bytesPerTick * cfg.clock.cpuHz / 1e9,
+                4.0, 1e-6);
+    EXPECT_EQ(cfg.memory.bladeLink.crossingLatency,
+              cfg.clock.fromNs(200.0));
+    EXPECT_EQ(cfg.memory.ioLink.crossingLatency, cfg.clock.fromNs(50.0));
+    EXPECT_EQ(cfg.memory.numChips, 4u);
+    EXPECT_EQ(cfg.memory.numBlades, 2u);
+
+    // Defaults: blades auto-derive, round-robin placement.
+    auto def = parse({"--chips=8", "--spes=64"});
+    EXPECT_EQ(def.numBlades, 0u);
+    EXPECT_EQ(def.placement, cell::TaskPlacement::RoundRobin);
+}
+
+TEST(CellConfig, PlacementNamesRoundTrip)
+{
+    EXPECT_EQ(cell::placementFromString("round-robin"),
+              cell::TaskPlacement::RoundRobin);
+    EXPECT_EQ(cell::placementFromString("locality"),
+              cell::TaskPlacement::Locality);
+    EXPECT_STREQ(cell::toString(cell::TaskPlacement::Locality),
+                 "locality");
+    EXPECT_STREQ(cell::toString(cell::TaskPlacement::RoundRobin),
+                 "round-robin");
 }
 
 TEST(CellConfig, AffinityNamesRoundTrip)

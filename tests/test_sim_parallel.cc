@@ -121,6 +121,100 @@ TEST(PartitionedEngine, ThreadedScheduleMatchesSerial)
     EXPECT_EQ(pingPongTrace(4, 24), serial);
 }
 
+namespace
+{
+
+/**
+ * A deterministic four-partition relay: a token hops around the ring
+ * 0 -> 1 -> 2 -> 3 -> 0 for @p laps laps, while partition 0 also posts
+ * a diagonal message straight to partition 2 every lap (non-adjacent
+ * partitions must work just like neighbours).  The engine pins the
+ * schedule *within* each partition, not the wall-clock interleaving of
+ * different partitions, so the trace is kept per partition: entry
+ * (tick, isDiagonal) in delivery order.  Each vector is only ever
+ * touched by the thread currently running that partition.
+ */
+std::vector<std::vector<std::pair<Tick, bool>>>
+ringTrace(unsigned threads, int laps)
+{
+    constexpr unsigned kParts = 4;
+    sim::PartitionedEngine eng(kParts, kLook);
+    std::vector<std::vector<std::pair<Tick, bool>>> trace(kParts);
+    int left = laps * static_cast<int>(kParts);
+    struct Relay
+    {
+        sim::PartitionedEngine &eng;
+        std::vector<std::vector<std::pair<Tick, bool>>> &trace;
+        int &left;
+
+        void
+        send(unsigned from)
+        {
+            const unsigned to = (from + 1) % kParts;
+            eng.post(from, to, eng.queue(from).now() + kLook,
+                     sim::PartitionedEngine::ChannelFn([this, to] {
+                         trace[to].emplace_back(eng.queue(to).now(),
+                                                false);
+                         if (--left > 0)
+                             send(to);
+                     }));
+            if (from == 0)
+                eng.post(0, 2, eng.queue(0).now() + kLook,
+                         sim::PartitionedEngine::ChannelFn([this] {
+                             trace[2].emplace_back(eng.queue(2).now(),
+                                                   true);
+                         }));
+        }
+    } relay{eng, trace, left};
+    eng.queue(0).schedule(5, [&] { relay.send(0); });
+    eng.run(threads);
+    return trace;
+}
+
+} // namespace
+
+TEST(PartitionedEngine, FourPartitionRingMatchesSerial)
+{
+    // Four partitions, neighbour hops plus a diagonal 0 -> 2 post every
+    // lap: each partition's delivery schedule is thread-count
+    // independent, just as in the two-partition case.
+    const auto serial = ringTrace(1, 6);
+    // 6 laps land one hop on every partition; partition 2 also gets
+    // one diagonal per visit to partition 0 (kick-off + 5 laps).
+    ASSERT_EQ(serial.size(), 4u);
+    EXPECT_EQ(serial[1].size(), 6u);
+    EXPECT_EQ(serial[2].size(), 12u);
+    EXPECT_EQ(serial[1].front(), (std::pair<Tick, bool>{105u, false}));
+    // The diagonal beats the two-hop ring path to partition 2.
+    EXPECT_EQ(serial[2][0], (std::pair<Tick, bool>{105u, true}));
+    EXPECT_EQ(serial[2][1], (std::pair<Tick, bool>{205u, false}));
+    EXPECT_EQ(ringTrace(2, 6), serial);
+    EXPECT_EQ(ringTrace(4, 6), serial);
+    EXPECT_EQ(ringTrace(8, 6), serial);
+}
+
+TEST(PartitionedEngine, DiagonalPostsReachNonAdjacentPartitions)
+{
+    // The engine is a full crossbar, not a ring: 0 -> 2 and 3 -> 1
+    // deliver without any intermediate partition in the loop.
+    sim::PartitionedEngine eng(4, kLook);
+    Tick at02 = maxTick, at31 = maxTick;
+    eng.queue(0).schedule(10, [&] {
+        eng.post(0, 2, eng.queue(0).now() + kLook,
+                 sim::PartitionedEngine::ChannelFn(
+                     [&] { at02 = eng.queue(2).now(); }));
+    });
+    eng.queue(3).schedule(20, [&] {
+        eng.post(3, 1, eng.queue(3).now() + kLook,
+                 sim::PartitionedEngine::ChannelFn(
+                     [&] { at31 = eng.queue(1).now(); }));
+    });
+    EXPECT_EQ(eng.run(2), 4u);
+    EXPECT_EQ(at02, 110u);
+    EXPECT_EQ(at31, 120u);
+    EXPECT_EQ(eng.messagesDelivered(), 2u);
+}
+
 TEST(PartitionedEngine, EventsProcessedCountsDeliveredMessages)
 {
     sim::PartitionedEngine eng(2, kLook);
